@@ -1,0 +1,41 @@
+//! Figure 10b — TGI vs NNI running time as the reference-point density
+//! varies (controlled through archive thinning).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hris::{Hris, HrisParams, LocalAlgorithm};
+use hris_bench::{bench_scenario, resampled_queries};
+
+fn bench(c: &mut Criterion) {
+    let s = bench_scenario();
+    let queries = resampled_queries(&s, 180.0);
+    let mut g = c.benchmark_group("fig10b_density");
+    for frac_pct in [10u64, 30, 100] {
+        let archive = s.thinned_archive(frac_pct as f64 / 100.0);
+        for (name, algo) in [("tgi", LocalAlgorithm::Tgi), ("nni", LocalAlgorithm::Nni)] {
+            let params = HrisParams {
+                local_algorithm: algo,
+                ..HrisParams::default()
+            };
+            let hris = Hris::new(&s.net, archive.clone(), params);
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{frac_pct}pct")),
+                &hris,
+                |b, hris| {
+                    b.iter(|| {
+                        for q in &queries {
+                            black_box(hris.infer_routes(q, 2));
+                        }
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 11b — TGI running time vs `λ`, with and without the transitive
+//! graph-reduction optimisation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hris::{Hris, HrisParams, LocalAlgorithm};
+use hris_bench::{bench_scenario, resampled_queries};
+
+fn bench(c: &mut Criterion) {
+    let s = bench_scenario();
+    let queries = resampled_queries(&s, 180.0);
+    let mut g = c.benchmark_group("fig11b_lambda");
+    for lambda in [2usize, 4, 6] {
+        for (name, reduce) in [("reduced", true), ("unreduced", false)] {
+            let params = HrisParams {
+                local_algorithm: LocalAlgorithm::Tgi,
+                lambda,
+                tgi_use_reduction: reduce,
+                ..HrisParams::default()
+            };
+            let hris = Hris::new(&s.net, s.archive.clone(), params);
+            g.bench_with_input(
+                BenchmarkId::new(name, lambda),
+                &hris,
+                |b, hris| {
+                    b.iter(|| {
+                        for q in &queries {
+                            black_box(hris.infer_routes(q, 2));
+                        }
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 12b — TGI running time vs `k₁` (the K of Yen's search on the
+//! traverse graph), with and without graph reduction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hris::{Hris, HrisParams, LocalAlgorithm};
+use hris_bench::{bench_scenario, resampled_queries};
+
+fn bench(c: &mut Criterion) {
+    let s = bench_scenario();
+    let queries = resampled_queries(&s, 180.0);
+    let mut g = c.benchmark_group("fig12b_k1");
+    for k1 in [2usize, 6, 10] {
+        for (name, reduce) in [("reduced", true), ("unreduced", false)] {
+            let params = HrisParams {
+                local_algorithm: LocalAlgorithm::Tgi,
+                k1,
+                tgi_use_reduction: reduce,
+                ..HrisParams::default()
+            };
+            let hris = Hris::new(&s.net, s.archive.clone(), params);
+            g.bench_with_input(BenchmarkId::new(name, k1), &hris, |b, hris| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(hris.infer_routes(q, 2));
+                    }
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

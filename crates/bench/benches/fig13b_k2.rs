@@ -1,0 +1,38 @@
+//! Figure 13b — NNI running time vs `k₂` (constrained-kNN fan-out), with
+//! and without the common-substructure sharing of the transit graph.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hris::{Hris, HrisParams, LocalAlgorithm};
+use hris_bench::{bench_scenario, resampled_queries};
+
+fn bench(c: &mut Criterion) {
+    let s = bench_scenario();
+    let queries = resampled_queries(&s, 180.0);
+    let mut g = c.benchmark_group("fig13b_k2");
+    for k2 in [2usize, 4, 8] {
+        for (name, share) in [("shared", true), ("unshared", false)] {
+            let params = HrisParams {
+                local_algorithm: LocalAlgorithm::Nni,
+                k2,
+                nni_share_substructures: share,
+                ..HrisParams::default()
+            };
+            let hris = Hris::new(&s.net, s.archive.clone(), params);
+            g.bench_with_input(BenchmarkId::new(name, k2), &hris, |b, hris| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(hris.infer_routes(q, 2));
+                    }
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 14b — K-GRI dynamic programming vs brute-force enumeration for
+//! top-K global route inference, as the number of query pairs grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hris::{brute_force_top_k, k_gri, Hris, HrisParams};
+use hris_bench::bench_scenario;
+use hris_traj::resample_to_interval;
+
+fn bench(c: &mut Criterion) {
+    let s = bench_scenario();
+    let params = HrisParams {
+        max_local_routes: 5,
+        ..HrisParams::default()
+    };
+    let hris = Hris::new(&s.net, s.archive.clone(), params.clone());
+    // Densely resample the first query so it has many pairs to truncate.
+    let query = resample_to_interval(&s.queries[0].dense, 40.0);
+    let locals = hris.local_inference(&query);
+
+    let mut g = c.benchmark_group("fig14b_kgri");
+    for n in [2usize, 4, 6, 8] {
+        if n > locals.len() {
+            break;
+        }
+        let slice = &locals[..n];
+        g.bench_with_input(BenchmarkId::new("k_gri", n), &slice, |b, slice| {
+            b.iter(|| black_box(k_gri(&s.net, slice, 2, params.entropy_floor)));
+        });
+        let combos: f64 = slice.iter().map(|l| l.routes.len() as f64).product();
+        if combos <= 1e6 {
+            g.bench_with_input(BenchmarkId::new("brute_force", n), &slice, |b, slice| {
+                b.iter(|| black_box(brute_force_top_k(&s.net, slice, 2, params.entropy_floor)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 9b — HRIS per-query running time as the reference search radius
+//! `φ` grows (more references pulled into local inference).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hris::{Hris, HrisParams};
+use hris_bench::{bench_scenario, resampled_queries};
+
+fn bench(c: &mut Criterion) {
+    let s = bench_scenario();
+    let queries = resampled_queries(&s, 180.0);
+    let mut g = c.benchmark_group("fig9b_phi");
+    for phi in [100.0f64, 300.0, 500.0, 700.0, 900.0] {
+        let params = HrisParams {
+            phi_m: phi,
+            ..HrisParams::default()
+        };
+        let hris = Hris::new(&s.net, s.archive.clone(), params);
+        g.bench_with_input(BenchmarkId::from_parameter(phi as u64), &hris, |b, hris| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(hris.infer_routes(q, 2));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared fixtures for the criterion benchmark suite.
+//!
+//! Each `benches/figNNx_*.rs` target re-times one of the paper's
+//! performance figures on a deterministic miniature scenario; the
+//! `substrates` target micro-benchmarks the underlying data structures.
+//! The scenario here is intentionally smaller than the experiment runner's
+//! (criterion repeats each measurement many times).
+
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_roadnet::NetworkConfig;
+use hris_traj::{resample_to_interval, Trajectory};
+
+/// A small deterministic scenario for benchmarking (≈7 km city, 800 trips,
+/// 4 queries of 4–6 km).
+#[must_use]
+pub fn bench_scenario() -> Scenario {
+    let mut cfg = ScenarioConfig::quick(77);
+    cfg.net = NetworkConfig {
+        blocks_x: 24,
+        blocks_y: 24,
+        block_m: 300.0,
+        arterial_every: 6,
+        seed: 77,
+        ..NetworkConfig::default()
+    };
+    cfg.sim.num_trips = 800;
+    cfg.sim.num_od_patterns = 30;
+    cfg.sim.min_trip_dist_m = 3_000.0;
+    cfg.num_queries = 4;
+    cfg.query_len_m = (4_000.0, 6_500.0);
+    Scenario::build(cfg)
+}
+
+/// The scenario's queries, resampled to `interval_s`.
+#[must_use]
+pub fn resampled_queries(s: &Scenario, interval_s: f64) -> Vec<Trajectory> {
+    s.queries
+        .iter()
+        .map(|q| resample_to_interval(&q.dense, interval_s))
+        .collect()
+}

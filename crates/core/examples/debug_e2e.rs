@@ -1,0 +1,86 @@
+//! Scratch diagnostic for end-to-end inference quality (not shipped docs).
+
+use hris::{Hris, HrisParams};
+use hris_roadnet::{generator, NetworkConfig, Route};
+use hris_traj::{resample_to_interval, SimConfig, Simulator, TrajId, Trajectory};
+use std::collections::HashMap;
+
+fn main() {
+    let net = generator::generate(&NetworkConfig::default());
+    println!(
+        "net: {} nodes {} segs, extent {:?}",
+        net.num_nodes(),
+        net.num_segments(),
+        net.bbox()
+    );
+    let mut sim = Simulator::new(
+        &net,
+        SimConfig {
+            num_trips: 600,
+            num_od_patterns: 10,
+            min_trip_dist_m: 3000.0,
+            seed: 13,
+            ..SimConfig::default()
+        },
+    );
+    let (archive, routes) = sim.generate_archive();
+    println!(
+        "archive: {} trips {} points",
+        archive.num_trajectories(),
+        archive.num_points()
+    );
+    let mut counts: HashMap<&Route, usize> = HashMap::new();
+    for r in &routes {
+        *counts.entry(r).or_default() += 1;
+    }
+    let (popular, pc) = counts.into_iter().max_by_key(|&(_, c)| c).unwrap();
+    println!(
+        "popular route: {} segs, {:.0} m, {} trips",
+        popular.len(),
+        popular.length(&net),
+        pc
+    );
+    let pts = hris_traj::simulator::drive_route(&net, popular, 0.0, 20.0, 0.8).unwrap();
+    let dense = Trajectory::new(TrajId(0), pts);
+    let query = resample_to_interval(&dense, 180.0);
+    println!("query: {} points over {:.0} s", query.len(), query.duration());
+
+    let hris = Hris::new(&net, archive, HrisParams::default());
+    let locals = hris.local_inference(&query);
+    for (i, l) in locals.iter().enumerate() {
+        println!(
+            "pair {i}: {} refs ({} pts, density {:.0}/km2) -> {} routes [{}] (knn {} tn {} te {}->{} aug {})",
+            l.refs.len(),
+            l.refs.num_points(),
+            l.stats.density,
+            l.routes.len(),
+            l.stats.algorithm,
+            l.stats.knn_searches,
+            l.stats.traverse_nodes,
+            l.stats.traverse_edges_initial,
+            l.stats.traverse_edges_final,
+            l.stats.augmentation_links,
+        );
+        for (ri, r) in l.routes.iter().enumerate().take(4) {
+            let f = hris::global::popularity(r, l, 0.05);
+            println!(
+                "   route {ri}: {} segs {:.0} m, pop {:.2}, cov vs truth {:.2}",
+                r.len(),
+                r.length(&net),
+                f,
+                r.common_length(popular, &net) / r.length(&net).max(1.0)
+            );
+        }
+    }
+    let (globals, _) = hris.infer_routes_detailed(&query, 3);
+    for (gi, g) in globals.iter().enumerate() {
+        let cov = g.route.common_length(popular, &net) / popular.length(&net);
+        println!(
+            "global {gi}: score {:.2}, len {:.0}, cov {:.2}, indices {:?}",
+            g.log_score,
+            g.route.length(&net),
+            cov,
+            g.local_indices
+        );
+    }
+}

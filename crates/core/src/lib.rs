@@ -1,0 +1,50 @@
+//! **HRIS** — the History-based Route Inference System of
+//! *"Reducing Uncertainty of Low-Sampling-Rate Trajectories"* (ICDE 2012).
+//!
+//! Given a low-sampling-rate query trajectory, HRIS infers its K most likely
+//! routes by mining travel patterns from an archive of historical
+//! trajectories, in three phases (Section III of the paper):
+//!
+//! 1. **Reference-trajectory search** ([`reference`](crate::reference)): for every consecutive
+//!    query point pair, find the historical trajectories — natively existing
+//!    (*simple*) or stitched from two overlapping ones (*spliced*) — that
+//!    hint at how objects travel between those points.
+//! 2. **Local route inference** ([`local`]): infer candidate routes per pair
+//!    with the traverse-graph approach (TGI, Algorithm 1), the
+//!    nearest-neighbor approach (NNI, Algorithm 2), or the density-switched
+//!    hybrid.
+//! 3. **Global route inference** ([`global`]): score local routes by
+//!    popularity and transition confidence, and thread the top-K global
+//!    routes with the K-GRI dynamic program (Algorithm 3).
+//!
+//! The end-to-end pipeline lives in [`pipeline::Hris`]; it also implements
+//! the `MapMatcher` trait so it can be compared head-to-head against the
+//! baselines (the paper's evaluation methodology).
+//!
+//! ```
+//! use hris::{Hris, HrisParams};
+//! use hris_roadnet::{generator, NetworkConfig};
+//! use hris_traj::{SimConfig, Simulator};
+//!
+//! let net = generator::generate(&NetworkConfig::small(1));
+//! let mut sim = Simulator::new(&net, SimConfig { num_trips: 50, ..SimConfig::default() });
+//! let (archive, _truth) = sim.generate_archive();
+//! let hris = Hris::new(&net, archive, HrisParams::default());
+//! // `hris.infer_routes(&query, k)` returns the top-k scored routes.
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod freespace;
+pub mod global;
+pub mod local;
+pub mod params;
+pub mod pipeline;
+pub mod reference;
+
+pub use freespace::{infer_polyline, FreespaceParams};
+pub use global::{brute_force_top_k, brute_force_top_k_with, k_gri, k_gri_with, GlobalRoute};
+pub use local::{LocalInferenceResult, LocalRoute};
+pub use params::{HrisParams, HybridPolarity, LocalAlgorithm, PopularityModel};
+pub use pipeline::{Hris, HrisMatcher, ScoredRoute};
+pub use reference::{search_references, RefKind, RefTrajectory, ReferenceSet};

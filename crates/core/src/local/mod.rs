@@ -1,0 +1,396 @@
+//! Local route inference (Section III-B): given the references `C_i` of a
+//! query pair, infer the candidate local routes `ℛ_i`.
+//!
+//! Two algorithms — [`tgi`](crate::local::tgi::tgi) (traverse graph,
+//! Algorithm 1) and [`nni`](crate::local::nni::nni) (constrained nearest
+//! neighbours, Algorithm 2) — plus the density-switched hybrid
+//! ([`infer_local_routes`]).
+
+pub mod nni;
+pub mod tgi;
+
+use crate::params::{HrisParams, HybridPolarity, LocalAlgorithm};
+use crate::reference::ReferenceSet;
+use hris_roadnet::network::CandidateEdge;
+use hris_roadnet::{RoadNetwork, Route, SegmentId};
+use std::collections::{HashMap, HashSet};
+
+/// Per-pair instrumentation (drives the ablation figures 11b–13b).
+#[derive(Debug, Clone, Default)]
+pub struct LocalStats {
+    /// Which algorithm actually ran ("TGI" / "NNI").
+    pub algorithm: &'static str,
+    /// Constrained-kNN searches performed (NNI; Figure 5's cost measure).
+    pub knn_searches: usize,
+    /// Traverse-graph node count (TGI).
+    pub traverse_nodes: usize,
+    /// Traverse-graph links before reduction (TGI).
+    pub traverse_edges_initial: usize,
+    /// Traverse-graph links after reduction (TGI; equal to initial when
+    /// reduction is disabled).
+    pub traverse_edges_final: usize,
+    /// Links added by the strong-connectivity augmentation (TGI).
+    pub augmentation_links: usize,
+    /// Reference-point density ρ (points/km²) the hybrid switch saw.
+    pub density: f64,
+}
+
+/// A local route with no scoring attached (scoring happens globally).
+pub type LocalRoute = Route;
+
+/// The outcome of local inference for one query pair.
+#[derive(Debug, Clone)]
+pub struct LocalInferenceResult {
+    /// Candidate local routes `ℛ_i` (deduplicated).
+    pub routes: Vec<LocalRoute>,
+    /// Which references travel on which road segment (for scoring).
+    pub edge_index: RefEdgeIndex,
+    /// The reference set this inference consumed.
+    pub refs: ReferenceSet,
+    /// Instrumentation.
+    pub stats: LocalStats,
+}
+
+/// Maps road segments to the references traversing them.
+///
+/// A reference *travels by* segment `r` when `r` is a candidate edge of one
+/// of its points (Definition 9). This index is built once per pair and
+/// drives both the traverse graph and the popularity function.
+#[derive(Debug, Clone, Default)]
+pub struct RefEdgeIndex {
+    /// Segment → indices (into `ReferenceSet::refs`) of covering references.
+    pub edge_refs: HashMap<SegmentId, HashSet<usize>>,
+}
+
+impl RefEdgeIndex {
+    /// Builds the index by looking up candidate edges of every reference
+    /// point within `eps` metres.
+    #[must_use]
+    pub fn build(net: &RoadNetwork, refs: &ReferenceSet, eps: f64) -> Self {
+        let mut edge_refs: HashMap<SegmentId, HashSet<usize>> = HashMap::new();
+        for (ri, r) in refs.refs.iter().enumerate() {
+            for p in &r.points {
+                for cand in net.candidate_edges(p.pos, eps) {
+                    edge_refs.entry(cand.segment).or_default().insert(ri);
+                }
+            }
+        }
+        RefEdgeIndex { edge_refs }
+    }
+
+    /// References covering segment `r` (`C_i(r)`), empty set when none.
+    #[must_use]
+    pub fn refs_on(&self, seg: SegmentId) -> Option<&HashSet<usize>> {
+        self.edge_refs.get(&seg)
+    }
+
+    /// Union of references covering any segment of `route` (`C_i(R)`).
+    #[must_use]
+    pub fn refs_on_route(&self, route: &Route) -> HashSet<usize> {
+        let mut out = HashSet::new();
+        for seg in route.segments() {
+            if let Some(s) = self.edge_refs.get(seg) {
+                out.extend(s.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// All traversed segments (the traverse-edge set `TE`).
+    #[must_use]
+    pub fn traverse_edges(&self) -> Vec<SegmentId> {
+        let mut v: Vec<SegmentId> = self.edge_refs.keys().copied().collect();
+        v.sort_unstable(); // determinism across HashMap orderings
+        v
+    }
+}
+
+/// Local-route popularity `f(R)` — Equation 1 with a normalised entropy.
+///
+/// The paper's raw entropy `Σ −x(r)·log x(r)` grows like `ln m` with the
+/// number of covered segments `m`, so comparing routes of different lengths
+/// systematically favours the longest one (harmless in the paper, where all
+/// candidates of a pair are near-direct; decisive at our denser enumeration
+/// scale — see DESIGN.md). We therefore use the *evenness* `entropy / ln m`
+/// (∈ [0, 1], the paper's "uniformness of the distribution" reading, made
+/// scale-free):
+///
+/// `f(R) = support(R) · (evenness + floor)`, where `support` is the mean
+/// per-segment reference count `Σ_r |C_i(r)| / |R|` — again the scale-free
+/// counterpart of the paper's `|⋃_r C_i(r)|`, which (like the raw entropy)
+/// grows monotonically as segments are appended.
+///
+/// Reference support still dominates; evenness still prefers sustained
+/// coverage over a single busy intersection (Figure 6); segments that no
+/// reference travels drag the mean down, so routes straying off the
+/// historical corridors lose; the floor keeps single-segment routes
+/// (evenness defined as 1) and fully-concentrated distributions rankable.
+///
+/// This is the scoring kernel shared by route selection here and by the
+/// global score in [`crate::global`].
+#[must_use]
+pub fn route_popularity(route: &Route, idx: &RefEdgeIndex, entropy_floor: f64) -> f64 {
+    route_popularity_with(
+        route,
+        idx,
+        entropy_floor,
+        crate::params::PopularityModel::ScaleFree,
+    )
+}
+
+/// [`route_popularity`] with an explicit [`PopularityModel`] — the ablation
+/// entry point (`PaperLiteral` evaluates Equation 1 verbatim).
+///
+/// [`PopularityModel`]: crate::params::PopularityModel
+#[must_use]
+pub fn route_popularity_with(
+    route: &Route,
+    idx: &RefEdgeIndex,
+    entropy_floor: f64,
+    model: crate::params::PopularityModel,
+) -> f64 {
+    let union = idx.refs_on_route(route);
+    if union.is_empty() {
+        return 0.0;
+    }
+    let covered: Vec<usize> = route
+        .segments()
+        .iter()
+        .map(|s| idx.refs_on(*s).map_or(0, HashSet::len))
+        .filter(|&c| c > 0)
+        .collect();
+    let total: usize = covered.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut entropy = 0.0;
+    for &c in &covered {
+        let x = c as f64 / total as f64;
+        entropy -= x * x.ln();
+    }
+    match model {
+        crate::params::PopularityModel::PaperLiteral => {
+            // Equation 1 verbatim (floor still applied so single-segment
+            // routes stay rankable in the multiplicative global score).
+            union.len() as f64 * (entropy + entropy_floor)
+        }
+        crate::params::PopularityModel::ScaleFree => {
+            let evenness = if covered.len() < 2 {
+                1.0
+            } else {
+                entropy / (covered.len() as f64).ln()
+            };
+            let support = total as f64 / route.len() as f64;
+            support * (evenness + entropy_floor)
+        }
+    }
+}
+
+/// Runs local inference for one pair, dispatching per
+/// [`HrisParams::local_algorithm`] (the hybrid uses the reference-point
+/// density and `τ`, Section III-B.3).
+#[must_use]
+pub fn infer_local_routes(
+    net: &RoadNetwork,
+    refs: ReferenceSet,
+    qi_cands: &[CandidateEdge],
+    qj_cands: &[CandidateEdge],
+    params: &HrisParams,
+) -> LocalInferenceResult {
+    let edge_index = RefEdgeIndex::build(net, &refs, params.candidate_eps_m);
+    let density = refs.density_per_km2();
+
+    let use_tgi = match params.local_algorithm {
+        LocalAlgorithm::Tgi => true,
+        LocalAlgorithm::Nni => false,
+        LocalAlgorithm::Hybrid => match params.hybrid_polarity {
+            // Figure 10: TGI overtakes NNI once density exceeds τ.
+            HybridPolarity::Fig10 => density >= params.tau_per_km2,
+            HybridPolarity::PaperText => density < params.tau_per_km2,
+        },
+    };
+
+    let (mut routes, mut stats) = if use_tgi {
+        tgi::tgi(net, &edge_index, qi_cands, qj_cands, params)
+    } else {
+        nni::nni(net, &refs, qi_cands, qj_cands, params)
+    };
+    stats.density = density;
+
+    // The plain shortest-path routes between the endpoint candidates are
+    // always candidates too — the "null hypothesis" the history must beat.
+    // They also anchor the detour-plausibility bound.
+    let mut sp_len = f64::INFINITY;
+    for a in qi_cands.iter().take(2) {
+        for b in qj_cands.iter().take(2) {
+            if let Some(sp) = hris_roadnet::shortest::route_between_segments(
+                net,
+                a.segment,
+                b.segment,
+                hris_roadnet::CostModel::Distance,
+            ) {
+                sp_len = sp_len.min(sp.length(net));
+                routes.push(sp);
+            }
+        }
+    }
+
+    // Deduplicate (after loop excision — graph projection can bridge via
+    // backtracking), then keep the `max_local_routes` most *popular*
+    // candidates — K-GRI ranks by popularity anyway, so the cap must not
+    // discard the routes the history supports best.
+    let routes = routes.into_iter().map(|r| r.without_loops(net)).collect();
+    let mut routes = dedup_routes(routes, net, usize::MAX);
+    // Plausibility bound: drop candidates detouring far beyond the shortest
+    // network path between the pair's candidate edges.
+    if sp_len.is_finite() {
+        let bound = sp_len * params.max_detour_ratio.max(1.0);
+        routes.retain(|r| r.length(net) <= bound);
+    }
+    routes.sort_by(|a, b| {
+        route_popularity_with(b, &edge_index, params.entropy_floor, params.popularity_model)
+            .total_cmp(&route_popularity_with(
+                a,
+                &edge_index,
+                params.entropy_floor,
+                params.popularity_model,
+            ))
+    });
+    routes.truncate(params.max_local_routes.max(1));
+
+    LocalInferenceResult {
+        routes,
+        edge_index,
+        refs,
+        stats,
+    }
+}
+
+/// Deduplicates routes and keeps connected ones, capping the count.
+#[must_use]
+pub fn dedup_routes(routes: Vec<Route>, net: &RoadNetwork, cap: usize) -> Vec<Route> {
+    let mut seen: HashSet<Vec<SegmentId>> = HashSet::new();
+    let mut out = Vec::new();
+    for r in routes {
+        if r.is_empty() || !r.is_connected(net) {
+            continue;
+        }
+        if seen.insert(r.segments().to_vec()) {
+            out.push(r);
+            if out.len() >= cap.max(1) {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{RefKind, RefTrajectory};
+    use hris_geo::Point;
+    use hris_roadnet::{generator, NetworkConfig};
+    use hris_traj::{GpsPoint, TrajId};
+
+    fn net() -> RoadNetwork {
+        generator::generate(&NetworkConfig {
+            jitter_frac: 0.0,
+            curve_frac: 0.0,
+            removal_frac: 0.0,
+            oneway_frac: 0.0,
+            ..NetworkConfig::small(1)
+        })
+    }
+
+    /// A reference walking from x=a to x=b, zig-zagging between two rows so
+    /// the point cloud has a two-dimensional bounding box (finite density).
+    fn make_ref(net: &RoadNetwork, a: f64, b: f64, id: u32) -> RefTrajectory {
+        let n = 8;
+        let points = (0..n)
+            .map(|k| {
+                let x = a + (b - a) * k as f64 / (n - 1) as f64;
+                let y = if k % 2 == 0 { 0.0 } else { 200.0 };
+                // Place points on the nearest road to keep candidates rich.
+                let snapped = net.nearest_segment(Point::new(x, y)).unwrap().closest;
+                GpsPoint::new(snapped, k as f64 * 30.0)
+            })
+            .collect();
+        RefTrajectory {
+            kind: RefKind::Simple,
+            sources: vec![TrajId(id)],
+            points,
+        }
+    }
+
+    #[test]
+    fn edge_index_links_refs_to_segments() {
+        let net = net();
+        let refs = ReferenceSet {
+            refs: vec![make_ref(&net, 0.0, 800.0, 0), make_ref(&net, 0.0, 800.0, 1)],
+        };
+        let idx = RefEdgeIndex::build(&net, &refs, 40.0);
+        assert!(!idx.edge_refs.is_empty());
+        // Segments near the corridor should carry both references.
+        let covered_by_both = idx.edge_refs.values().filter(|s| s.len() == 2).count();
+        assert!(covered_by_both > 0);
+        // Union over any covered route equals {0, 1} somewhere.
+        let te = idx.traverse_edges();
+        assert!(!te.is_empty());
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_and_disconnected() {
+        let net = net();
+        let r = net.segments()[0].id;
+        let s = net.next_segments(r)[0];
+        let good = Route::new(vec![r, s]);
+        let dup = Route::new(vec![r, s]);
+        // A disconnected route: two random segments that don't touch.
+        let far = net
+            .segments()
+            .iter()
+            .find(|x| x.from != net.segment(r).to && x.id != r)
+            .unwrap()
+            .id;
+        let bad = Route::new(vec![r, far]);
+        let out = dedup_routes(vec![good.clone(), dup, bad, Route::empty()], &net, 10);
+        assert_eq!(out, vec![good]);
+    }
+
+    #[test]
+    fn dedup_caps_count() {
+        let net = net();
+        let routes: Vec<Route> = net
+            .segments()
+            .iter()
+            .take(30)
+            .map(|s| Route::new(vec![s.id]))
+            .collect();
+        assert_eq!(dedup_routes(routes, &net, 5).len(), 5);
+    }
+
+    #[test]
+    fn hybrid_dispatch_uses_density() {
+        let net = net();
+        // Dense reference cloud → Fig10 polarity picks TGI.
+        let refs = ReferenceSet {
+            refs: (0..30).map(|i| make_ref(&net, 0.0, 600.0, i)).collect(),
+        };
+        let qi = net.candidate_edges(Point::new(0.0, 0.0), 80.0);
+        let qj = net.candidate_edges(Point::new(600.0, 0.0), 80.0);
+        let params = HrisParams {
+            tau_per_km2: 1.0, // anything is "dense"
+            ..HrisParams::default()
+        };
+        let res = infer_local_routes(&net, refs.clone(), &qi, &qj, &params);
+        assert_eq!(res.stats.algorithm, "TGI");
+
+        let params = HrisParams {
+            tau_per_km2: f64::INFINITY, // nothing is dense
+            ..HrisParams::default()
+        };
+        let res = infer_local_routes(&net, refs, &qi, &qj, &params);
+        assert_eq!(res.stats.algorithm, "NNI");
+    }
+}

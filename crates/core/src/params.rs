@@ -1,0 +1,186 @@
+//! HRIS parameters (Table II of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Which local-inference algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LocalAlgorithm {
+    /// Traverse-graph based inference (Algorithm 1).
+    Tgi,
+    /// Nearest-neighbor based inference (Algorithm 2).
+    Nni,
+    /// Density-switched hybrid (Section III-B.3).
+    #[default]
+    Hybrid,
+}
+
+/// Which algorithm the hybrid picks below the density threshold `τ`.
+///
+/// The paper's prose says "if the density is lower than τ, TGI is selected",
+/// but its own Figure 10 shows NNI *winning* at low density and TGI at high
+/// density, and the surrounding discussion ("the performance of TGI and NNI
+/// switch when ρ is about 200/km², therefore we can set τ = 200/km² so the
+/// hybrid always adopts the better approach") only makes sense with the
+/// Figure-10 polarity. We default to Figure 10 and expose both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum HybridPolarity {
+    /// Low density → NNI, high density → TGI (consistent with Figure 10).
+    #[default]
+    Fig10,
+    /// Low density → TGI, high density → NNI (the prose reading).
+    PaperText,
+}
+
+/// Which form of Equation 1 scores local-route popularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PopularityModel {
+    /// Scale-free variant: mean per-segment support × entropy evenness
+    /// (deviation D1 in EXPERIMENTS.md; robust when candidate routes of a
+    /// pair differ in length).
+    #[default]
+    ScaleFree,
+    /// The paper's literal Equation 1: `|⋃_r C_i(r)| · Σ −x(r)·log x(r)`.
+    /// Exposed for the ablation experiment; biased toward longer routes
+    /// when candidates differ in length.
+    PaperLiteral,
+}
+
+/// All tunables of HRIS, with Table II defaults.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HrisParams {
+    /// Reference search radius `φ`, metres (Table II: 500 m).
+    pub phi_m: f64,
+    /// Splicing distance threshold `e` for spliced references, metres.
+    pub splice_eps_m: f64,
+    /// Spliced references are only constructed when fewer simple references
+    /// than this were found (the paper motivates splicing for sparse areas).
+    pub splice_when_simple_below: usize,
+    /// Per-pair cap on references, keeping the ones closest to the query
+    /// points (Figure 9's "irrelevant trajectories" observation).
+    pub max_refs_per_pair: usize,
+    /// Candidate-edge radius `ε` (Definition 5), metres.
+    pub candidate_eps_m: f64,
+    /// Maximum candidate edges per query point used as KSP endpoints.
+    pub max_query_candidates: usize,
+    /// Hybrid density threshold `τ`, reference points per km²
+    /// (Table II: 200/km²).
+    pub tau_per_km2: f64,
+    /// Which way the hybrid switches at `τ`.
+    pub hybrid_polarity: HybridPolarity,
+    /// Which local algorithm to run (Hybrid reproduces the paper's system).
+    pub local_algorithm: LocalAlgorithm,
+    /// λ-neighborhood radius in hops (Table II: 4).
+    pub lambda: usize,
+    /// `k₁` — K of the K-shortest-path search in TGI (Table II: 5).
+    pub k1: usize,
+    /// Popularity discount `γ` of traverse-graph link weights:
+    /// `w(u→v) = chain_dist · (1 + γ / (1 + |C_i(v)|))`.
+    ///
+    /// The paper leaves the traverse-graph weights unspecified ("top-K
+    /// shortest paths on this traverse graph") and relies on sparse Beijing
+    /// coverage to make the graph selective. At our denser simulated scale
+    /// a pure-distance weight collapses TGI into plain shortest paths, so
+    /// the discount realises the paper's stated intuition — "heavily
+    /// traversed but longer" beats "shortest but untravelled" — directly in
+    /// the weight. Set to 0.0 for the paper-literal distance weighting.
+    pub tgi_popularity_weight: f64,
+    /// Whether TGI applies transitive graph reduction (Figure 11b ablation).
+    pub tgi_use_reduction: bool,
+    /// `k₂` — constrained-kNN fan-out in NNI (Table II: 4).
+    pub k2: usize,
+    /// `α` — NNI's away-from-destination tolerance, metres (Table II: 500 m).
+    pub alpha_m: f64,
+    /// `β` — NNI's detour-ratio tolerance (Table II: 1.5).
+    pub beta: f64,
+    /// Whether NNI shares common substructures via the transit graph
+    /// (Figure 13b ablation).
+    pub nni_share_substructures: bool,
+    /// Cap on enumerated NNI transit-graph paths per pair.
+    pub nni_max_paths: usize,
+    /// Cap on local routes kept per pair (bounds the K-GRI DP width).
+    pub max_local_routes: usize,
+    /// Plausibility bound on local routes: a candidate longer than
+    /// `max_detour_ratio ×` the shortest network path between the pair's
+    /// candidate edges is discarded.
+    ///
+    /// Equation 1's popularity grows with segment count (entropy over more
+    /// terms), so without this bound the scoring systematically prefers the
+    /// longest wandering candidate. The paper's Beijing setting masks the
+    /// bias because its candidate routes are all near-direct; our denser
+    /// enumeration surfaces it, hence the explicit bound (see DESIGN.md).
+    pub max_detour_ratio: f64,
+    /// `k₃` — K of the global top-K route inference (Table II default used
+    /// in the accuracy experiments; the paper computes accuracy on top-1).
+    pub k3: usize,
+    /// Small additive entropy floor so single-segment local routes do not
+    /// zero out the multiplicative global score (see `global::popularity`).
+    pub entropy_floor: f64,
+    /// Which popularity formula scores local routes (ablation knob).
+    pub popularity_model: PopularityModel,
+    /// Time-of-day tolerance for reference search, seconds (`None`
+    /// disables). The paper's future-work extension: references observed at
+    /// an incompatible time of day are ignored, so diurnal travel patterns
+    /// (morning vs evening flows) inform the inference.
+    pub temporal_tolerance_s: Option<f64>,
+}
+
+impl Default for HrisParams {
+    fn default() -> Self {
+        HrisParams {
+            phi_m: 500.0,
+            splice_eps_m: 150.0,
+            splice_when_simple_below: 64,
+            max_refs_per_pair: 512,
+            candidate_eps_m: 60.0,
+            max_query_candidates: 3,
+            tau_per_km2: 200.0,
+            hybrid_polarity: HybridPolarity::default(),
+            local_algorithm: LocalAlgorithm::default(),
+            lambda: 4,
+            k1: 5,
+            tgi_popularity_weight: 1.0,
+            tgi_use_reduction: true,
+            k2: 4,
+            alpha_m: 500.0,
+            beta: 1.5,
+            nni_share_substructures: true,
+            nni_max_paths: 16,
+            max_local_routes: 12,
+            max_detour_ratio: 1.6,
+            k3: 2,
+            entropy_floor: 0.05,
+            popularity_model: PopularityModel::default(),
+            temporal_tolerance_s: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let p = HrisParams::default();
+        assert_eq!(p.phi_m, 500.0);
+        assert_eq!(p.tau_per_km2, 200.0);
+        assert_eq!(p.lambda, 4);
+        assert_eq!(p.k1, 5);
+        assert_eq!(p.k2, 4);
+        assert_eq!(p.alpha_m, 500.0);
+        assert_eq!(p.beta, 1.5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = HrisParams {
+            k1: 9,
+            local_algorithm: LocalAlgorithm::Tgi,
+            ..HrisParams::default()
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let q: HrisParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(q.k1, 9);
+        assert_eq!(q.local_algorithm, LocalAlgorithm::Tgi);
+    }
+}

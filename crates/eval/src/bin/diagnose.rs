@@ -1,0 +1,89 @@
+//! Per-query diagnostic tool: where does HRIS lose accuracy?
+
+use hris::{Hris, HrisParams};
+use hris_eval::metrics::accuracy_al;
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_mapmatch::{IvmmMatcher, MapMatcher};
+use hris_traj::resample_to_interval;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let s = Scenario::build(ScenarioConfig::quick(seed));
+    eprintln!(
+        "net {} nodes {} segs; archive {} trips; {} queries",
+        s.net.num_nodes(),
+        s.net.num_segments(),
+        s.archive.num_trajectories(),
+        s.queries.len()
+    );
+    let algo = std::env::args().nth(2).unwrap_or_default();
+    let params = HrisParams {
+        local_algorithm: match algo.as_str() {
+            "tgi" => hris::LocalAlgorithm::Tgi,
+            "nni" => hris::LocalAlgorithm::Nni,
+            _ => hris::LocalAlgorithm::Hybrid,
+        },
+        ..HrisParams::default()
+    };
+    let hris = Hris::new(&s.net, s.archive.clone(), params);
+    let ivmm = IvmmMatcher::default();
+    let interval = 180.0;
+
+    let focus: Option<usize> = std::env::args().nth(3).and_then(|v| v.parse().ok());
+    let mut worst = (1.1, usize::MAX);
+    for (qi, q) in s.queries.iter().enumerate() {
+        let query = resample_to_interval(&q.dense, interval);
+        let h_acc = hris
+            .infer_top1(&query)
+            .map(|r| accuracy_al(&q.truth, &r.route, &s.net))
+            .unwrap_or(0.0);
+        let i_acc = ivmm
+            .match_trajectory(&s.net, &query)
+            .map(|m| accuracy_al(&q.truth, &m.route, &s.net))
+            .unwrap_or(0.0);
+        println!(
+            "q{qi}: pts {} truth {:.1} km | HRIS {h_acc:.3} IVMM {i_acc:.3}",
+            query.len(),
+            q.truth.length(&s.net) / 1000.0
+        );
+        if h_acc < worst.0 {
+            worst = (h_acc, qi);
+        }
+    }
+
+    // Pair-level drill-down on the worst query.
+    let qi = focus.unwrap_or(worst.1);
+    let q = &s.queries[qi];
+    let query = resample_to_interval(&q.dense, interval);
+    println!("\n--- worst query q{qi} (HRIS {:.3}) ---", worst.0);
+    let locals = hris.local_inference(&query);
+    for (i, l) in locals.iter().enumerate() {
+        print!(
+            "pair {i}: {} refs, dens {:.0}, algo {}, {} routes |",
+            l.refs.len(),
+            l.stats.density,
+            l.stats.algorithm,
+            l.routes.len()
+        );
+        println!();
+        for (ri, r) in l.routes.iter().enumerate() {
+            let pop = hris::global::popularity(r, l, 0.05);
+            let ov = r.common_length(&q.truth, &s.net) / r.length(&s.net).max(1.0);
+            println!("    r{ri}: {} segs {:.2} km pop {:.1} overlap {:.2}",
+                r.len(), r.length(&s.net)/1000.0, pop, ov);
+        }
+    }
+    let (globals, _) = hris.infer_routes_detailed(&query, 3);
+    for (g, gr) in globals.iter().enumerate() {
+        println!(
+            "global {g}: score {:.2} len {:.1} km acc {:.3} idx {:?}",
+            gr.log_score,
+            gr.route.length(&s.net) / 1000.0,
+            accuracy_al(&q.truth, &gr.route, &s.net),
+            gr.local_indices
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [FIGURE ...] [--full] [--seed N] [--out DIR]
+//!
+//! FIGURE: table2 fig8a fig8b fig9a fig9b fig10a fig10b fig11a fig11b
+//!         fig12a fig12b fig13a fig13b fig14a fig14b all   (default: all)
+//! --full : paper-scale scenario (~25 km city, thousands of trips);
+//!          default is the laptop-quick scenario.
+//! --out  : also write each figure's CSV into DIR.
+//! ```
+//!
+//! Run with `cargo run --release -p hris-eval --bin experiments -- all`.
+
+use hris_eval::experiments as ex;
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_eval::table::Table;
+use std::collections::BTreeSet;
+
+struct Args {
+    figures: BTreeSet<String>,
+    full: bool,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut figures = BTreeSet::new();
+    let mut full = false;
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--out" => out = Some(it.next().expect("--out needs a directory")),
+            other => {
+                figures.insert(other.to_string());
+            }
+        }
+    }
+    if figures.is_empty() {
+        figures.insert("all".to_string());
+    }
+    Args {
+        figures,
+        full,
+        seed,
+        out,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let want = |name: &str| args.figures.contains("all") || args.figures.contains(name);
+
+    let mut outputs: Vec<Table> = Vec::new();
+
+    if want("table2") {
+        println!("{}", ex::table2());
+    }
+
+    // Base scenario: queries around the default length.
+    let needs_base = [
+        "fig8a", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
+        "fig13a", "fig13b", "fig14a", "fig14b", "ablation", "freespace",
+    ]
+    .iter()
+    .any(|f| want(f));
+
+    let base: Option<Scenario> = if needs_base {
+        let cfg = if args.full {
+            ScenarioConfig::full(args.seed)
+        } else {
+            ScenarioConfig::quick(args.seed)
+        };
+        eprintln!(
+            "building base scenario (full={}, seed={}) ...",
+            args.full, args.seed
+        );
+        let s = Scenario::build(cfg);
+        eprintln!(
+            "  net: {} nodes / {} segments; archive: {} trips / {} points; {} queries",
+            s.net.num_nodes(),
+            s.net.num_segments(),
+            s.archive.num_trajectories(),
+            s.archive.num_points(),
+            s.queries.len()
+        );
+        Some(s)
+    } else {
+        None
+    };
+
+    if let Some(s) = &base {
+        if want("fig8a") {
+            run(&mut outputs, || ex::fig8a(s));
+        }
+        if want("fig9a") || want("fig9b") {
+            let (a, b) = ex::fig9(s);
+            report(&mut outputs, a);
+            report(&mut outputs, b);
+        }
+        if want("fig10a") || want("fig10b") {
+            let (a, b) = ex::fig10(s);
+            report(&mut outputs, a);
+            report(&mut outputs, b);
+        }
+        if want("fig11a") || want("fig11b") {
+            let (a, b) = ex::fig11(s);
+            report(&mut outputs, a);
+            report(&mut outputs, b);
+        }
+        if want("fig12a") || want("fig12b") {
+            let (a, b) = ex::fig12(s);
+            report(&mut outputs, a);
+            report(&mut outputs, b);
+        }
+        if want("fig13a") || want("fig13b") {
+            let (a, b) = ex::fig13(s);
+            report(&mut outputs, a);
+            report(&mut outputs, b);
+        }
+        if want("fig14a") {
+            run(&mut outputs, || ex::fig14a(s));
+        }
+        if want("fig14b") {
+            run(&mut outputs, || ex::fig14b(s));
+        }
+        if want("ablation") {
+            run(&mut outputs, || ex::ablation(s));
+        }
+        if want("freespace") {
+            run(&mut outputs, || ex::freespace(s));
+        }
+    }
+
+    // The temporal extension needs a diurnal-demand scenario.
+    if want("temporal") {
+        let mut cfg = if args.full {
+            ScenarioConfig::full(args.seed ^ 2)
+        } else {
+            ScenarioConfig::quick(args.seed ^ 2)
+        };
+        cfg.sim.diurnal_peaks = true;
+        eprintln!("building diurnal scenario for the temporal extension ...");
+        let s = Scenario::build(cfg);
+        run(&mut outputs, || ex::temporal(&s));
+    }
+
+    // Figure 8b needs a wide query-length spread.
+    if want("fig8b") {
+        let (mut cfg, buckets): (ScenarioConfig, Vec<f64>) = if args.full {
+            let mut c = ScenarioConfig::full(args.seed ^ 1);
+            c.query_len_m = (8_000.0, 32_000.0);
+            c.num_queries = 50;
+            (c, vec![10.0, 15.0, 20.0, 25.0, 30.0])
+        } else {
+            let mut c = ScenarioConfig::quick(args.seed ^ 1);
+            c.query_len_m = (2_000.0, 8_000.0);
+            c.num_queries = 30;
+            (c, vec![2.5, 3.5, 4.5, 5.5, 6.5])
+        };
+        cfg.sim.min_trip_dist_m = cfg.query_len_m.0 * 0.6;
+        eprintln!("building wide-length scenario for fig8b ...");
+        let s = Scenario::build(cfg);
+        eprintln!("  {} queries", s.queries.len());
+        run(&mut outputs, || ex::fig8b(&s, &buckets));
+    }
+
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        for t in &outputs {
+            let name = t.id.to_lowercase().replace(' ', "_");
+            let path = format!("{dir}/{name}.csv");
+            std::fs::write(&path, t.to_csv()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn run<F: FnOnce() -> Table>(outputs: &mut Vec<Table>, f: F) {
+    let t = f();
+    report(outputs, t);
+}
+
+fn report(outputs: &mut Vec<Table>, t: Table) {
+    println!("{t}");
+    outputs.push(t);
+}

@@ -1,0 +1,32 @@
+//! Scratch probe: how often do free-space walks succeed?
+
+use hris::freespace::{infer_polyline, FreespaceParams};
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_traj::resample_to_interval;
+
+fn main() {
+    let s = Scenario::build(ScenarioConfig::quick(42));
+    let fs = FreespaceParams {
+        v_max: s.net.max_speed(),
+        ..FreespaceParams::default()
+    };
+    for sr in [3.0f64, 6.0] {
+        for (qi, q) in s.queries.iter().take(3).enumerate() {
+            let query = resample_to_interval(&q.dense, sr * 60.0);
+            let pl = infer_polyline(&s.archive, &query, &fs).unwrap();
+            let truth = q.truth.polyline(&s.net).unwrap();
+            println!(
+                "sr {sr} q{qi}: query pts {}, polyline verts {} (straight would be {}), dev {:.0} vs straight {:.0}",
+                query.len(),
+                pl.vertices().len(),
+                query.len(),
+                hris_geo::mean_deviation(&truth, &pl, 200),
+                hris_geo::mean_deviation(
+                    &truth,
+                    &hris_geo::Polyline::new(query.points.iter().map(|p| p.pos).collect()),
+                    200
+                ),
+            );
+        }
+    }
+}

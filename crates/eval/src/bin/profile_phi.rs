@@ -1,0 +1,59 @@
+//! Phase-level profiling of the φ sweep (diagnostic for Figure 9b).
+
+use hris::reference::search_references;
+use hris::{Hris, HrisParams};
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_traj::resample_to_interval;
+use std::time::Instant;
+
+fn main() {
+    let s = Scenario::build(ScenarioConfig::quick(42));
+    let interval = 540.0; // SR = 9 min
+    for phi in [100.0f64, 300.0, 900.0] {
+        let params = HrisParams {
+            phi_m: phi,
+            ..HrisParams::default()
+        };
+        let hris = Hris::new(&s.net, s.archive.clone(), params.clone());
+        let mut t_ref = 0.0;
+        let mut t_local = 0.0;
+        let mut t_global = 0.0;
+        let mut algo_counts = (0usize, 0usize);
+        let mut refs_total = 0usize;
+        for q in &s.queries {
+            let query = resample_to_interval(&q.dense, interval);
+            // Reference search alone.
+            let t0 = Instant::now();
+            for w in query.points.windows(2) {
+                let r = search_references(
+                    &s.archive,
+                    w[0].pos,
+                    w[1].pos,
+                    (w[1].t - w[0].t).max(1.0),
+                    s.net.max_speed(),
+                    &hris::reference::RefSearchConfig::new(phi, params.splice_eps_m),
+                );
+                refs_total += r.len();
+            }
+            t_ref += t0.elapsed().as_secs_f64();
+            // Full local inference.
+            let t0 = Instant::now();
+            let locals = hris.local_inference(&query);
+            t_local += t0.elapsed().as_secs_f64();
+            for l in &locals {
+                match l.stats.algorithm {
+                    "TGI" => algo_counts.0 += 1,
+                    "NNI" => algo_counts.1 += 1,
+                    _ => {}
+                }
+            }
+            let t0 = Instant::now();
+            let _ = hris::global::k_gri(&s.net, &locals, 2, params.entropy_floor);
+            t_global += t0.elapsed().as_secs_f64();
+        }
+        println!(
+            "phi {phi:>5}: ref {t_ref:.2}s local(incl ref) {t_local:.2}s global {t_global:.3}s | TGI pairs {} NNI pairs {} refs {}",
+            algo_counts.0, algo_counts.1, refs_total
+        );
+    }
+}

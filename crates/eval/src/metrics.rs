@@ -1,0 +1,148 @@
+//! Inference-quality metric (Section IV-B).
+//!
+//! `A_L = LCR(R_G, R_I).length / max(R_G.length, R_I.length)` where `LCR`
+//! is the *longest common road segments* of the ground-truth and inferred
+//! routes. We implement LCR as the length-weighted longest common
+//! subsequence of the two segment sequences: common segments must appear in
+//! the same travel order to count, which penalises both missing roads and
+//! hallucinated detours.
+
+use hris_roadnet::{RoadNetwork, Route};
+
+/// Length-weighted longest common subsequence of two segment sequences.
+#[must_use]
+pub fn lcr_length(a: &Route, b: &Route, net: &RoadNetwork) -> f64 {
+    let sa = a.segments();
+    let sb = b.segments();
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    // Classic LCS DP over (n+1) × (m+1), weights = segment length.
+    let m = sb.len();
+    let mut prev = vec![0.0f64; m + 1];
+    let mut cur = vec![0.0f64; m + 1];
+    for &x in sa {
+        for (j, &y) in sb.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + net.segment(x).length
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// The paper's accuracy metric `A_L ∈ [0, 1]`.
+///
+/// Returns 1.0 when both routes are empty (vacuously perfect), 0.0 when
+/// exactly one is empty.
+#[must_use]
+pub fn accuracy_al(ground: &Route, inferred: &Route, net: &RoadNetwork) -> f64 {
+    let lg = ground.length(net);
+    let li = inferred.length(net);
+    let denom = lg.max(li);
+    if denom <= 0.0 {
+        return if ground.is_empty() == inferred.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    (lcr_length(ground, inferred, net) / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hris_geo::Point;
+    use hris_roadnet::{generator::RoadClass, NodeId, SegmentId};
+
+    /// Straight two-way corridor of `n` 100 m segments; returns forward ids.
+    fn corridor(n: usize) -> (RoadNetwork, Vec<SegmentId>) {
+        let mut b = RoadNetwork::builder();
+        let nodes: Vec<NodeId> = (0..=n)
+            .map(|i| b.add_node(Point::new(i as f64 * 100.0, 0.0)))
+            .collect();
+        let mut fwd = Vec::new();
+        for w in nodes.windows(2) {
+            let shape = hris_geo::Polyline::straight(b.node(w[0]), b.node(w[1]));
+            let (f, _) = b.add_two_way(w[0], w[1], shape, 10.0, RoadClass::Residential);
+            fwd.push(f);
+        }
+        (b.build(), fwd)
+    }
+
+    #[test]
+    fn identical_routes_score_one() {
+        let (net, fwd) = corridor(5);
+        let r = Route::new(fwd);
+        assert!((accuracy_al(&r, &r, &net) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_routes_score_zero() {
+        let (net, fwd) = corridor(6);
+        let a = Route::new(vec![fwd[0], fwd[1]]);
+        let b = Route::new(vec![fwd[4], fwd[5]]);
+        assert_eq!(accuracy_al(&a, &b, &net), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_fraction() {
+        let (net, fwd) = corridor(4);
+        let ground = Route::new(fwd.clone()); // 400 m
+        let inferred = Route::new(vec![fwd[0], fwd[1]]); // 200 m, fully common
+        let a = accuracy_al(&ground, &inferred, &net);
+        assert!((a - 0.5).abs() < 1e-9, "got {a}");
+    }
+
+    #[test]
+    fn metric_is_symmetric() {
+        let (net, fwd) = corridor(6);
+        let a = Route::new(vec![fwd[0], fwd[1], fwd[2], fwd[3]]);
+        let b = Route::new(vec![fwd[1], fwd[2], fwd[4]]);
+        assert!((accuracy_al(&a, &b, &net) - accuracy_al(&b, &a, &net)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_matters_for_lcr() {
+        let (net, fwd) = corridor(4);
+        let ground = Route::new(vec![fwd[0], fwd[1], fwd[2]]);
+        // Same segment multiset, scrambled order: LCS < full overlap.
+        let scrambled = Route::new(vec![fwd[2], fwd[0], fwd[1]]);
+        let lcs = lcr_length(&ground, &scrambled, &net);
+        assert!((lcs - 200.0).abs() < 1e-9, "only [0,1] stays in order, got {lcs}");
+    }
+
+    #[test]
+    fn longer_inferred_route_is_penalised() {
+        let (net, fwd) = corridor(6);
+        let ground = Route::new(vec![fwd[0], fwd[1]]);
+        let bloated = Route::new(fwd.clone());
+        // Common = 200, denom = 600.
+        let a = accuracy_al(&ground, &bloated, &net);
+        assert!((a - 200.0 / 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_route_edge_cases() {
+        let (net, fwd) = corridor(3);
+        let r = Route::new(fwd);
+        let e = Route::empty();
+        assert_eq!(accuracy_al(&e, &e, &net), 1.0);
+        assert_eq!(accuracy_al(&r, &e, &net), 0.0);
+        assert_eq!(accuracy_al(&e, &r, &net), 0.0);
+    }
+
+    #[test]
+    fn accuracy_bounded() {
+        let (net, fwd) = corridor(8);
+        // Inferred route revisiting segments cannot push accuracy above 1.
+        let ground = Route::new(vec![fwd[0], fwd[1]]);
+        let weird = Route::new(vec![fwd[0], fwd[1], fwd[0], fwd[1]]);
+        let a = accuracy_al(&ground, &weird, &net);
+        assert!((0.0..=1.0).contains(&a));
+    }
+}

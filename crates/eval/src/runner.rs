@@ -1,0 +1,206 @@
+//! Evaluation runners: matcher/HRIS accuracy and running time over a
+//! scenario's query workload, parallelised across queries.
+
+use crate::metrics::accuracy_al;
+use crate::scenario::Scenario;
+use hris::{Hris, HrisParams};
+use hris_mapmatch::MapMatcher;
+use hris_traj::{resample_to_interval, TrajectoryArchive};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Aggregated outcome of one evaluation sweep cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOutcome {
+    /// Mean `A_L` accuracy over queries.
+    pub mean_accuracy: f64,
+    /// Mean per-query wall time, seconds.
+    pub mean_time_s: f64,
+    /// Number of evaluated queries.
+    pub queries: usize,
+    /// Mean reference-point density observed by local inference (ρ, per
+    /// km²); 0 for baseline matchers.
+    pub mean_density: f64,
+    /// Mean constrained-kNN searches per query (NNI instrumentation).
+    pub mean_knn_searches: f64,
+}
+
+/// Evaluates a baseline map matcher at the given sampling interval.
+#[must_use]
+pub fn evaluate_matcher<M: MapMatcher + Sync>(
+    scenario: &Scenario,
+    matcher: &M,
+    interval_s: f64,
+) -> EvalOutcome {
+    let results = parallel_map(scenario.queries.len(), |qi| {
+        let q = &scenario.queries[qi];
+        let query = resample_to_interval(&q.dense, interval_s);
+        let t0 = Instant::now();
+        let matched = matcher.match_trajectory(&scenario.net, &query);
+        let dt = t0.elapsed().as_secs_f64();
+        let acc = matched
+            .map(|m| accuracy_al(&q.truth, &m.route, &scenario.net))
+            .unwrap_or(0.0);
+        (acc, dt, 0.0, 0.0)
+    });
+    aggregate(&results)
+}
+
+/// Evaluates HRIS (top-1 accuracy, Section IV-C protocol) at the given
+/// sampling interval under `params`, optionally over a thinned archive.
+#[must_use]
+pub fn evaluate_hris(
+    scenario: &Scenario,
+    params: &HrisParams,
+    interval_s: f64,
+    archive_override: Option<&TrajectoryArchive>,
+) -> EvalOutcome {
+    let archive = archive_override.unwrap_or(&scenario.archive);
+    let hris = Hris::new(&scenario.net, archive.clone(), params.clone());
+    let results = parallel_map(scenario.queries.len(), |qi| {
+        let q = &scenario.queries[qi];
+        let query = resample_to_interval(&q.dense, interval_s);
+        let t0 = Instant::now();
+        let (globals, stats) = hris.infer_routes_detailed(&query, params.k3.max(1));
+        let dt = t0.elapsed().as_secs_f64();
+        let acc = globals
+            .first()
+            .map(|g| accuracy_al(&q.truth, &g.route, &scenario.net))
+            .unwrap_or(0.0);
+        let density = mean(stats.iter().map(|s| s.density).filter(|d| d.is_finite()));
+        let knn = stats.iter().map(|s| s.knn_searches).sum::<usize>() as f64;
+        (acc, dt, density, knn)
+    });
+    aggregate(&results)
+}
+
+/// Per-query top-k accuracies for Figure 14a: returns `(avg, max)` accuracy
+/// over each query's top-`k` routes, averaged across queries.
+#[must_use]
+pub fn evaluate_hris_topk(
+    scenario: &Scenario,
+    params: &HrisParams,
+    interval_s: f64,
+    k: usize,
+) -> (f64, f64) {
+    let hris = Hris::new(&scenario.net, scenario.archive.clone(), params.clone());
+    let results = parallel_map(scenario.queries.len(), |qi| {
+        let q = &scenario.queries[qi];
+        let query = resample_to_interval(&q.dense, interval_s);
+        let routes = hris.infer_routes(&query, k.max(1));
+        if routes.is_empty() {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let accs: Vec<f64> = routes
+            .iter()
+            .map(|r| accuracy_al(&q.truth, &r.route, &scenario.net))
+            .collect();
+        let avg = mean(accs.iter().copied());
+        let max = accs.iter().copied().fold(0.0, f64::max);
+        (avg, max, 0.0, 0.0)
+    });
+    let avg = mean(results.iter().map(|r| r.0));
+    let max = mean(results.iter().map(|r| r.1));
+    (avg, max)
+}
+
+/// Runs `f(i)` for `i in 0..n` across the available cores (crossbeam scoped
+/// threads; no unsafe, no 'static bound needed).
+fn parallel_map<F>(n: usize, f: F) -> Vec<(f64, f64, f64, f64)>
+where
+    F: Fn(usize) -> (f64, f64, f64, f64) + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let results: Vec<parking_lot::Mutex<(f64, f64, f64, f64)>> =
+        (0..n).map(|_| parking_lot::Mutex::new((0.0, 0.0, 0.0, 0.0))).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *results[i].lock() = f(i);
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+    results.into_iter().map(|m| m.into_inner()).collect()
+}
+
+fn aggregate(results: &[(f64, f64, f64, f64)]) -> EvalOutcome {
+    EvalOutcome {
+        mean_accuracy: mean(results.iter().map(|r| r.0)),
+        mean_time_s: mean(results.iter().map(|r| r.1)),
+        queries: results.len(),
+        mean_density: mean(results.iter().map(|r| r.2).filter(|d| *d > 0.0)),
+        mean_knn_searches: mean(results.iter().map(|r| r.3)),
+    }
+}
+
+fn mean<I: Iterator<Item = f64>>(iter: I) -> f64 {
+    let (mut sum, mut count) = (0.0, 0usize);
+    for v in iter {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use hris_mapmatch::StMatcher;
+
+    fn scenario() -> Scenario {
+        let mut cfg = ScenarioConfig::quick(11);
+        cfg.sim.num_trips = 250;
+        cfg.num_queries = 3;
+        Scenario::build(cfg)
+    }
+
+    #[test]
+    fn matcher_evaluation_produces_sane_numbers() {
+        let s = scenario();
+        let out = evaluate_matcher(&s, &StMatcher::default(), 60.0);
+        assert_eq!(out.queries, 3);
+        assert!((0.0..=1.0).contains(&out.mean_accuracy));
+        assert!(out.mean_time_s >= 0.0);
+        // A 60 s interval on clean-ish data should match most of the route.
+        assert!(out.mean_accuracy > 0.3, "got {}", out.mean_accuracy);
+    }
+
+    #[test]
+    fn hris_evaluation_produces_sane_numbers() {
+        let s = scenario();
+        let out = evaluate_hris(&s, &HrisParams::default(), 180.0, None);
+        assert_eq!(out.queries, 3);
+        assert!((0.0..=1.0).contains(&out.mean_accuracy));
+        assert!(out.mean_accuracy > 0.3, "got {}", out.mean_accuracy);
+    }
+
+    #[test]
+    fn topk_max_at_least_avg() {
+        let s = scenario();
+        let (avg, max) = evaluate_hris_topk(&s, &HrisParams::default(), 180.0, 3);
+        assert!(max >= avg - 1e-9);
+        assert!((0.0..=1.0).contains(&max));
+    }
+
+    #[test]
+    fn thinned_archive_evaluation_runs() {
+        let s = scenario();
+        let thin = s.thinned_archive(0.3);
+        let out = evaluate_hris(&s, &HrisParams::default(), 180.0, Some(&thin));
+        assert_eq!(out.queries, 3);
+    }
+}

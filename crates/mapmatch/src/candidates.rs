@@ -1,0 +1,344 @@
+//! Shared machinery: candidate preparation, emission probabilities,
+//! network distances between candidates, and route reconstruction.
+
+use crate::MatchResult;
+use hris_roadnet::network::CandidateEdge;
+use hris_roadnet::shortest::{route_between_segments, shortest_costs_within};
+use hris_roadnet::{CostModel, RoadNetwork, Route};
+use hris_traj::{GpsPoint, Trajectory};
+use serde::{Deserialize, Serialize};
+
+/// Parameters shared by all matchers.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MatchParams {
+    /// Candidate search radius `ε` (Definition 5), metres.
+    pub candidate_radius: f64,
+    /// Keep at most this many candidates per point (nearest first).
+    pub max_candidates: usize,
+    /// GPS noise standard deviation for the emission model, metres.
+    pub gps_sigma: f64,
+}
+
+impl Default for MatchParams {
+    fn default() -> Self {
+        MatchParams {
+            candidate_radius: 60.0,
+            max_candidates: 5,
+            gps_sigma: 20.0,
+        }
+    }
+}
+
+/// Candidates of one GPS point.
+#[derive(Debug, Clone)]
+pub struct PointCandidates {
+    /// The observed point.
+    pub point: GpsPoint,
+    /// Candidate edges, nearest first; never empty (falls back to the
+    /// globally nearest segment when nothing is within the radius).
+    pub cands: Vec<CandidateEdge>,
+}
+
+/// Prepares candidates for every point of `traj`.
+///
+/// Points with no segment within `params.candidate_radius` fall back to the
+/// network-wide nearest segment (standard practice; dropping points would
+/// silently shorten the matched route). Returns `None` for an empty network
+/// or an empty trajectory.
+#[must_use]
+pub fn candidates_for(
+    net: &RoadNetwork,
+    traj: &Trajectory,
+    params: &MatchParams,
+) -> Option<Vec<PointCandidates>> {
+    if traj.is_empty() || net.num_segments() == 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(traj.len());
+    for p in &traj.points {
+        let mut cands = net.candidate_edges(p.pos, params.candidate_radius);
+        if cands.is_empty() {
+            cands = vec![net.nearest_segment(p.pos)?];
+        }
+        cands.truncate(params.max_candidates.max(1));
+        out.push(PointCandidates { point: *p, cands });
+    }
+    Some(out)
+}
+
+/// Gaussian emission probability of observing a point `dist` metres from
+/// its true road position.
+#[inline]
+#[must_use]
+pub fn emission_prob(dist: f64, sigma: f64) -> f64 {
+    let z = dist / sigma;
+    (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+/// Network (driving) distance from candidate `a` to candidate `b`, metres.
+///
+/// Accounts for the along-segment offsets of both projections. Returns
+/// `f64::INFINITY` when `b` is unreachable from `a`.
+#[must_use]
+pub fn network_dist(net: &RoadNetwork, a: &CandidateEdge, b: &CandidateEdge) -> f64 {
+    if a.segment == b.segment && b.offset >= a.offset {
+        return b.offset - a.offset;
+    }
+    let seg_a = net.segment(a.segment);
+    let seg_b = net.segment(b.segment);
+    let remaining = seg_a.length - a.offset;
+    let bridge = hris_roadnet::shortest::shortest_path(net, seg_a.to, seg_b.from, CostModel::Distance)
+        .map_or(f64::INFINITY, |p| p.cost);
+    remaining + bridge + b.offset
+}
+
+/// Pairwise network distances between consecutive points' candidates.
+///
+/// `dists[i][a][b]` is the driving distance from candidate `a` of point `i`
+/// to candidate `b` of point `i + 1`.
+#[derive(Debug, Clone)]
+pub struct TransitionTable {
+    /// One matrix per consecutive point pair.
+    pub dists: Vec<Vec<Vec<f64>>>,
+}
+
+/// Builds the transition table with one bounded Dijkstra per candidate.
+///
+/// The expansion bound is four times the straight-line gap plus a couple of
+/// kilometres — generous enough for real detours while keeping the search
+/// local.
+#[must_use]
+pub fn build_transitions(net: &RoadNetwork, cands: &[PointCandidates]) -> TransitionTable {
+    let mut dists = Vec::with_capacity(cands.len().saturating_sub(1));
+    for w in cands.windows(2) {
+        let (cur, next) = (&w[0], &w[1]);
+        let gap = cur.point.pos.dist(next.point.pos);
+        let bound = gap * 4.0 + 2_000.0;
+        let mut matrix = vec![vec![f64::INFINITY; next.cands.len()]; cur.cands.len()];
+        for (ai, a) in cur.cands.iter().enumerate() {
+            let seg_a = net.segment(a.segment);
+            // Same-segment forward shortcut.
+            for (bi, b) in next.cands.iter().enumerate() {
+                if a.segment == b.segment && b.offset >= a.offset {
+                    matrix[ai][bi] = b.offset - a.offset;
+                }
+            }
+            // One bounded Dijkstra from the segment head covers every target.
+            let remaining = seg_a.length - a.offset;
+            let costs = shortest_costs_within(net, seg_a.to, CostModel::Distance, bound);
+            for (bi, b) in next.cands.iter().enumerate() {
+                let seg_b_from = net.segment(b.segment).from;
+                if let Some(&(_, c)) = costs.iter().find(|&&(n, _)| n == seg_b_from) {
+                    let d = remaining + c + b.offset;
+                    if d < matrix[ai][bi] {
+                        matrix[ai][bi] = d;
+                    }
+                }
+            }
+        }
+        dists.push(matrix);
+    }
+    TransitionTable { dists }
+}
+
+/// Reconstructs a connected route through a sequence of matched candidates.
+///
+/// Consecutive matches on the same segment are merged; otherwise the gap is
+/// bridged with a network shortest path. Unreachable joints fall back to
+/// simply appending the next segment (the accuracy metric then penalises the
+/// discontinuity, as it should).
+#[must_use]
+pub fn reconstruct_route(net: &RoadNetwork, matched: &[CandidateEdge]) -> Route {
+    let mut route = Route::empty();
+    for m in matched {
+        let last = route.segments().last().copied();
+        match last {
+            None => route.push(m.segment),
+            Some(prev) if prev == m.segment => {}
+            Some(prev) => {
+                match route_between_segments(net, prev, m.segment, CostModel::Distance) {
+                    Some(bridge) => {
+                        // `bridge` starts with `prev`; append the rest.
+                        for &s in &bridge.segments()[1..] {
+                            route.push(s);
+                        }
+                    }
+                    None => route.push(m.segment),
+                }
+            }
+        }
+    }
+    dedup_cycles(route)
+}
+
+/// Removes immediate backtracking (`… a b a …` with `b` being `a`'s reverse)
+/// artefacts that bridging can introduce at the route level; keeps the first
+/// occurrence. Conservative: only strips exact consecutive duplicates.
+fn dedup_cycles(route: Route) -> Route {
+    let mut out: Vec<hris_roadnet::SegmentId> = Vec::with_capacity(route.len());
+    for &s in route.segments() {
+        if out.last() == Some(&s) {
+            continue;
+        }
+        out.push(s);
+    }
+    Route::new(out)
+}
+
+/// Packages matched candidates into a [`MatchResult`].
+#[must_use]
+pub fn finish(net: &RoadNetwork, matched: Vec<CandidateEdge>) -> MatchResult {
+    let route = reconstruct_route(net, &matched);
+    MatchResult { matched, route }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hris_geo::Point;
+    use hris_roadnet::{generator, NetworkConfig, NodeId};
+    use hris_traj::TrajId;
+
+    fn net() -> RoadNetwork {
+        generator::generate(&NetworkConfig {
+            jitter_frac: 0.0,
+            curve_frac: 0.0,
+            removal_frac: 0.0,
+            oneway_frac: 0.0,
+            ..NetworkConfig::small(1)
+        })
+    }
+
+    #[test]
+    fn candidates_within_radius_sorted() {
+        let net = net();
+        let node = net.node(NodeId(0));
+        let traj = Trajectory::new(
+            TrajId(0),
+            vec![GpsPoint::new(Point::new(node.x + 10.0, node.y + 5.0), 0.0)],
+        );
+        let cands = candidates_for(&net, &traj, &MatchParams::default()).unwrap();
+        assert_eq!(cands.len(), 1);
+        assert!(!cands[0].cands.is_empty());
+        for w in cands[0].cands.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        assert!(cands[0].cands.len() <= MatchParams::default().max_candidates);
+    }
+
+    #[test]
+    fn far_point_falls_back_to_nearest() {
+        let net = net();
+        let bbox = net.bbox();
+        let far = Point::new(bbox.max.x + 10_000.0, bbox.max.y + 10_000.0);
+        let traj = Trajectory::new(TrajId(0), vec![GpsPoint::new(far, 0.0)]);
+        let cands = candidates_for(&net, &traj, &MatchParams::default()).unwrap();
+        assert_eq!(cands[0].cands.len(), 1, "fallback keeps exactly the nearest");
+    }
+
+    #[test]
+    fn empty_inputs_return_none() {
+        let net = net();
+        let empty = Trajectory::new(TrajId(0), vec![]);
+        assert!(candidates_for(&net, &empty, &MatchParams::default()).is_none());
+    }
+
+    #[test]
+    fn emission_prob_decreases_with_distance() {
+        let p0 = emission_prob(0.0, 20.0);
+        let p20 = emission_prob(20.0, 20.0);
+        let p60 = emission_prob(60.0, 20.0);
+        assert!(p0 > p20 && p20 > p60);
+        assert!(p60 > 0.0);
+    }
+
+    #[test]
+    fn network_dist_same_segment_forward() {
+        let net = net();
+        let seg = &net.segments()[0];
+        let a = CandidateEdge {
+            segment: seg.id,
+            dist: 0.0,
+            closest: seg.geometry.point_at(10.0),
+            offset: 10.0,
+        };
+        let b = CandidateEdge {
+            segment: seg.id,
+            dist: 0.0,
+            closest: seg.geometry.point_at(50.0),
+            offset: 50.0,
+        };
+        assert!((network_dist(&net, &a, &b) - 40.0).abs() < 1e-9);
+        // Backwards on the same directed segment requires going around.
+        assert!(network_dist(&net, &b, &a) > 40.0);
+    }
+
+    #[test]
+    fn transition_table_agrees_with_network_dist() {
+        let net = net();
+        // Two points ~one block apart on the grid.
+        let a = net.node(NodeId(0));
+        let b = net.node(NodeId(1));
+        let traj = Trajectory::new(
+            TrajId(0),
+            vec![
+                GpsPoint::new(Point::new(a.x + 5.0, a.y + 5.0), 0.0),
+                GpsPoint::new(Point::new(b.x + 5.0, b.y + 5.0), 60.0),
+            ],
+        );
+        let cands = candidates_for(&net, &traj, &MatchParams::default()).unwrap();
+        let table = build_transitions(&net, &cands);
+        assert_eq!(table.dists.len(), 1);
+        for (ai, a) in cands[0].cands.iter().enumerate() {
+            for (bi, b) in cands[1].cands.iter().enumerate() {
+                let direct = network_dist(&net, a, b);
+                let tabled = table.dists[0][ai][bi];
+                if direct.is_finite() && tabled.is_finite() {
+                    assert!(
+                        (direct - tabled).abs() < 1e-6,
+                        "ai={ai} bi={bi}: {direct} vs {tabled}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_route_bridges_gaps() {
+        let net = net();
+        // Take two segments a couple of hops apart, reconstruct.
+        let r = net.segments()[0].id;
+        let mid = net.next_segments(r)[0];
+        let s = net.next_segments(mid)[0];
+        let a = CandidateEdge {
+            segment: r,
+            dist: 0.0,
+            closest: net.segment(r).geometry.start(),
+            offset: 0.0,
+        };
+        let b = CandidateEdge {
+            segment: s,
+            dist: 0.0,
+            closest: net.segment(s).geometry.start(),
+            offset: 0.0,
+        };
+        let route = reconstruct_route(&net, &[a, b]);
+        assert!(route.is_connected(&net));
+        assert_eq!(route.segments().first(), Some(&r));
+        assert_eq!(route.segments().last(), Some(&s));
+    }
+
+    #[test]
+    fn reconstruct_route_merges_same_segment() {
+        let net = net();
+        let r = net.segments()[0].id;
+        let c = CandidateEdge {
+            segment: r,
+            dist: 0.0,
+            closest: net.segment(r).geometry.start(),
+            offset: 0.0,
+        };
+        let route = reconstruct_route(&net, &[c, c, c]);
+        assert_eq!(route.segments(), &[r]);
+    }
+}

@@ -1,0 +1,177 @@
+//! HMM map matching (Newson & Krumm, ACM GIS 2009).
+//!
+//! Not one of the paper's three competitors, but *the* industry-standard
+//! matcher (OSRM, Valhalla, barefoot all descend from it) — included so the
+//! library is complete as a map-matching toolbox and so experiments can
+//! sanity-check the baselines against a fourth, independent formulation.
+//!
+//! Model:
+//! - **Emission**: GPS error is Gaussian — `p(z|c) ∝ exp(−½ (d/σ)²)` with
+//!   `d` the great-circle (here planar) distance from the observation to
+//!   the candidate.
+//! - **Transition**: the difference between the driving distance and the
+//!   straight-line distance between consecutive candidates is exponential,
+//!   `p ∝ exp(−|d_route − d_line| / β)` — matched routes rarely detour.
+//! - Decoded with Viterbi over the candidate lattice.
+
+use crate::candidates::{build_transitions, candidates_for, finish, MatchParams};
+use crate::{MapMatcher, MatchResult};
+use hris_roadnet::RoadNetwork;
+use hris_traj::Trajectory;
+
+/// The Newson–Krumm HMM matcher.
+#[derive(Debug, Clone)]
+pub struct HmmMatcher {
+    /// Shared candidate parameters (`gps_sigma` is the emission σ).
+    pub params: MatchParams,
+    /// Transition decay `β`, metres: how much route/straight-line mismatch
+    /// one standard "detour" represents. Newson & Krumm fit ≈ 5–10 m per
+    /// sampling-interval-second on their data; a flat 200 m works well at
+    /// minute-scale intervals.
+    pub beta_m: f64,
+}
+
+impl Default for HmmMatcher {
+    fn default() -> Self {
+        HmmMatcher {
+            params: MatchParams::default(),
+            beta_m: 200.0,
+        }
+    }
+}
+
+impl MapMatcher for HmmMatcher {
+    fn match_trajectory(&self, net: &RoadNetwork, traj: &Trajectory) -> Option<MatchResult> {
+        let cands = candidates_for(net, traj, &self.params)?;
+        let table = build_transitions(net, &cands);
+        let n = cands.len();
+        let sigma = self.params.gps_sigma;
+        const NEG_BIG: f64 = -1.0e12;
+
+        let emit = |i: usize, c: usize| -> f64 {
+            let z = cands[i].cands[c].dist / sigma;
+            -0.5 * z * z
+        };
+
+        let mut score: Vec<f64> = (0..cands[0].cands.len()).map(|c| emit(0, c)).collect();
+        let mut back: Vec<Vec<usize>> = vec![vec![0; cands[0].cands.len()]];
+
+        for i in 1..n {
+            let straight = cands[i - 1].point.pos.dist(cands[i].point.pos);
+            let mut next = vec![NEG_BIG; cands[i].cands.len()];
+            let mut brow = vec![0usize; cands[i].cands.len()];
+            for bi in 0..cands[i].cands.len() {
+                for (ai, &prev_score) in score.iter().enumerate() {
+                    let nd = table.dists[i - 1][ai][bi];
+                    let log_trans = if nd.is_finite() {
+                        -(nd - straight).abs() / self.beta_m
+                    } else {
+                        -50.0 // unreachable: strongly but not infinitely penalised
+                    };
+                    let s = prev_score + log_trans;
+                    if s > next[bi] {
+                        next[bi] = s;
+                        brow[bi] = ai;
+                    }
+                }
+                next[bi] += emit(i, bi);
+            }
+            score = next;
+            back.push(brow);
+        }
+
+        let mut chosen = vec![0usize; n];
+        chosen[n - 1] = score
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        for i in (1..n).rev() {
+            chosen[i - 1] = back[i][chosen[i]];
+        }
+        let matched = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| cands[i].cands[c])
+            .collect();
+        Some(finish(net, matched))
+    }
+
+    fn name(&self) -> &'static str {
+        "HMM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hris_roadnet::{generator, CostModel, NetworkConfig, NodeId};
+    use hris_traj::{resample_to_interval, simulator, TrajId};
+
+    fn net() -> RoadNetwork {
+        generator::generate(&NetworkConfig {
+            jitter_frac: 0.0,
+            curve_frac: 0.0,
+            removal_frac: 0.0,
+            oneway_frac: 0.0,
+            ..NetworkConfig::small(9)
+        })
+    }
+
+    #[test]
+    fn dense_trace_recovers_route() {
+        let net = net();
+        let path =
+            hris_roadnet::shortest::shortest_path(&net, NodeId(0), NodeId(44), CostModel::Distance)
+                .unwrap();
+        let route = path.route();
+        let pts = simulator::drive_route(&net, &route, 0.0, 15.0, 0.8).unwrap();
+        let traj = Trajectory::new(TrajId(0), pts);
+        let m = HmmMatcher::default().match_trajectory(&net, &traj).unwrap();
+        let cov = m.route.common_length(&route, &net) / route.length(&net);
+        assert!(cov > 0.9, "coverage {cov}");
+        assert!(m.route.is_connected(&net));
+    }
+
+    #[test]
+    fn sparse_trace_stays_connected() {
+        let net = net();
+        let path =
+            hris_roadnet::shortest::shortest_path(&net, NodeId(3), NodeId(70), CostModel::Distance)
+                .unwrap();
+        let pts = simulator::drive_route(&net, &path.route(), 0.0, 10.0, 0.75).unwrap();
+        let sparse = resample_to_interval(&Trajectory::new(TrajId(0), pts), 240.0);
+        let m = HmmMatcher::default().match_trajectory(&net, &sparse).unwrap();
+        assert!(m.route.is_connected(&net));
+        assert_eq!(m.matched.len(), sparse.len());
+    }
+
+    #[test]
+    fn empty_trajectory_is_none() {
+        let net = net();
+        let empty = Trajectory::new(TrajId(0), vec![]);
+        assert!(HmmMatcher::default().match_trajectory(&net, &empty).is_none());
+    }
+
+    #[test]
+    fn prefers_continuous_route_over_nearest_snap() {
+        // A noisy point pulled toward a parallel street must not derail the
+        // match when the transitions say otherwise.
+        let net = net();
+        let path =
+            hris_roadnet::shortest::shortest_path(&net, NodeId(0), NodeId(20), CostModel::Distance)
+                .unwrap();
+        let route = path.route();
+        let mut pts = simulator::drive_route(&net, &route, 0.0, 20.0, 0.8).unwrap();
+        // Push one midpoint 70 m sideways.
+        if pts.len() > 4 {
+            let k = pts.len() / 2;
+            pts[k].pos = hris_geo::Point::new(pts[k].pos.x, pts[k].pos.y + 70.0);
+        }
+        let traj = Trajectory::new(TrajId(0), pts);
+        let m = HmmMatcher::default().match_trajectory(&net, &traj).unwrap();
+        let cov = m.route.common_length(&route, &net) / route.length(&net);
+        assert!(cov > 0.7, "coverage {cov}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Incremental map matching (Greenfeld, TRB 2002 style).
+//!
+//! Matches each point using only geometric information and the previous
+//! point's match: proximity, route continuity (network detour from the
+//! previous match) and heading agreement. This is the paper's weakest
+//! baseline — it has no look-ahead, so a single bad match derails the rest
+//! of the route, which is exactly the failure mode Figure 8 shows at low
+//! sampling rates.
+
+use crate::candidates::{build_transitions, candidates_for, finish, MatchParams};
+use crate::{MapMatcher, MatchResult};
+use hris_roadnet::RoadNetwork;
+use hris_traj::Trajectory;
+
+/// The incremental matcher.
+#[derive(Debug, Clone)]
+pub struct IncrementalMatcher {
+    /// Shared candidate parameters.
+    pub params: MatchParams,
+    /// Weight of the detour term (network distance minus straight-line
+    /// distance), dimensionless.
+    pub detour_weight: f64,
+    /// Weight of the heading-disagreement term, metres at full disagreement.
+    pub heading_weight: f64,
+}
+
+impl Default for IncrementalMatcher {
+    fn default() -> Self {
+        IncrementalMatcher {
+            params: MatchParams::default(),
+            detour_weight: 0.4,
+            heading_weight: 30.0,
+        }
+    }
+}
+
+impl MapMatcher for IncrementalMatcher {
+    fn match_trajectory(&self, net: &RoadNetwork, traj: &Trajectory) -> Option<MatchResult> {
+        let cands = candidates_for(net, traj, &self.params)?;
+        let table = build_transitions(net, &cands);
+
+        let mut chosen: Vec<usize> = Vec::with_capacity(cands.len());
+        // First point: nearest candidate.
+        chosen.push(0); // candidates are sorted nearest-first
+
+        for i in 1..cands.len() {
+            let prev_idx = chosen[i - 1];
+            let prev_pos = cands[i - 1].point.pos;
+            let cur_pos = cands[i].point.pos;
+            let move_dir = (cur_pos - prev_pos).normalized();
+            let euclid = prev_pos.dist(cur_pos);
+
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (ci, c) in cands[i].cands.iter().enumerate() {
+                let net_d = table.dists[i - 1][prev_idx][ci];
+                let detour = if net_d.is_finite() {
+                    (net_d - euclid).max(0.0)
+                } else {
+                    // Unreachable from the previous match: heavy penalty but
+                    // still allow it (the previous match may be the mistake).
+                    10_000.0
+                };
+                let heading = match (move_dir, net.segment(c.segment).geometry.vertices()) {
+                    (Some(dir), verts) if verts.len() >= 2 => {
+                        let seg_dir = (verts[verts.len() - 1] - verts[0]).normalized();
+                        seg_dir.map_or(0.5, |sd| (1.0 - dir.dot(sd)) / 2.0)
+                    }
+                    _ => 0.5,
+                };
+                let cost =
+                    c.dist + self.detour_weight * detour + self.heading_weight * heading;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = ci;
+                }
+            }
+            chosen.push(best);
+        }
+
+        let matched = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &ci)| cands[i].cands[ci])
+            .collect();
+        Some(finish(net, matched))
+    }
+
+    fn name(&self) -> &'static str {
+        "Incremental"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hris_geo::Point;
+    use hris_roadnet::{generator, CostModel, NetworkConfig, NodeId};
+    use hris_traj::{simulator, GpsPoint, TrajId};
+
+    fn net() -> RoadNetwork {
+        generator::generate(&NetworkConfig {
+            jitter_frac: 0.0,
+            curve_frac: 0.0,
+            removal_frac: 0.0,
+            oneway_frac: 0.0,
+            ..NetworkConfig::small(3)
+        })
+    }
+
+    #[test]
+    fn matches_clean_trace_exactly() {
+        let net = net();
+        // Drive a shortest route and sample densely without noise.
+        let path =
+            hris_roadnet::shortest::shortest_path(&net, NodeId(0), NodeId(30), CostModel::Distance)
+                .unwrap();
+        let route = path.route();
+        let pts = simulator::drive_route(&net, &route, 0.0, 10.0, 0.8).unwrap();
+        let traj = Trajectory::new(TrajId(0), pts);
+        let m = IncrementalMatcher::default()
+            .match_trajectory(&net, &traj)
+            .unwrap();
+        assert!(m.route.is_connected(&net));
+        // The matched route should cover the true route almost entirely.
+        let common = m.route.common_length(&route, &net);
+        assert!(
+            common / route.length(&net) > 0.9,
+            "coverage {}",
+            common / route.length(&net)
+        );
+    }
+
+    #[test]
+    fn single_point_trajectory() {
+        let net = net();
+        let p = net.node(NodeId(5));
+        let traj = Trajectory::new(
+            TrajId(0),
+            vec![GpsPoint::new(Point::new(p.x + 3.0, p.y), 0.0)],
+        );
+        let m = IncrementalMatcher::default()
+            .match_trajectory(&net, &traj)
+            .unwrap();
+        assert_eq!(m.matched.len(), 1);
+        assert_eq!(m.route.len(), 1);
+    }
+
+    #[test]
+    fn empty_trajectory_is_none() {
+        let net = net();
+        let traj = Trajectory::new(TrajId(0), vec![]);
+        assert!(IncrementalMatcher::default()
+            .match_trajectory(&net, &traj)
+            .is_none());
+    }
+}

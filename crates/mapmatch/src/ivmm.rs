@@ -1,0 +1,163 @@
+//! IVMM — Interactive Voting-based Map Matching (Yuan, Zheng, Zhang, Xie,
+//! Sun — MDM 2010).
+//!
+//! IVMM starts from ST-Matching's static candidate graph, then models the
+//! *mutual influence* between GPS points: the influence of point `j` on the
+//! match of point `i` decays with their distance,
+//! `w(i, j) = exp(-d²(p_i, p_j) / β²)`.
+//!
+//! For every point `i` and every candidate `c` of `i`, IVMM solves the
+//! weighted candidate-graph DP *constrained to pass through `c`*, with all
+//! log-scores scaled by `w(i, ·)`. The optimal assignment of that run casts
+//! one vote for each selected candidate. After all `n × k` runs, each
+//! position keeps its most-voted candidate (ties broken by proximity), and
+//! the final route threads those winners.
+
+use crate::candidates::{build_transitions, candidates_for, finish, MatchParams};
+use crate::stmatching::solve_dp_weighted;
+use crate::{MapMatcher, MatchResult};
+use hris_roadnet::RoadNetwork;
+use hris_traj::Trajectory;
+
+/// The IVMM matcher.
+#[derive(Debug, Clone)]
+pub struct IvmmMatcher {
+    /// Shared candidate parameters.
+    pub params: MatchParams,
+    /// Mutual-influence bandwidth `β`, metres. Influence between points
+    /// further apart than ~`2β` is negligible.
+    pub beta_m: f64,
+}
+
+impl Default for IvmmMatcher {
+    fn default() -> Self {
+        IvmmMatcher {
+            params: MatchParams::default(),
+            beta_m: 7_000.0,
+        }
+    }
+}
+
+impl MapMatcher for IvmmMatcher {
+    fn match_trajectory(&self, net: &RoadNetwork, traj: &Trajectory) -> Option<MatchResult> {
+        let cands = candidates_for(net, traj, &self.params)?;
+        let table = build_transitions(net, &cands);
+        let n = cands.len();
+        let sigma = self.params.gps_sigma;
+
+        // Temporal factor identical to ST-Matching's endpoint proxy.
+        let temporal = |i: usize, ai: usize, bi: usize, nd: f64| -> f64 {
+            let dt = cands[i + 1].point.t - cands[i].point.t;
+            if dt <= 0.0 || !nd.is_finite() {
+                return 1.0;
+            }
+            let v_avg = nd / dt;
+            let sa = net.segment(cands[i].cands[ai].segment).speed_limit;
+            let sb = net.segment(cands[i + 1].cands[bi].segment).speed_limit;
+            let num = (sa + sb) * v_avg;
+            let den = (sa * sa + sb * sb).sqrt() * (2.0 * v_avg * v_avg).sqrt();
+            if den <= 0.0 {
+                1.0
+            } else {
+                (num / den).clamp(0.0, 1.0)
+            }
+        };
+
+        // Voting rounds.
+        let mut votes: Vec<Vec<usize>> = cands.iter().map(|pc| vec![0; pc.cands.len()]).collect();
+        let beta_sq = self.beta_m * self.beta_m;
+        for i in 0..n {
+            let pi = cands[i].point.pos;
+            let weight = |j: usize| {
+                let d = cands[j].point.pos.dist(pi);
+                (-d * d / beta_sq).exp().max(1e-6)
+            };
+            for c in 0..cands[i].cands.len() {
+                let assignment =
+                    solve_dp_weighted(&cands, &table, sigma, temporal, weight, Some((i, c)));
+                for (j, &cj) in assignment.iter().enumerate() {
+                    votes[j][cj] += 1;
+                }
+            }
+        }
+
+        // Winners: most votes, ties by smaller GPS distance.
+        let matched: Vec<_> = (0..n)
+            .map(|j| {
+                let best = (0..cands[j].cands.len())
+                    .max_by(|&a, &b| {
+                        votes[j][a].cmp(&votes[j][b]).then(
+                            cands[j].cands[b]
+                                .dist
+                                .total_cmp(&cands[j].cands[a].dist),
+                        )
+                    })
+                    .unwrap_or(0);
+                cands[j].cands[best]
+            })
+            .collect();
+        Some(finish(net, matched))
+    }
+
+    fn name(&self) -> &'static str {
+        "IVMM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hris_roadnet::{generator, CostModel, NetworkConfig, NodeId};
+    use hris_traj::{resample_to_interval, simulator, TrajId};
+
+    fn net() -> RoadNetwork {
+        generator::generate(&NetworkConfig {
+            jitter_frac: 0.0,
+            curve_frac: 0.0,
+            removal_frac: 0.0,
+            oneway_frac: 0.0,
+            ..NetworkConfig::small(6)
+        })
+    }
+
+    #[test]
+    fn dense_trace_recovers_route() {
+        let net = net();
+        let path =
+            hris_roadnet::shortest::shortest_path(&net, NodeId(2), NodeId(50), CostModel::Distance)
+                .unwrap();
+        let route = path.route();
+        let pts = simulator::drive_route(&net, &route, 0.0, 20.0, 0.8).unwrap();
+        let traj = Trajectory::new(TrajId(0), pts);
+        let m = IvmmMatcher::default().match_trajectory(&net, &traj).unwrap();
+        let cov = m.route.common_length(&route, &net) / route.length(&net);
+        assert!(cov > 0.85, "coverage {cov}");
+    }
+
+    #[test]
+    fn sparse_trace_connected() {
+        let net = net();
+        let path =
+            hris_roadnet::shortest::shortest_path(&net, NodeId(0), NodeId(70), CostModel::Distance)
+                .unwrap();
+        let route = path.route();
+        let pts = simulator::drive_route(&net, &route, 0.0, 10.0, 0.75).unwrap();
+        let dense = Trajectory::new(TrajId(0), pts);
+        let sparse = resample_to_interval(&dense, 180.0);
+        let m = IvmmMatcher::default().match_trajectory(&net, &sparse).unwrap();
+        assert!(m.route.is_connected(&net));
+        assert_eq!(m.matched.len(), sparse.len());
+    }
+
+    #[test]
+    fn votes_give_every_position_a_winner() {
+        let net = net();
+        let path =
+            hris_roadnet::shortest::shortest_path(&net, NodeId(1), NodeId(25), CostModel::Distance)
+                .unwrap();
+        let pts = simulator::drive_route(&net, &path.route(), 0.0, 60.0, 0.8).unwrap();
+        let traj = Trajectory::new(TrajId(0), pts);
+        let m = IvmmMatcher::default().match_trajectory(&net, &traj).unwrap();
+        assert_eq!(m.matched.len(), traj.len());
+    }
+}

@@ -1,0 +1,260 @@
+//! ST-Matching (Lou, Zhang, Zheng, Xie, Wang, Huang — ACM GIS 2009).
+//!
+//! The strong baseline designed for low-sampling-rate trajectories:
+//!
+//! 1. **Spatial analysis.** Per candidate, an *observation probability*
+//!    `N(0, σ²)` of its GPS distance; per candidate transition, a
+//!    *transmission probability* `d_euclid / d_network` (straight-line gap
+//!    over driving distance — near 1 when the pair is connected by an
+//!    almost-straight road).
+//! 2. **Temporal analysis.** Cosine similarity between the speed-limit
+//!    vector of the connecting path and the average travel speed implied by
+//!    the timestamps, discounting transitions that force implausible speeds.
+//! 3. A candidate graph whose node weights are observation probabilities and
+//!    edge weights `transmission × temporal`, solved for the highest-scoring
+//!    path with dynamic programming.
+
+use crate::candidates::{
+    build_transitions, candidates_for, emission_prob, finish, MatchParams, PointCandidates,
+    TransitionTable,
+};
+use crate::{MapMatcher, MatchResult};
+use hris_roadnet::RoadNetwork;
+use hris_traj::Trajectory;
+
+/// The ST-Matching matcher.
+#[derive(Debug, Clone, Default)]
+pub struct StMatcher {
+    /// Shared candidate parameters.
+    pub params: MatchParams,
+}
+
+impl StMatcher {
+    /// ST-Matching with explicit parameters.
+    #[must_use]
+    pub fn new(params: MatchParams) -> Self {
+        StMatcher { params }
+    }
+
+    /// Temporal weight for a transition: cosine similarity between the
+    /// path's speed-limit profile and the observed average speed.
+    fn temporal(
+        net: &RoadNetwork,
+        cands: &[PointCandidates],
+        i: usize,
+        ai: usize,
+        bi: usize,
+        net_dist: f64,
+    ) -> f64 {
+        let dt = cands[i + 1].point.t - cands[i].point.t;
+        if dt <= 0.0 || !net_dist.is_finite() {
+            return 1.0; // no temporal information
+        }
+        let v_avg = net_dist / dt;
+        // Use the speed limits of the two endpoint segments as the profile
+        // (the full path is not materialised at scoring time; endpoints are
+        // a faithful cheap proxy used by several reimplementations).
+        let sa = net.segment(cands[i].cands[ai].segment).speed_limit;
+        let sb = net.segment(cands[i + 1].cands[bi].segment).speed_limit;
+        let num = sa * v_avg + sb * v_avg;
+        let den = (sa * sa + sb * sb).sqrt() * (2.0 * v_avg * v_avg).sqrt();
+        if den <= 0.0 {
+            1.0
+        } else {
+            (num / den).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl MapMatcher for StMatcher {
+    fn match_trajectory(&self, net: &RoadNetwork, traj: &Trajectory) -> Option<MatchResult> {
+        let cands = candidates_for(net, traj, &self.params)?;
+        let table = build_transitions(net, &cands);
+        let chosen = solve_dp(net, &cands, &table, self.params.gps_sigma, |i, ai, bi, nd| {
+            Self::temporal(net, &cands, i, ai, bi, nd)
+        });
+        let matched = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &ci)| cands[i].cands[ci])
+            .collect();
+        Some(finish(net, matched))
+    }
+
+    fn name(&self) -> &'static str {
+        "ST-Matching"
+    }
+}
+
+/// Shared candidate-graph DP: picks one candidate per point maximising
+/// `Σ log(observation) + Σ log(transmission × temporal)`.
+///
+/// `temporal(i, ai, bi, net_dist)` supplies the extra edge factor; IVMM
+/// reuses this with per-run weights.
+pub(crate) fn solve_dp<F>(
+    _net: &RoadNetwork,
+    cands: &[PointCandidates],
+    table: &TransitionTable,
+    sigma: f64,
+    temporal: F,
+) -> Vec<usize>
+where
+    F: Fn(usize, usize, usize, f64) -> f64,
+{
+    solve_dp_weighted(cands, table, sigma, temporal, |_| 1.0, None)
+}
+
+/// The DP with per-point weights (IVMM's distance-weighted voting variant).
+///
+/// `point_weight(i)` scales point `i`'s log-scores; ST-Matching uses 1.
+/// `fixed = Some((i, c))` constrains position `i` to candidate `c` (IVMM's
+/// per-candidate voting runs).
+pub(crate) fn solve_dp_weighted<F, W>(
+    cands: &[PointCandidates],
+    table: &TransitionTable,
+    sigma: f64,
+    temporal: F,
+    point_weight: W,
+    fixed: Option<(usize, usize)>,
+) -> Vec<usize>
+where
+    F: Fn(usize, usize, usize, f64) -> f64,
+    W: Fn(usize) -> f64,
+{
+    const NEG_BIG: f64 = -1.0e12;
+    let n = cands.len();
+    debug_assert!(n > 0);
+    let allowed = |i: usize, c: usize| -> bool {
+        match fixed {
+            Some((fi, fc)) => fi != i || fc == c,
+            None => true,
+        }
+    };
+    // score[i][c] = best log-score of any assignment ending at candidate c.
+    let mut score: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut back: Vec<Vec<usize>> = Vec::with_capacity(n);
+
+    let obs = |i: usize, c: usize| -> f64 {
+        let w = point_weight(i).max(1e-6);
+        w * emission_prob(cands[i].cands[c].dist, sigma).max(1e-300).ln()
+    };
+
+    score.push(
+        (0..cands[0].cands.len())
+            .map(|c| if allowed(0, c) { obs(0, c) } else { NEG_BIG })
+            .collect(),
+    );
+    back.push(vec![0; cands[0].cands.len()]);
+
+    for i in 1..n {
+        let straight = cands[i - 1].point.pos.dist(cands[i].point.pos);
+        let mut row = vec![NEG_BIG; cands[i].cands.len()];
+        let mut brow = vec![0usize; cands[i].cands.len()];
+        for bi in 0..cands[i].cands.len() {
+            if !allowed(i, bi) {
+                continue;
+            }
+            for (ai, &prev_score) in score[i - 1].iter().enumerate() {
+                if prev_score <= NEG_BIG {
+                    continue;
+                }
+                let nd = table.dists[i - 1][ai][bi];
+                // Transmission: straight-line over network distance, in (0, 1].
+                let trans = if !nd.is_finite() {
+                    1e-6 // unreachable: heavily discouraged but not fatal
+                } else if nd <= f64::EPSILON {
+                    1.0
+                } else {
+                    (straight / nd).clamp(1e-6, 1.0)
+                };
+                let temp = temporal(i - 1, ai, bi, nd).clamp(1e-6, 1.0);
+                let w = point_weight(i).max(1e-6);
+                let cand_score = prev_score + w * (trans.ln() + temp.ln());
+                if cand_score > row[bi] {
+                    row[bi] = cand_score;
+                    brow[bi] = ai;
+                }
+            }
+            row[bi] += obs(i, bi);
+        }
+        score.push(row);
+        back.push(brow);
+    }
+
+    // Backtrack from the best final candidate.
+    let mut chosen = vec![0usize; n];
+    let last = score[n - 1]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    chosen[n - 1] = last;
+    for i in (1..n).rev() {
+        chosen[i - 1] = back[i][chosen[i]];
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hris_roadnet::{generator, CostModel, NetworkConfig, NodeId};
+    use hris_traj::{resample_to_interval, simulator, TrajId};
+
+    fn net() -> RoadNetwork {
+        generator::generate(&NetworkConfig {
+            jitter_frac: 0.0,
+            curve_frac: 0.0,
+            removal_frac: 0.0,
+            oneway_frac: 0.0,
+            ..NetworkConfig::small(4)
+        })
+    }
+
+    #[test]
+    fn dense_trace_recovers_route() {
+        let net = net();
+        let path =
+            hris_roadnet::shortest::shortest_path(&net, NodeId(0), NodeId(40), CostModel::Distance)
+                .unwrap();
+        let route = path.route();
+        let pts = simulator::drive_route(&net, &route, 0.0, 15.0, 0.8).unwrap();
+        let traj = Trajectory::new(TrajId(0), pts);
+        let m = StMatcher::default().match_trajectory(&net, &traj).unwrap();
+        let cov = m.route.common_length(&route, &net) / route.length(&net);
+        assert!(cov > 0.9, "coverage {cov}");
+        assert!(m.route.is_connected(&net));
+    }
+
+    #[test]
+    fn sparse_trace_still_produces_connected_route() {
+        let net = net();
+        let path =
+            hris_roadnet::shortest::shortest_path(&net, NodeId(0), NodeId(60), CostModel::Distance)
+                .unwrap();
+        let route = path.route();
+        let pts = simulator::drive_route(&net, &route, 0.0, 10.0, 0.7).unwrap();
+        let dense = Trajectory::new(TrajId(0), pts);
+        let sparse = resample_to_interval(&dense, 120.0);
+        assert!(sparse.len() >= 2);
+        let m = StMatcher::default().match_trajectory(&net, &sparse).unwrap();
+        assert!(m.route.is_connected(&net));
+        // Shortest-path-driven matching on a shortest-path route: still good.
+        let cov = m.route.common_length(&route, &net) / route.length(&net);
+        assert!(cov > 0.6, "coverage {cov}");
+    }
+
+    #[test]
+    fn dp_prefers_near_candidates_on_singleton() {
+        let net = net();
+        let seg = &net.segments()[0];
+        let p = seg.geometry.point_at(seg.length / 2.0);
+        let traj = Trajectory::new(
+            TrajId(0),
+            vec![hris_traj::GpsPoint::new(p, 0.0)],
+        );
+        let m = StMatcher::default().match_trajectory(&net, &traj).unwrap();
+        assert!(m.matched[0].dist < 1.0);
+    }
+}

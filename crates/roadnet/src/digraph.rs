@@ -1,0 +1,571 @@
+//! A generic weighted directed graph with the path algorithms HRIS needs.
+//!
+//! Both the physical road graph and the *conceptual* traverse graph of the
+//! TGI algorithm (Definition 9) are digraphs; this module supplies the shared
+//! machinery: Dijkstra, Yen's K-shortest **simple** paths, and Tarjan's
+//! strongly-connected components (used by the graph-augmentation subroutine
+//! of Algorithm 1).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Adjacency-list weighted digraph over `usize` node ids.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    /// `out[u]` lists `(v, weight)` pairs.
+    out: Vec<Vec<(usize, f64)>>,
+    edge_count: usize,
+}
+
+/// A path through a [`DiGraph`]: node sequence plus total weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphPath {
+    /// Visited nodes, source first.
+    pub nodes: Vec<usize>,
+    /// Sum of edge weights along the path.
+    pub cost: f64,
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: usize,
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.cost.total_cmp(&self.cost)
+    }
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        DiGraph {
+            out: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Appends a fresh node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.out.push(Vec::new());
+        self.out.len() - 1
+    }
+
+    /// Adds a directed edge `u → v` with `weight >= 0`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite weights (Dijkstra's precondition)
+    /// and on out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "edge weight must be finite and non-negative, got {weight}"
+        );
+        assert!(u < self.out.len() && v < self.out.len(), "endpoint out of range");
+        self.out[u].push((v, weight));
+        self.edge_count += 1;
+    }
+
+    /// Removes every edge `u → v` (there may be parallel edges). Returns how
+    /// many were removed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> usize {
+        let before = self.out[u].len();
+        self.out[u].retain(|&(to, _)| to != v);
+        let removed = before - self.out[u].len();
+        self.edge_count -= removed;
+        removed
+    }
+
+    /// `true` if an edge `u → v` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.out[u].iter().any(|&(to, _)| to == v)
+    }
+
+    /// Outgoing `(neighbor, weight)` pairs of `u`.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.out[u]
+    }
+
+    // ------------------------------------------------------------- dijkstra
+
+    /// Single-source Dijkstra; returns per-node `(distance, predecessor)`.
+    ///
+    /// Unreachable nodes get `f64::INFINITY` / `usize::MAX`.
+    #[must_use]
+    pub fn dijkstra(&self, source: usize) -> (Vec<f64>, Vec<usize>) {
+        self.dijkstra_internal(source, None, &[])
+    }
+
+    fn dijkstra_internal(
+        &self,
+        source: usize,
+        target: Option<usize>,
+        banned_nodes: &[bool],
+    ) -> (Vec<f64>, Vec<usize>) {
+        let n = self.out.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        if source >= n || banned_nodes.get(source).copied().unwrap_or(false) {
+            return (dist, prev);
+        }
+        dist[source] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            cost: 0.0,
+            node: source,
+        });
+        while let Some(HeapItem { cost, node }) = heap.pop() {
+            if cost > dist[node] {
+                continue;
+            }
+            if Some(node) == target {
+                break;
+            }
+            for &(v, w) in &self.out[node] {
+                if banned_nodes.get(v).copied().unwrap_or(false) {
+                    continue;
+                }
+                let nd = cost + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = node;
+                    heap.push(HeapItem { cost: nd, node: v });
+                }
+            }
+        }
+        (dist, prev)
+    }
+
+    /// Shortest path from `source` to `target`, if one exists.
+    #[must_use]
+    pub fn shortest_path(&self, source: usize, target: usize) -> Option<GraphPath> {
+        self.shortest_path_avoiding(source, target, &[], &[])
+    }
+
+    /// Shortest path avoiding the given nodes and edges.
+    ///
+    /// `banned_edges` entries are `(u, v)` pairs banning every parallel edge
+    /// between them. This is the spur-path primitive of Yen's algorithm.
+    #[must_use]
+    pub fn shortest_path_avoiding(
+        &self,
+        source: usize,
+        target: usize,
+        banned_nodes_list: &[usize],
+        banned_edges: &[(usize, usize)],
+    ) -> Option<GraphPath> {
+        let n = self.out.len();
+        if source >= n || target >= n {
+            return None;
+        }
+        let mut banned = vec![false; n];
+        for &b in banned_nodes_list {
+            if b < n {
+                banned[b] = true;
+            }
+        }
+        if banned[source] || banned[target] {
+            return None;
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        dist[source] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            cost: 0.0,
+            node: source,
+        });
+        while let Some(HeapItem { cost, node }) = heap.pop() {
+            if cost > dist[node] {
+                continue;
+            }
+            if node == target {
+                break;
+            }
+            for &(v, w) in &self.out[node] {
+                if banned[v] || banned_edges.contains(&(node, v)) {
+                    continue;
+                }
+                let nd = cost + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = node;
+                    heap.push(HeapItem { cost: nd, node: v });
+                }
+            }
+        }
+        if !dist[target].is_finite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while cur != source {
+            cur = prev[cur];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(GraphPath {
+            nodes,
+            cost: dist[target],
+        })
+    }
+
+    // ------------------------------------------------------------ Yen's KSP
+
+    /// Yen's algorithm: up to `k` shortest **simple** (loopless) paths from
+    /// `source` to `target`, in non-decreasing cost order.
+    ///
+    /// Used by Algorithm 1 (TGI) to enumerate candidate local routes on the
+    /// traverse graph, and by the route-choice model of the taxi simulator.
+    #[must_use]
+    pub fn k_shortest_paths(&self, source: usize, target: usize, k: usize) -> Vec<GraphPath> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let Some(first) = self.shortest_path(source, target) else {
+            return Vec::new();
+        };
+        if source == target {
+            return vec![first];
+        }
+        let mut accepted: Vec<GraphPath> = vec![first];
+        // Candidate set; kept sorted on extraction.
+        let mut candidates: Vec<GraphPath> = Vec::new();
+
+        while accepted.len() < k {
+            let last = &accepted[accepted.len() - 1];
+            for i in 0..last.nodes.len() - 1 {
+                let spur_node = last.nodes[i];
+                let root: Vec<usize> = last.nodes[..=i].to_vec();
+                let root_cost = self.path_cost(&root);
+
+                // Ban edges leaving the spur node that previous accepted paths
+                // with the same root already use.
+                let mut banned_edges = Vec::new();
+                for p in accepted.iter().chain(candidates.iter()) {
+                    if p.nodes.len() > i && p.nodes[..=i] == root[..] {
+                        banned_edges.push((p.nodes[i], p.nodes[i + 1]));
+                    }
+                }
+                // Ban root nodes except the spur node (loopless requirement).
+                let banned_nodes: Vec<usize> = root[..i].to_vec();
+
+                if let Some(spur) =
+                    self.shortest_path_avoiding(spur_node, target, &banned_nodes, &banned_edges)
+                {
+                    let mut nodes = root.clone();
+                    nodes.extend_from_slice(&spur.nodes[1..]);
+                    let total = GraphPath {
+                        cost: root_cost + spur.cost,
+                        nodes,
+                    };
+                    if !candidates.iter().any(|c| c.nodes == total.nodes)
+                        && !accepted.iter().any(|a| a.nodes == total.nodes)
+                    {
+                        candidates.push(total);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            // Extract the cheapest candidate.
+            let best = candidates
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            accepted.push(candidates.swap_remove(best));
+        }
+        accepted
+    }
+
+    /// Cost of a concrete node sequence (cheapest parallel edge per hop);
+    /// `f64::INFINITY` if some hop has no edge.
+    #[must_use]
+    pub fn path_cost(&self, nodes: &[usize]) -> f64 {
+        let mut cost = 0.0;
+        for w in nodes.windows(2) {
+            let best = self.out[w[0]]
+                .iter()
+                .filter(|&&(v, _)| v == w[1])
+                .map(|&(_, c)| c)
+                .min_by(f64::total_cmp);
+            match best {
+                Some(c) => cost += c,
+                None => return f64::INFINITY,
+            }
+        }
+        cost
+    }
+
+    // ----------------------------------------------------------- Tarjan SCC
+
+    /// Tarjan's strongly-connected components (iterative).
+    ///
+    /// Returns `comp[u]` — the component index of each node. Component
+    /// indices are in reverse topological order of the condensation.
+    #[must_use]
+    pub fn tarjan_scc(&self) -> Vec<usize> {
+        let n = self.out.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut comp_count = 0usize;
+        // Explicit DFS stack: (node, next child position).
+        let mut dfs: Vec<(usize, usize)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            dfs.push((start, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (u, ref mut child)) = dfs.last_mut() {
+                if *child < self.out[u].len() {
+                    let v = self.out[u][*child].0;
+                    *child += 1;
+                    if index[v] == usize::MAX {
+                        index[v] = next_index;
+                        low[v] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v] = true;
+                        dfs.push((v, 0));
+                    } else if on_stack[v] {
+                        low[u] = low[u].min(index[v]);
+                    }
+                } else {
+                    dfs.pop();
+                    if let Some(&(parent, _)) = dfs.last() {
+                        low[parent] = low[parent].min(low[u]);
+                    }
+                    if low[u] == index[u] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = comp_count;
+                            if w == u {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    /// `true` if the graph is strongly connected (vacuously true when empty
+    /// or single-node).
+    #[must_use]
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.out.len() <= 1 {
+            return true;
+        }
+        let comp = self.tarjan_scc();
+        comp.iter().all(|&c| c == comp[0])
+    }
+
+    /// Hop distances (unweighted BFS) from `source`; `usize::MAX` when
+    /// unreachable.
+    #[must_use]
+    pub fn bfs_hops(&self, source: usize) -> Vec<usize> {
+        let n = self.out.len();
+        let mut hops = vec![usize::MAX; n];
+        if source >= n {
+            return hops;
+        }
+        hops[source] = 0;
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &self.out[u] {
+                if hops[v] == usize::MAX {
+                    hops[v] = hops[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0→1→3, 0→2→3 with asymmetric weights, plus a direct 0→3.
+    fn diamond() -> DiGraph {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 2.0);
+        g.add_edge(2, 3, 2.0);
+        g.add_edge(0, 3, 5.0);
+        g
+    }
+
+    #[test]
+    fn dijkstra_finds_shortest() {
+        let g = diamond();
+        let p = g.shortest_path(0, 3).unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 3]);
+        assert!((p.cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(0, 1, 1.0);
+        assert!(g.shortest_path(0, 2).is_none());
+        // Reverse direction has no edge either.
+        assert!(g.shortest_path(1, 0).is_none());
+    }
+
+    #[test]
+    fn dijkstra_source_equals_target() {
+        let g = diamond();
+        let p = g.shortest_path(2, 2).unwrap();
+        assert_eq!(p.nodes, vec![2]);
+        assert_eq!(p.cost, 0.0);
+    }
+
+    #[test]
+    fn ksp_orders_three_paths() {
+        let g = diamond();
+        let ps = g.k_shortest_paths(0, 3, 5);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].nodes, vec![0, 1, 3]);
+        assert_eq!(ps[1].nodes, vec![0, 2, 3]);
+        assert_eq!(ps[2].nodes, vec![0, 3]);
+        assert!(ps[0].cost <= ps[1].cost && ps[1].cost <= ps[2].cost);
+    }
+
+    #[test]
+    fn ksp_paths_are_simple() {
+        // Graph with a tempting cycle.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 1, 0.1); // cycle 1→2→1
+        g.add_edge(2, 3, 1.0);
+        let ps = g.k_shortest_paths(0, 3, 10);
+        for p in &ps {
+            let mut seen = std::collections::HashSet::new();
+            for &nd in &p.nodes {
+                assert!(seen.insert(nd), "path revisits node {nd}: {:?}", p.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn ksp_k_zero_and_disconnected() {
+        let g = diamond();
+        assert!(g.k_shortest_paths(0, 3, 0).is_empty());
+        let mut g2 = DiGraph::with_nodes(2);
+        g2.add_node();
+        assert!(g2.k_shortest_paths(0, 1, 3).is_empty());
+    }
+
+    #[test]
+    fn scc_detects_components() {
+        // Two 2-cycles joined by a one-way edge.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 0, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 2, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let comp = g.tarjan_scc();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!g.is_strongly_connected());
+        // Close the loop.
+        g.add_edge(3, 0, 1.0);
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn scc_handles_self_loops_and_isolated() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(0, 0, 1.0);
+        let comp = g.tarjan_scc();
+        assert_eq!(comp.len(), 3);
+        // All three nodes are their own components.
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn bfs_hops_levels() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1, 9.0);
+        g.add_edge(1, 2, 9.0);
+        g.add_edge(0, 2, 9.0);
+        let hops = g.bfs_hops(0);
+        assert_eq!(hops, vec![0, 1, 1, usize::MAX]);
+    }
+
+    #[test]
+    fn remove_edge_removes_parallels() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.remove_edge(0, 1), 2);
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn path_cost_uses_cheapest_parallel() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(0, 1, 3.0);
+        assert!((g.path_cost(&[0, 1]) - 3.0).abs() < 1e-12);
+        assert_eq!(g.path_cost(&[1, 0]), f64::INFINITY);
+    }
+}

@@ -1,0 +1,340 @@
+//! Minimal OpenStreetMap XML (`.osm`) loader.
+//!
+//! The reproduction runs on the synthetic generator, but a downstream user
+//! will want real streets. This module parses the small, stable subset of
+//! OSM XML needed for routing — `<node>` elements and `<way>`s carrying a
+//! `highway` tag — without pulling in an XML dependency (the subset is
+//! strictly line-oriented attribute soup, handled with a tiny scanner).
+//!
+//! Mapping:
+//! - node `lat`/`lon` → planar metres via a [`LocalProjection`] centred on
+//!   the data's bounding-box centre;
+//! - each consecutive node pair of a highway way becomes one road segment
+//!   (both directions unless `oneway=yes`);
+//! - `highway=motorway|trunk` → [`RoadClass::Highway`],
+//!   `primary|secondary|tertiary` → [`RoadClass::Arterial`],
+//!   everything else routable → [`RoadClass::Residential`];
+//!   an explicit `maxspeed` (km/h integer) overrides the class default.
+//!
+//! Ways referencing unknown nodes are skipped; the loader never panics on
+//! malformed input, it just ignores what it cannot understand.
+
+use crate::generator::RoadClass;
+use crate::network::{RoadNetwork, RoadNetworkBuilder};
+use crate::NodeId;
+use hris_geo::{LatLon, LocalProjection, Polyline};
+use std::collections::HashMap;
+
+/// Result of a successful OSM load.
+pub struct OsmNetwork {
+    /// The constructed road network (planar metres).
+    pub network: RoadNetwork,
+    /// The projection used, for mapping results back to lat/lon.
+    pub projection: LocalProjection,
+}
+
+/// Parses OSM XML text into a road network.
+///
+/// Returns `None` when no routable way survives parsing.
+#[must_use]
+pub fn parse_osm_xml(xml: &str) -> Option<OsmNetwork> {
+    // ---- pass 1: nodes ---------------------------------------------------
+    let mut nodes: HashMap<i64, LatLon> = HashMap::new();
+    for tag in elements(xml, "node") {
+        let (Some(id), Some(lat), Some(lon)) = (
+            attr(tag, "id").and_then(|v| v.parse::<i64>().ok()),
+            attr(tag, "lat").and_then(|v| v.parse::<f64>().ok()),
+            attr(tag, "lon").and_then(|v| v.parse::<f64>().ok()),
+        ) else {
+            continue;
+        };
+        nodes.insert(id, LatLon::new(lat, lon));
+    }
+    if nodes.is_empty() {
+        return None;
+    }
+
+    // Projection centred on the data.
+    let (mut lat_min, mut lat_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut lon_min, mut lon_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for ll in nodes.values() {
+        lat_min = lat_min.min(ll.lat);
+        lat_max = lat_max.max(ll.lat);
+        lon_min = lon_min.min(ll.lon);
+        lon_max = lon_max.max(ll.lon);
+    }
+    let projection = LocalProjection::new(LatLon::new(
+        (lat_min + lat_max) / 2.0,
+        (lon_min + lon_max) / 2.0,
+    ));
+
+    // ---- pass 2: ways ----------------------------------------------------
+    struct Way {
+        node_refs: Vec<i64>,
+        class: RoadClass,
+        speed_ms: f64,
+        oneway: bool,
+    }
+    let mut ways: Vec<Way> = Vec::new();
+    for body in blocks(xml, "way") {
+        let mut node_refs = Vec::new();
+        let mut highway: Option<String> = None;
+        let mut maxspeed: Option<f64> = None;
+        let mut oneway = false;
+        for nd in elements(body, "nd") {
+            if let Some(r) = attr(nd, "ref").and_then(|v| v.parse::<i64>().ok()) {
+                node_refs.push(r);
+            }
+        }
+        for tag in elements(body, "tag") {
+            match (attr(tag, "k"), attr(tag, "v")) {
+                (Some("highway"), Some(v)) => highway = Some(v.to_string()),
+                (Some("maxspeed"), Some(v)) => {
+                    // "50", "50 km/h" — take the leading integer.
+                    let digits: String = v.chars().take_while(char::is_ascii_digit).collect();
+                    maxspeed = digits.parse::<f64>().ok().map(|kmh| kmh / 3.6);
+                }
+                (Some("oneway"), Some("yes" | "true" | "1")) => oneway = true,
+                _ => {}
+            }
+        }
+        let Some(hw) = highway else { continue };
+        let class = match hw.as_str() {
+            "motorway" | "motorway_link" | "trunk" | "trunk_link" => RoadClass::Highway,
+            "primary" | "primary_link" | "secondary" | "secondary_link" | "tertiary"
+            | "tertiary_link" => RoadClass::Arterial,
+            "residential" | "unclassified" | "living_street" | "service" | "road" => {
+                RoadClass::Residential
+            }
+            _ => continue, // footways, cycleways, etc. are not drivable
+        };
+        if node_refs.len() < 2 {
+            continue;
+        }
+        ways.push(Way {
+            node_refs,
+            class,
+            speed_ms: maxspeed.unwrap_or_else(|| class.speed_limit()),
+            oneway,
+        });
+    }
+    if ways.is_empty() {
+        return None;
+    }
+
+    // ---- build -------------------------------------------------------------
+    let mut b = RoadNetworkBuilder::new();
+    let mut built: HashMap<i64, NodeId> = HashMap::new();
+    let mut intern = |osm_id: i64,
+                      nodes: &HashMap<i64, LatLon>,
+                      b: &mut RoadNetworkBuilder,
+                      built: &mut HashMap<i64, NodeId>|
+     -> Option<NodeId> {
+        if let Some(&id) = built.get(&osm_id) {
+            return Some(id);
+        }
+        let ll = nodes.get(&osm_id)?;
+        let id = b.add_node(projection.to_local(*ll));
+        built.insert(osm_id, id);
+        Some(id)
+    };
+    let mut segments = 0usize;
+    for way in &ways {
+        for pair in way.node_refs.windows(2) {
+            let (Some(a), Some(c)) = (
+                intern(pair[0], &nodes, &mut b, &mut built),
+                intern(pair[1], &nodes, &mut b, &mut built),
+            ) else {
+                continue;
+            };
+            if a == c {
+                continue;
+            }
+            let shape = Polyline::straight(b.node(a), b.node(c));
+            if shape.length() < 1e-6 {
+                continue;
+            }
+            if way.oneway {
+                b.add_segment(a, c, shape, way.speed_ms, way.class);
+                segments += 1;
+            } else {
+                b.add_two_way(a, c, shape, way.speed_ms, way.class);
+                segments += 2;
+            }
+        }
+    }
+    if segments == 0 {
+        return None;
+    }
+    Some(OsmNetwork {
+        network: b.build(),
+        projection,
+    })
+}
+
+/// Yields the attribute soup of every `<name …>` element (self-closing or
+/// opening tag), excluding the closing `>`.
+fn elements<'a>(xml: &'a str, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+    let open = format!("<{name} ");
+    let mut rest = xml;
+    std::iter::from_fn(move || {
+        let start = rest.find(&open)?;
+        let after = &rest[start + open.len()..];
+        let end = after.find('>')?;
+        let body = &after[..end];
+        rest = &after[end..];
+        Some(body.trim_end_matches('/').trim())
+    })
+}
+
+/// Yields the full inner block of every `<name …>…</name>` element.
+fn blocks<'a>(xml: &'a str, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+    let open = format!("<{name} ");
+    let close = format!("</{name}>");
+    let mut rest = xml;
+    std::iter::from_fn(move || {
+        let start = rest.find(&open)?;
+        let after = &rest[start..];
+        let end = after.find(&close)?;
+        let body = &after[..end];
+        rest = &after[end + close.len()..];
+        Some(body)
+    })
+}
+
+/// Extracts `key="value"` from an attribute string.
+fn attr<'a>(tag: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("{key}=\"");
+    let start = tag.find(&pat)? + pat.len();
+    let rest = &tag[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6">
+  <node id="1" lat="39.9000" lon="116.4000"/>
+  <node id="2" lat="39.9010" lon="116.4000"/>
+  <node id="3" lat="39.9010" lon="116.4012"/>
+  <node id="4" lat="39.9000" lon="116.4012"/>
+  <node id="5" lat="39.9020" lon="116.4000"/>
+  <way id="100">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="101">
+    <nd ref="3"/>
+    <nd ref="4"/>
+    <nd ref="1"/>
+    <tag k="highway" v="primary"/>
+    <tag k="maxspeed" v="70"/>
+  </way>
+  <way id="102">
+    <nd ref="2"/>
+    <nd ref="5"/>
+    <tag k="highway" v="tertiary"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="103">
+    <nd ref="1"/>
+    <nd ref="4"/>
+    <tag k="highway" v="footway"/>
+  </way>
+  <way id="104">
+    <nd ref="1"/>
+    <nd ref="999"/>
+    <tag k="highway" v="residential"/>
+  </way>
+</osm>"#;
+
+    #[test]
+    fn parses_nodes_ways_and_classes() {
+        let osm = parse_osm_xml(SAMPLE).expect("sample parses");
+        let net = &osm.network;
+        assert_eq!(net.num_nodes(), 5);
+        // way 100: 2 pairs two-way = 4; way 101: 2 pairs two-way = 4;
+        // way 102: 1 pair one-way = 1; footway skipped; dangling ref skipped.
+        assert_eq!(net.num_segments(), 9);
+        // maxspeed=70 km/h on way 101 overrides the arterial default.
+        let fast = net
+            .segments()
+            .iter()
+            .filter(|s| (s.speed_limit - 70.0 / 3.6).abs() < 1e-9)
+            .count();
+        assert_eq!(fast, 4);
+        // Classes mapped.
+        assert!(net.segments().iter().any(|s| s.class == RoadClass::Arterial));
+        assert!(net
+            .segments()
+            .iter()
+            .any(|s| s.class == RoadClass::Residential));
+    }
+
+    #[test]
+    fn geometry_is_planar_and_scaled() {
+        let osm = parse_osm_xml(SAMPLE).unwrap();
+        // Nodes 1→2 are 0.001° latitude apart ≈ 111 m.
+        let d: f64 = osm
+            .network
+            .segments()
+            .iter()
+            .map(|s| s.length)
+            .fold(f64::INFINITY, f64::min);
+        assert!(d > 50.0 && d < 200.0, "min segment {d} m");
+        // Projection roundtrip recovers lat/lon.
+        let p = osm.network.node(crate::NodeId(0));
+        let ll = osm.projection.to_latlon(p);
+        assert!((ll.lat - 39.9).abs() < 0.01);
+        assert!((ll.lon - 116.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn oneway_produces_single_direction() {
+        let osm = parse_osm_xml(SAMPLE).unwrap();
+        let net = &osm.network;
+        // Find node 5's planar position: it should have in-degree 1 and
+        // out-degree 0 (end of the one-way tertiary).
+        let terminal = (0..net.num_nodes() as u32)
+            .map(crate::NodeId)
+            .find(|&n| net.in_segments(n).len() == 1 && net.out_segments(n).is_empty());
+        assert!(terminal.is_some(), "one-way terminal must exist");
+    }
+
+    #[test]
+    fn garbage_inputs_return_none() {
+        assert!(parse_osm_xml("").is_none());
+        assert!(parse_osm_xml("<osm></osm>").is_none());
+        assert!(parse_osm_xml("complete nonsense").is_none());
+        // Nodes but no routable ways.
+        assert!(parse_osm_xml(
+            r#"<node id="1" lat="1.0" lon="2.0"/><way id="9"><nd ref="1"/><tag k="highway" v="footway"/></way>"#
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn malformed_entries_are_skipped_not_fatal() {
+        let xml = r#"
+  <node id="1" lat="39.9" lon="116.4"/>
+  <node id="2" lat="39.901" lon="116.4"/>
+  <node id="bad" lat="oops" lon="116.4"/>
+  <way id="1">
+    <nd ref="1"/><nd ref="2"/>
+    <tag k="highway" v="residential"/>
+    <tag k="maxspeed" v="fifty"/>
+  </way>"#;
+        let osm = parse_osm_xml(xml).expect("valid parts survive");
+        assert_eq!(osm.network.num_segments(), 2);
+        // Unparseable maxspeed falls back to the class default.
+        assert!(
+            (osm.network.segments()[0].speed_limit - RoadClass::Residential.speed_limit()).abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Internal node representation of the R-tree arena.
+
+use hris_geo::BBox;
+
+/// One slot of a node: either a leaf-level item or a child node, both
+/// referenced by arena index.
+#[derive(Debug, Clone)]
+pub(crate) enum Entry {
+    /// Index into the tree's item arena.
+    Item(usize),
+    /// Index into the tree's node arena.
+    Node(usize),
+}
+
+/// A tree node: covering bounding box plus up to `MAX_ENTRIES` entries.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub bbox: BBox,
+    pub entries: Vec<Entry>,
+    pub is_leaf: bool,
+}
+
+impl Node {
+    pub fn leaf() -> Self {
+        Node {
+            bbox: BBox::empty(),
+            entries: Vec::new(),
+            is_leaf: true,
+        }
+    }
+
+    pub fn internal() -> Self {
+        Node {
+            bbox: BBox::empty(),
+            entries: Vec::new(),
+            is_leaf: false,
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The historical trajectory archive with its R-tree point index.
+//!
+//! The paper's preprocessing indexes *all* archived GPS points in an R-tree
+//! so that reference search can issue two `φ`-range queries per query-point
+//! pair (Section III-A). [`TrajectoryArchive`] owns the trips and the index,
+//! and offers binary/JSON persistence so large simulated archives can be
+//! generated once and reused across experiments.
+
+use crate::types::{GpsPoint, TrajId, Trajectory};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hris_geo::{BBox, Point};
+use hris_rtree::{RTree, Spatial};
+
+/// One archived observation: position + time + provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchivePoint {
+    /// Observed position.
+    pub pos: Point,
+    /// Timestamp, seconds.
+    pub t: f64,
+    /// Which trajectory this observation belongs to.
+    pub traj: TrajId,
+    /// Index of the observation within its trajectory.
+    pub point_idx: u32,
+}
+
+impl Spatial for ArchivePoint {
+    fn bbox(&self) -> BBox {
+        BBox::from_point(self.pos)
+    }
+}
+
+/// The archive `A` of the problem statement: historical trips plus a
+/// point-level spatial index.
+#[derive(Debug, Clone)]
+pub struct TrajectoryArchive {
+    trajectories: Vec<Trajectory>,
+    index: RTree<ArchivePoint>,
+    num_points: usize,
+}
+
+impl TrajectoryArchive {
+    /// Builds an archive from trips, reassigning contiguous [`TrajId`]s.
+    #[must_use]
+    pub fn new(mut trips: Vec<Trajectory>) -> Self {
+        let mut points = Vec::new();
+        for (i, t) in trips.iter_mut().enumerate() {
+            t.id = TrajId(i as u32);
+            for (k, p) in t.points.iter().enumerate() {
+                points.push(ArchivePoint {
+                    pos: p.pos,
+                    t: p.t,
+                    traj: t.id,
+                    point_idx: k as u32,
+                });
+            }
+        }
+        let num_points = points.len();
+        TrajectoryArchive {
+            trajectories: trips,
+            index: RTree::bulk_load(points),
+            num_points,
+        }
+    }
+
+    /// An empty archive.
+    #[must_use]
+    pub fn empty() -> Self {
+        TrajectoryArchive::new(Vec::new())
+    }
+
+    /// Number of stored trajectories.
+    #[inline]
+    #[must_use]
+    pub fn num_trajectories(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Number of indexed GPS points across all trajectories.
+    #[inline]
+    #[must_use]
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// A trajectory by id.
+    #[inline]
+    #[must_use]
+    pub fn trajectory(&self, id: TrajId) -> &Trajectory {
+        &self.trajectories[id.index()]
+    }
+
+    /// All stored trajectories.
+    #[inline]
+    #[must_use]
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// All archived points within `radius` of `center` — the `φ`-range query
+    /// of reference-trajectory search.
+    #[must_use]
+    pub fn points_within(&self, center: Point, radius: f64) -> Vec<&ArchivePoint> {
+        self.index.query_circle(center, radius, |ap, q| ap.pos.dist(q))
+    }
+
+    /// Best-first iterator over archived points by distance from `p`.
+    pub fn nearest_points(
+        &self,
+        p: Point,
+    ) -> impl Iterator<Item = hris_rtree::Neighbor<'_, ArchivePoint>> {
+        self.index.nearest_iter(p, |ap, q| ap.pos.dist(q))
+    }
+
+    /// Bounding box of all archived points.
+    #[must_use]
+    pub fn bbox(&self) -> BBox {
+        self.index.bbox()
+    }
+
+    // ---------------------------------------------------------- persistence
+
+    /// Serialises the archive's trajectories to a compact binary blob.
+    ///
+    /// Layout: `u32 trip_count`, then per trip `u32 point_count` followed by
+    /// `point_count × (f64 x, f64 y, f64 t)` little-endian records. The
+    /// R-tree is rebuilt on load (bulk load is cheap relative to I/O).
+    #[must_use]
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.num_points * 24);
+        buf.put_u32_le(self.trajectories.len() as u32);
+        for t in &self.trajectories {
+            buf.put_u32_le(t.points.len() as u32);
+            for p in &t.points {
+                buf.put_f64_le(p.pos.x);
+                buf.put_f64_le(p.pos.y);
+                buf.put_f64_le(p.t);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Serialises the trajectories as pretty JSON (interchange/debugging;
+    /// the binary codec is ~6× smaller and faster for bulk storage).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.trajectories).expect("trajectories serialise")
+    }
+
+    /// Restores an archive from [`TrajectoryArchive::to_json`] output.
+    ///
+    /// Returns `None` on malformed JSON or time-disordered trajectories.
+    #[must_use]
+    pub fn from_json(text: &str) -> Option<Self> {
+        let trips: Vec<Trajectory> = serde_json::from_str(text).ok()?;
+        if trips
+            .iter()
+            .any(|t| !t.points.windows(2).all(|w| w[0].t <= w[1].t))
+        {
+            return None;
+        }
+        Some(TrajectoryArchive::new(trips))
+    }
+
+    /// Restores an archive from [`TrajectoryArchive::to_bytes`] output.
+    ///
+    /// Returns `None` on truncated or malformed input.
+    #[must_use]
+    pub fn from_bytes(mut data: Bytes) -> Option<Self> {
+        if data.remaining() < 4 {
+            return None;
+        }
+        let trips = data.get_u32_le() as usize;
+        let mut out = Vec::with_capacity(trips);
+        for i in 0..trips {
+            if data.remaining() < 4 {
+                return None;
+            }
+            let n = data.get_u32_le() as usize;
+            if data.remaining() < n * 24 {
+                return None;
+            }
+            let mut pts = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = data.get_f64_le();
+                let y = data.get_f64_le();
+                let t = data.get_f64_le();
+                pts.push(GpsPoint::new(Point::new(x, y), t));
+            }
+            // Guard against corrupted time ordering.
+            if !pts.windows(2).all(|w| w[0].t <= w[1].t) {
+                return None;
+            }
+            out.push(Trajectory::new(TrajId(i as u32), pts));
+        }
+        Some(TrajectoryArchive::new(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn archive() -> TrajectoryArchive {
+        let t1 = Trajectory::new(
+            TrajId(99), // id is reassigned by the archive
+            vec![
+                GpsPoint::new(Point::new(0.0, 0.0), 0.0),
+                GpsPoint::new(Point::new(100.0, 0.0), 10.0),
+            ],
+        );
+        let t2 = Trajectory::new(
+            TrajId(7),
+            vec![
+                GpsPoint::new(Point::new(0.0, 100.0), 5.0),
+                GpsPoint::new(Point::new(100.0, 100.0), 15.0),
+                GpsPoint::new(Point::new(200.0, 100.0), 25.0),
+            ],
+        );
+        TrajectoryArchive::new(vec![t1, t2])
+    }
+
+    #[test]
+    fn ids_are_reassigned_contiguously() {
+        let a = archive();
+        assert_eq!(a.num_trajectories(), 2);
+        assert_eq!(a.trajectory(TrajId(0)).id, TrajId(0));
+        assert_eq!(a.trajectory(TrajId(1)).id, TrajId(1));
+        assert_eq!(a.num_points(), 5);
+    }
+
+    #[test]
+    fn range_query_returns_provenance() {
+        let a = archive();
+        let hits = a.points_within(Point::new(0.0, 50.0), 60.0);
+        assert_eq!(hits.len(), 2);
+        let mut trajs: Vec<TrajId> = hits.iter().map(|h| h.traj).collect();
+        trajs.sort();
+        assert_eq!(trajs, vec![TrajId(0), TrajId(1)]);
+        for h in hits {
+            // Back-reference resolves to the same coordinates.
+            let orig = a.trajectory(h.traj).points[h.point_idx as usize];
+            assert_eq!(orig.pos, h.pos);
+            assert_eq!(orig.t, h.t);
+        }
+    }
+
+    #[test]
+    fn empty_archive() {
+        let a = TrajectoryArchive::empty();
+        assert_eq!(a.num_trajectories(), 0);
+        assert_eq!(a.num_points(), 0);
+        assert!(a.points_within(Point::ORIGIN, 1000.0).is_empty());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let a = archive();
+        let blob = a.to_bytes();
+        let b = TrajectoryArchive::from_bytes(blob).unwrap();
+        assert_eq!(b.num_trajectories(), a.num_trajectories());
+        assert_eq!(b.num_points(), a.num_points());
+        for (x, y) in a.trajectories().iter().zip(b.trajectories().iter()) {
+            assert_eq!(x.points, y.points);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let a = archive();
+        let text = a.to_json();
+        let b = TrajectoryArchive::from_json(&text).unwrap();
+        assert_eq!(b.num_trajectories(), a.num_trajectories());
+        for (x, y) in a.trajectories().iter().zip(b.trajectories().iter()) {
+            assert_eq!(x.points, y.points);
+        }
+        assert!(TrajectoryArchive::from_json("not json").is_none());
+        assert!(TrajectoryArchive::from_json(
+            r#"[{"id":0,"points":[{"pos":{"x":0.0,"y":0.0},"t":10.0},{"pos":{"x":1.0,"y":0.0},"t":5.0}]}]"#
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let a = archive();
+        let blob = a.to_bytes();
+        let cut = blob.slice(0..blob.len() - 7);
+        assert!(TrajectoryArchive::from_bytes(cut).is_none());
+        assert!(TrajectoryArchive::from_bytes(Bytes::new()).is_none());
+    }
+
+    #[test]
+    fn nearest_points_order() {
+        let a = archive();
+        let dists: Vec<f64> = a
+            .nearest_points(Point::new(0.0, 0.0))
+            .map(|n| n.dist)
+            .collect();
+        assert_eq!(dists.len(), 5);
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! GeoJSON export: trajectories, routes and road networks as
+//! `FeatureCollection`s, ready for kepler.gl / geojson.io / QGIS.
+//!
+//! Coordinates are emitted in WGS-84 when a [`LocalProjection`] is given
+//! (the inverse of the projection used at ingest), or as raw planar metres
+//! otherwise (handy for quick plotting in any cartesian viewer).
+
+use crate::types::Trajectory;
+use hris_geo::{LocalProjection, Point};
+use hris_roadnet::{RoadNetwork, Route};
+use serde_json::{json, Value};
+
+fn coord(p: Point, proj: Option<&LocalProjection>) -> Value {
+    match proj {
+        Some(pr) => {
+            let ll = pr.to_latlon(p);
+            json!([ll.lon, ll.lat])
+        }
+        None => json!([p.x, p.y]),
+    }
+}
+
+fn line_string(points: impl Iterator<Item = Point>, proj: Option<&LocalProjection>) -> Value {
+    json!({
+        "type": "LineString",
+        "coordinates": points.map(|p| coord(p, proj)).collect::<Vec<_>>(),
+    })
+}
+
+/// A trajectory as a GeoJSON `Feature` (LineString + per-point timestamps).
+#[must_use]
+pub fn trajectory_feature(traj: &Trajectory, proj: Option<&LocalProjection>) -> Value {
+    json!({
+        "type": "Feature",
+        "geometry": line_string(traj.points.iter().map(|p| p.pos), proj),
+        "properties": {
+            "traj_id": traj.id.0,
+            "num_points": traj.len(),
+            "duration_s": traj.duration(),
+            "mean_interval_s": traj.mean_interval(),
+            "timestamps": traj.points.iter().map(|p| p.t).collect::<Vec<_>>(),
+        },
+    })
+}
+
+/// A route as a GeoJSON `Feature` (LineString over its polyline).
+#[must_use]
+pub fn route_feature(route: &Route, net: &RoadNetwork, proj: Option<&LocalProjection>) -> Value {
+    let coords = route
+        .polyline(net)
+        .map(|pl| pl.vertices().to_vec())
+        .unwrap_or_default();
+    json!({
+        "type": "Feature",
+        "geometry": line_string(coords.into_iter(), proj),
+        "properties": {
+            "num_segments": route.len(),
+            "length_m": route.length(net),
+            "travel_time_s": route.travel_time(net),
+        },
+    })
+}
+
+/// The whole road network as a `FeatureCollection` of segment LineStrings.
+#[must_use]
+pub fn network_collection(net: &RoadNetwork, proj: Option<&LocalProjection>) -> Value {
+    let features: Vec<Value> = net
+        .segments()
+        .iter()
+        .map(|seg| {
+            json!({
+                "type": "Feature",
+                "geometry": line_string(seg.geometry.vertices().iter().copied(), proj),
+                "properties": {
+                    "segment_id": seg.id.0,
+                    "class": format!("{:?}", seg.class),
+                    "speed_limit_kmh": seg.speed_limit * 3.6,
+                    "length_m": seg.length,
+                },
+            })
+        })
+        .collect();
+    feature_collection(features)
+}
+
+/// Wraps features into a `FeatureCollection`.
+#[must_use]
+pub fn feature_collection(features: Vec<Value>) -> Value {
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{GpsPoint, TrajId};
+    use hris_geo::LatLon;
+    use hris_roadnet::{generator, NetworkConfig};
+
+    fn traj() -> Trajectory {
+        Trajectory::new(
+            TrajId(9),
+            vec![
+                GpsPoint::new(Point::new(0.0, 0.0), 0.0),
+                GpsPoint::new(Point::new(100.0, 50.0), 30.0),
+                GpsPoint::new(Point::new(200.0, 50.0), 60.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn trajectory_feature_structure() {
+        let f = trajectory_feature(&traj(), None);
+        assert_eq!(f["type"], "Feature");
+        assert_eq!(f["geometry"]["type"], "LineString");
+        assert_eq!(f["geometry"]["coordinates"].as_array().unwrap().len(), 3);
+        assert_eq!(f["properties"]["traj_id"], 9);
+        assert_eq!(f["properties"]["timestamps"][2], 60.0);
+    }
+
+    #[test]
+    fn projection_emits_lonlat() {
+        let proj = LocalProjection::new(LatLon::new(39.9, 116.4));
+        let f = trajectory_feature(&traj(), Some(&proj));
+        let c0 = f["geometry"]["coordinates"][0].as_array().unwrap();
+        // [lon, lat] order near the origin.
+        assert!((c0[0].as_f64().unwrap() - 116.4).abs() < 1e-6);
+        assert!((c0[1].as_f64().unwrap() - 39.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn route_feature_has_metrics() {
+        let net = generator::generate(&NetworkConfig::small(1));
+        let seg = net.segments()[0].id;
+        let next = net.next_segments(seg)[0];
+        let r = Route::new(vec![seg, next]);
+        let f = route_feature(&r, &net, None);
+        assert_eq!(f["properties"]["num_segments"], 2);
+        assert!(f["properties"]["length_m"].as_f64().unwrap() > 0.0);
+        assert!(!f["geometry"]["coordinates"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn network_collection_covers_all_segments() {
+        let net = generator::generate(&NetworkConfig {
+            blocks_x: 2,
+            blocks_y: 2,
+            ..NetworkConfig::small(2)
+        });
+        let fc = network_collection(&net, None);
+        assert_eq!(fc["type"], "FeatureCollection");
+        assert_eq!(
+            fc["features"].as_array().unwrap().len(),
+            net.num_segments()
+        );
+        // Parses back as valid JSON text.
+        let text = serde_json::to_string(&fc).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["type"], "FeatureCollection");
+    }
+
+    #[test]
+    fn empty_route_is_empty_linestring() {
+        let net = generator::generate(&NetworkConfig::small(3));
+        let f = route_feature(&Route::empty(), &net, None);
+        assert_eq!(f["geometry"]["coordinates"].as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Trajectory substrate: GPS points, trajectories, the historical archive,
+//! preprocessing (stay-point detection, trip partition, resampling) and the
+//! taxi-fleet simulator that generates paper-scale synthetic data.
+//!
+//! The paper's system ingests raw taxi GPS logs, partitions them into trips
+//! at stay points, map-matches the points, and indexes everything in an
+//! R-tree (Section II-B.1). This crate implements that whole data layer,
+//! plus the simulator that substitutes for the 33,000-taxi Beijing dataset
+//! (see the substitutions table in DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod geojson;
+pub mod resample;
+pub mod similarity;
+pub mod simulator;
+pub mod staypoint;
+pub mod types;
+
+pub use archive::{ArchivePoint, TrajectoryArchive};
+pub use resample::{add_gps_noise, resample_to_interval};
+pub use similarity::{dtw, edr, lcss};
+pub use simulator::{SimConfig, Simulator, TripRecord};
+pub use staypoint::{detect_stay_points, partition_trips, StayPoint, StayPointConfig};
+pub use types::{GpsPoint, TrajId, Trajectory};

@@ -1,0 +1,228 @@
+//! Trajectory similarity measures.
+//!
+//! The paper's related-work section surveys the classic trajectory/time-
+//! series similarity family — DTW, LCSS, EDR — before explaining why
+//! reference search needs a different notion (partial, direction-aware
+//! similarity). A trajectory library is not complete without them: they
+//! power archive deduplication, clustering and diagnostics, and the test
+//! suite uses them to sanity-check the simulator (trips on the same route
+//! should be mutually similar).
+//!
+//! All three operate on the spatial component only and run in `O(n·m)`
+//! with rolling rows.
+
+use crate::types::Trajectory;
+use hris_geo::Point;
+
+fn positions(t: &Trajectory) -> Vec<Point> {
+    t.points.iter().map(|p| p.pos).collect()
+}
+
+/// Dynamic Time Warping distance (sum of matched point distances under the
+/// optimal monotone alignment). Yi/Jagadish/Faloutsos (ICDE 1998).
+///
+/// Returns `f64::INFINITY` when either trajectory is empty.
+#[must_use]
+pub fn dtw(a: &Trajectory, b: &Trajectory) -> f64 {
+    let pa = positions(a);
+    let pb = positions(b);
+    if pa.is_empty() || pb.is_empty() {
+        return f64::INFINITY;
+    }
+    let m = pb.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for &x in &pa {
+        cur[0] = f64::INFINITY;
+        for (j, &y) in pb.iter().enumerate() {
+            let d = x.dist(y);
+            cur[j + 1] = d + prev[j + 1].min(cur[j]).min(prev[j]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Longest Common SubSequence similarity (Vlachos/Gunopulos/Kollios, ICDE
+/// 2002): points match when within `eps` metres; returns the normalised
+/// similarity `LCSS / min(n, m)` in `[0, 1]`.
+///
+/// Robust to noise and outliers — unmatched points are simply skipped.
+#[must_use]
+pub fn lcss(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
+    let pa = positions(a);
+    let pb = positions(b);
+    if pa.is_empty() || pb.is_empty() {
+        return 0.0;
+    }
+    let m = pb.len();
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for &x in &pa {
+        for (j, &y) in pb.iter().enumerate() {
+            cur[j + 1] = if x.dist(y) <= eps {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m] as f64 / pa.len().min(pb.len()) as f64
+}
+
+/// Edit Distance on Real sequence (Chen/Özsu/Oria, SIGMOD 2005): the
+/// number of insert/delete/replace edits to turn `a` into `b`, where two
+/// points "match" (edit cost 0) when within `eps` metres. Lower is more
+/// similar; `max(n, m)` is the upper bound.
+#[must_use]
+pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> usize {
+    let pa = positions(a);
+    let pb = positions(b);
+    if pa.is_empty() {
+        return pb.len();
+    }
+    if pb.is_empty() {
+        return pa.len();
+    }
+    let m = pb.len();
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for (i, &x) in pa.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &y) in pb.iter().enumerate() {
+            let subcost = usize::from(x.dist(y) > eps);
+            cur[j + 1] = (prev[j] + subcost)
+                .min(prev[j + 1] + 1)
+                .min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{GpsPoint, TrajId};
+
+    fn traj(pts: &[(f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            TrajId(0),
+            pts.iter()
+                .enumerate()
+                .map(|(k, &(x, y))| GpsPoint::new(Point::new(x, y), k as f64 * 10.0))
+                .collect(),
+        )
+    }
+
+    fn line(n: usize, y: f64) -> Trajectory {
+        traj(&(0..n).map(|k| (k as f64 * 100.0, y)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn dtw_identity_is_zero() {
+        let a = line(10, 0.0);
+        assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dtw_parallel_lines() {
+        let a = line(10, 0.0);
+        let b = line(10, 30.0);
+        // Optimal alignment is 1:1 → 10 × 30 m.
+        assert!((dtw(&a, &b) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_handles_different_lengths() {
+        let a = line(10, 0.0);
+        let b = line(5, 0.0);
+        // b's points sit on a's route; warping absorbs the density gap but
+        // must pay for a's unmatched far points.
+        let d = dtw(&a, &b);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+        // Symmetry.
+        assert!((d - dtw(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_empty_is_infinite() {
+        let a = line(5, 0.0);
+        let e = Trajectory::new(TrajId(0), vec![]);
+        assert_eq!(dtw(&a, &e), f64::INFINITY);
+    }
+
+    #[test]
+    fn lcss_identity_is_one() {
+        let a = line(8, 0.0);
+        assert_eq!(lcss(&a, &a, 1.0), 1.0);
+    }
+
+    #[test]
+    fn lcss_tolerates_outliers() {
+        let a = line(10, 0.0);
+        // Same line with two wild outliers.
+        let mut pts: Vec<(f64, f64)> = (0..10).map(|k| (k as f64 * 100.0, 0.0)).collect();
+        pts[3] = (300.0, 5_000.0);
+        pts[7] = (700.0, -5_000.0);
+        let b = traj(&pts);
+        let s = lcss(&a, &b, 10.0);
+        assert!((s - 0.8).abs() < 1e-9, "8 of 10 still match, got {s}");
+    }
+
+    #[test]
+    fn lcss_disjoint_is_zero() {
+        let a = line(6, 0.0);
+        let b = line(6, 10_000.0);
+        assert_eq!(lcss(&a, &b, 50.0), 0.0);
+    }
+
+    #[test]
+    fn edr_identity_is_zero() {
+        let a = line(7, 0.0);
+        assert_eq!(edr(&a, &a, 1.0), 0);
+    }
+
+    #[test]
+    fn edr_counts_edits() {
+        let a = line(10, 0.0);
+        let mut pts: Vec<(f64, f64)> = (0..10).map(|k| (k as f64 * 100.0, 0.0)).collect();
+        pts[4] = (400.0, 9_999.0); // one replaced point
+        let b = traj(&pts);
+        assert_eq!(edr(&a, &b, 10.0), 1);
+        // Length difference costs insertions.
+        let c = line(7, 0.0);
+        assert_eq!(edr(&a, &c, 10.0), 3);
+    }
+
+    #[test]
+    fn edr_empty_costs_full_length() {
+        let a = line(5, 0.0);
+        let e = Trajectory::new(TrajId(0), vec![]);
+        assert_eq!(edr(&a, &e, 10.0), 5);
+        assert_eq!(edr(&e, &a, 10.0), 5);
+    }
+
+    #[test]
+    fn same_route_trips_are_mutually_similar() {
+        // Two sparse samplings of the same L-shaped path must be similar
+        // under all three measures despite disjoint sample positions.
+        let path: Vec<(f64, f64)> = (0..20)
+            .map(|k| {
+                if k < 10 {
+                    (k as f64 * 100.0, 0.0)
+                } else {
+                    (1000.0, (k - 10) as f64 * 100.0)
+                }
+            })
+            .collect();
+        let a = traj(&path.iter().step_by(2).copied().collect::<Vec<_>>());
+        let b = traj(&path.iter().skip(1).step_by(2).copied().collect::<Vec<_>>());
+        assert!(lcss(&a, &b, 150.0) > 0.8);
+        assert!(dtw(&a, &b) / a.len() as f64 <= 150.0, "per-point DTW small");
+        assert!(edr(&a, &b, 150.0) <= 2);
+    }
+}

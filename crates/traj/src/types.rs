@@ -1,0 +1,227 @@
+//! Core trajectory types (Definition 1 of the paper).
+
+use hris_geo::{BBox, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a trajectory within an archive.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TrajId(pub u32);
+
+impl TrajId {
+    /// The id as a `usize` index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TrajId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A time-stamped GPS observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsPoint {
+    /// Observed position (local planar frame, metres).
+    pub pos: Point,
+    /// Timestamp in seconds since the scenario epoch.
+    pub t: f64,
+}
+
+impl GpsPoint {
+    /// Creates a GPS point.
+    #[inline]
+    #[must_use]
+    pub const fn new(pos: Point, t: f64) -> Self {
+        GpsPoint { pos, t }
+    }
+
+    /// Planar distance to another observation, metres.
+    #[inline]
+    #[must_use]
+    pub fn dist(&self, other: &GpsPoint) -> f64 {
+        self.pos.dist(other.pos)
+    }
+}
+
+/// A GPS trajectory: a time-ordered sequence of observations
+/// (`p₁ → p₂ → … → pₙ`, Definition 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Trajectory {
+    /// Identifier (assigned when stored in an archive; 0 for ad-hoc data).
+    pub id: TrajId,
+    /// Observations in non-decreasing time order.
+    pub points: Vec<GpsPoint>,
+}
+
+impl Trajectory {
+    /// A trajectory from raw points.
+    ///
+    /// # Panics
+    /// Panics if the points are not in non-decreasing time order.
+    #[must_use]
+    pub fn new(id: TrajId, points: Vec<GpsPoint>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].t <= w[1].t),
+            "trajectory points must be time-ordered"
+        );
+        Trajectory { id, points }
+    }
+
+    /// Number of observations.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the trajectory has no observations.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Duration from first to last observation, seconds (0 for < 2 points).
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Sum of straight-line hops between consecutive observations, metres.
+    ///
+    /// A lower bound on the true travelled distance — the lower the sampling
+    /// rate, the looser the bound (the paper's core motivation).
+    #[must_use]
+    pub fn path_length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].dist(&w[1])).sum()
+    }
+
+    /// Mean time interval between consecutive observations, seconds
+    /// (`ΔT` of Definition 1); 0 for < 2 points.
+    #[must_use]
+    pub fn mean_interval(&self) -> f64 {
+        if self.points.len() < 2 {
+            0.0
+        } else {
+            self.duration() / (self.points.len() - 1) as f64
+        }
+    }
+
+    /// Largest time interval between consecutive observations, seconds.
+    #[must_use]
+    pub fn max_interval(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[1].t - w[0].t)
+            .fold(0.0, f64::max)
+    }
+
+    /// Bounding box of the observations (empty box for an empty trajectory).
+    #[must_use]
+    pub fn bbox(&self) -> BBox {
+        BBox::covering(self.points.iter().map(|p| p.pos))
+    }
+
+    /// The observation of this trajectory nearest to `q`
+    /// (`nn(q, T)` of Definition 6), with its index. `None` when empty.
+    #[must_use]
+    pub fn nearest_point(&self, q: Point) -> Option<(usize, &GpsPoint)> {
+        self.points
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.pos.dist_sq(q).total_cmp(&b.1.pos.dist_sq(q)))
+    }
+
+    /// Sub-trajectory over the inclusive index range, preserving order even
+    /// when `a > b` (the reference may travel "backwards" relative to the
+    /// query's direction — such references are rejected later by the speed
+    /// filter, but extraction itself must not panic).
+    #[must_use]
+    pub fn slice(&self, a: usize, b: usize) -> &[GpsPoint] {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        &self.points[lo..=hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::new(
+            TrajId(1),
+            vec![
+                GpsPoint::new(Point::new(0.0, 0.0), 0.0),
+                GpsPoint::new(Point::new(100.0, 0.0), 10.0),
+                GpsPoint::new(Point::new(100.0, 100.0), 30.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_stats() {
+        let t = traj();
+        assert_eq!(t.len(), 3);
+        assert!((t.duration() - 30.0).abs() < 1e-12);
+        assert!((t.path_length() - 200.0).abs() < 1e-12);
+        assert!((t.mean_interval() - 15.0).abs() < 1e-12);
+        assert!((t.max_interval() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Trajectory::new(TrajId(0), vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.duration(), 0.0);
+        assert_eq!(e.mean_interval(), 0.0);
+        assert!(e.nearest_point(Point::ORIGIN).is_none());
+        let s = Trajectory::new(TrajId(0), vec![GpsPoint::new(Point::ORIGIN, 5.0)]);
+        assert_eq!(s.duration(), 0.0);
+        assert_eq!(s.path_length(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_unordered_times() {
+        let _ = Trajectory::new(
+            TrajId(0),
+            vec![
+                GpsPoint::new(Point::ORIGIN, 10.0),
+                GpsPoint::new(Point::ORIGIN, 5.0),
+            ],
+        );
+    }
+
+    #[test]
+    fn nearest_point_finds_minimum() {
+        let t = traj();
+        let (idx, p) = t.nearest_point(Point::new(95.0, 90.0)).unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(p.pos, Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn slice_handles_reversed_indices() {
+        let t = traj();
+        assert_eq!(t.slice(0, 2).len(), 3);
+        assert_eq!(t.slice(2, 0).len(), 3);
+        assert_eq!(t.slice(1, 1).len(), 1);
+    }
+
+    #[test]
+    fn bbox_covers_points() {
+        let b = traj().bbox();
+        assert_eq!(b.min, Point::new(0.0, 0.0));
+        assert_eq!(b.max, Point::new(100.0, 100.0));
+    }
+}

@@ -1,0 +1,58 @@
+//! GeoJSON export: dump the synthetic city, one low-rate query and its
+//! inferred route into files you can drop straight onto geojson.io or
+//! kepler.gl.
+//!
+//! ```text
+//! cargo run --release --example export_geojson [output_dir]
+//! ```
+
+use hris::{Hris, HrisParams};
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_geo::{LatLon, LocalProjection};
+use hris_traj::{geojson, resample_to_interval};
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "geojson_out".to_string());
+    std::fs::create_dir_all(&dir).expect("create output directory");
+
+    let mut cfg = ScenarioConfig::quick(31);
+    cfg.num_queries = 1;
+    let s = Scenario::build(cfg);
+    // Pretend the synthetic city sits in Beijing (the paper's venue).
+    let proj = LocalProjection::new(LatLon::new(39.9042, 116.4074));
+
+    // 1. The road network.
+    let net_fc = geojson::network_collection(&s.net, Some(&proj));
+    write(&dir, "network.geojson", &net_fc);
+
+    // 2. The query: dense truth, sparse observation, inferred route.
+    let q = &s.queries[0];
+    let sparse = resample_to_interval(&q.dense, 360.0);
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    let top = hris.infer_top1(&sparse).expect("inference succeeds");
+
+    let features = vec![
+        geojson::trajectory_feature(&sparse, Some(&proj)),
+        geojson::route_feature(&q.truth, &s.net, Some(&proj)),
+        geojson::route_feature(&top.route, &s.net, Some(&proj)),
+    ];
+    write(&dir, "query_and_routes.geojson", &geojson::feature_collection(features));
+
+    println!(
+        "wrote {dir}/network.geojson ({} segments) and {dir}/query_and_routes.geojson",
+        s.net.num_segments()
+    );
+    println!(
+        "query: {} sparse fixes; truth {:.1} km; inferred {:.1} km (A_L = {:.3})",
+        sparse.len(),
+        q.truth.length(&s.net) / 1000.0,
+        top.route.length(&s.net) / 1000.0,
+        hris_eval::metrics::accuracy_al(&q.truth, &top.route, &s.net)
+    );
+}
+
+fn write(dir: &str, name: &str, value: &serde_json::Value) {
+    let path = format!("{dir}/{name}");
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
+        .expect("write file");
+}

@@ -1,0 +1,73 @@
+//! Map-matching shootout: HRIS vs Incremental vs ST-Matching vs IVMM on
+//! the same low-sampling-rate queries — a miniature of Figure 8a.
+//!
+//! ```text
+//! cargo run --release --example map_matching_shootout [interval_seconds]
+//! ```
+
+use hris::{Hris, HrisMatcher, HrisParams};
+use hris_eval::metrics::accuracy_al;
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_mapmatch::{HmmMatcher, IncrementalMatcher, IvmmMatcher, MapMatcher, StMatcher};
+use hris_traj::resample_to_interval;
+
+fn main() {
+    let interval: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(540.0);
+
+    let mut cfg = ScenarioConfig::quick(5);
+    cfg.num_queries = 6;
+    let s = Scenario::build(cfg);
+    println!(
+        "scenario: {} segments, {} archived trips, {} queries at {:.0} s interval\n",
+        s.net.num_segments(),
+        s.archive.num_trajectories(),
+        s.queries.len(),
+        interval
+    );
+
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    let hris_matcher = HrisMatcher { hris: &hris };
+    let ivmm = IvmmMatcher::default();
+    let st = StMatcher::default();
+    let inc = IncrementalMatcher::default();
+    let hmm = HmmMatcher::default();
+    let matchers: Vec<&dyn MapMatcher> = vec![&hris_matcher, &ivmm, &st, &inc, &hmm];
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "query", "HRIS", "IVMM", "ST-Matching", "Incremental", "HMM"
+    );
+    let mut sums = vec![0.0f64; matchers.len()];
+    for (qi, q) in s.queries.iter().enumerate() {
+        let query = resample_to_interval(&q.dense, interval);
+        let mut row = format!("{qi:>6}");
+        for (mi, m) in matchers.iter().enumerate() {
+            let acc = m
+                .match_trajectory(&s.net, &query)
+                .map(|r| accuracy_al(&q.truth, &r.route, &s.net))
+                .unwrap_or(0.0);
+            sums[mi] += acc;
+            row.push_str(&format!(" {acc:>10.3}"));
+        }
+        println!("{row}");
+    }
+    let n = s.queries.len() as f64;
+    println!(
+        "{:>6} {:>10.3} {:>10.3} {:>12.3} {:>12.3} {:>10.3}",
+        "mean",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n,
+        sums[4] / n
+    );
+    println!(
+        "\nAt {:.0}-second sampling the history-based inference keeps its edge:\n\
+         the baselines can only connect distant fixes with shortest paths,\n\
+         while HRIS threads the routes the archive shows people actually drive.",
+        interval
+    );
+}

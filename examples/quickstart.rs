@@ -1,0 +1,75 @@
+//! Quickstart: build a city, simulate a taxi archive, infer the route of a
+//! low-sampling-rate trajectory, and compare it against the ground truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hris::{Hris, HrisParams};
+use hris_eval::metrics::accuracy_al;
+use hris_roadnet::{generator, NetworkConfig};
+use hris_traj::{resample_to_interval, simulator, SimConfig, Simulator, TrajId, Trajectory};
+
+fn main() {
+    // 1. A synthetic city: perturbed grid with arterials and one-ways.
+    let net = generator::generate(&NetworkConfig::default());
+    println!(
+        "city: {} intersections, {} road segments, V_max = {:.0} km/h",
+        net.num_nodes(),
+        net.num_segments(),
+        net.max_speed() * 3.6
+    );
+
+    // 2. A historical archive from a simulated taxi fleet with skewed
+    //    route choice (the paper's Observation 1).
+    let mut sim = Simulator::new(
+        &net,
+        SimConfig {
+            num_trips: 1500,
+            num_od_patterns: 40,
+            min_trip_dist_m: 3_000.0,
+            seed: 7,
+            ..SimConfig::default()
+        },
+    );
+    let (archive, _truth) = sim.generate_archive();
+    println!(
+        "archive: {} trips, {} GPS points",
+        archive.num_trajectories(),
+        archive.num_points()
+    );
+
+    // 3. A query: someone drove a 4+ km trip, but their GPS only reported
+    //    every 3 minutes.
+    let (_, _, route) = sim
+        .od_with_dist(4_000.0, 6_000.0)
+        .expect("found a suitable trip");
+    let dense_points =
+        simulator::drive_route(&net, &route, 0.0, 20.0, 0.8).expect("route drivable");
+    let dense = Trajectory::new(TrajId(0), dense_points);
+    let query = resample_to_interval(&dense, 180.0);
+    println!(
+        "query: {} points over {:.1} min covering {:.1} km (true route)",
+        query.len(),
+        query.duration() / 60.0,
+        route.length(&net) / 1000.0
+    );
+
+    // 4. Infer the top-3 routes with HRIS.
+    let hris = Hris::new(&net, archive, HrisParams::default());
+    let suggestions = hris.infer_routes(&query, 3);
+    for (i, s) in suggestions.iter().enumerate() {
+        println!(
+            "  suggestion {}: {:.1} km, log-score {:.2}, accuracy vs truth A_L = {:.3}",
+            i + 1,
+            s.route.length(&net) / 1000.0,
+            s.log_score,
+            accuracy_al(&route, &s.route, &net)
+        );
+    }
+    let top1 = &suggestions[0];
+    println!(
+        "top-1 route matches {:.0}% of the true route",
+        accuracy_al(&route, &top1.route, &net) * 100.0
+    );
+}

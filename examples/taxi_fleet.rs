@@ -1,0 +1,119 @@
+//! Taxi-fleet data pipeline: simulate raw multi-day GPS logs, run the
+//! paper's preprocessing (stay-point detection → trip partition →
+//! indexing), and report archive statistics — the offline component of
+//! Figure 2.
+//!
+//! ```text
+//! cargo run --release --example taxi_fleet
+//! ```
+
+use hris_geo::Point;
+use hris_roadnet::{generator, NetworkConfig};
+use hris_traj::{
+    detect_stay_points, partition_trips, GpsPoint, SimConfig, Simulator, StayPointConfig, TrajId,
+    Trajectory, TrajectoryArchive,
+};
+
+fn main() {
+    let net = generator::generate(&NetworkConfig::default());
+    let mut sim = Simulator::new(
+        &net,
+        SimConfig {
+            num_trips: 400,
+            num_od_patterns: 25,
+            min_trip_dist_m: 2_000.0,
+            seed: 11,
+            ..SimConfig::default()
+        },
+    );
+
+    // Build raw "shift logs": several trips concatenated, with idle
+    // lingering at each drop-off point — exactly what a real taxi's GPS
+    // log looks like before preprocessing.
+    let trips = sim.generate_trips();
+    let mut raw_logs: Vec<Trajectory> = Vec::new();
+    for shift in trips.chunks(8) {
+        let mut points: Vec<GpsPoint> = Vec::new();
+        let mut clock = 0.0;
+        for trip in shift {
+            // Re-base this trip's timestamps onto the shift clock.
+            let base = trip.trajectory.points[0].t;
+            for p in &trip.trajectory.points {
+                points.push(GpsPoint::new(p.pos, clock + (p.t - base)));
+            }
+            clock = points.last().map_or(clock, |p| p.t);
+            // Idle at the drop-off for 8 minutes, jittering a few metres.
+            let here = points.last().map_or(Point::ORIGIN, |p| p.pos);
+            for k in 0..8 {
+                clock += 60.0;
+                points.push(GpsPoint::new(
+                    Point::new(here.x + (k % 3) as f64 * 4.0, here.y + (k % 2) as f64 * 4.0),
+                    clock,
+                ));
+            }
+        }
+        raw_logs.push(Trajectory::new(TrajId(raw_logs.len() as u32), points));
+    }
+    println!(
+        "raw logs: {} shifts, {} total points",
+        raw_logs.len(),
+        raw_logs.iter().map(Trajectory::len).sum::<usize>()
+    );
+
+    // Preprocessing: stay points split shifts back into trips.
+    let cfg = StayPointConfig {
+        dist_threshold_m: 80.0,
+        time_threshold_s: 240.0,
+        max_gap_s: 1800.0,
+        min_trip_points: 3,
+    };
+    let mut all_trips = Vec::new();
+    let mut total_stays = 0;
+    for log in &raw_logs {
+        total_stays += detect_stay_points(log, &cfg).len();
+        all_trips.extend(partition_trips(log, &cfg));
+    }
+    println!(
+        "preprocessing: {} stay points detected, {} effective trips recovered",
+        total_stays,
+        all_trips.len()
+    );
+
+    let archive = TrajectoryArchive::new(all_trips);
+    println!(
+        "archive: {} trips / {} points indexed in the R-tree",
+        archive.num_trajectories(),
+        archive.num_points()
+    );
+
+    // Archive statistics the paper reports about its Beijing dataset:
+    // sampling-interval distribution (how much of the data is low-rate).
+    let mut low_rate = 0usize;
+    let mut intervals: Vec<f64> = Vec::new();
+    for t in archive.trajectories() {
+        if t.len() >= 2 {
+            let iv = t.mean_interval();
+            intervals.push(iv);
+            if iv > 120.0 {
+                low_rate += 1;
+            }
+        }
+    }
+    intervals.sort_by(f64::total_cmp);
+    let pct = |q: f64| intervals[((intervals.len() - 1) as f64 * q) as usize];
+    println!(
+        "sampling intervals: median {:.0} s, p90 {:.0} s — {:.0}% of trips are low-rate (> 2 min)",
+        pct(0.5),
+        pct(0.9),
+        100.0 * low_rate as f64 / intervals.len() as f64
+    );
+
+    // Persist and reload the archive (binary codec).
+    let blob = archive.to_bytes();
+    let restored = TrajectoryArchive::from_bytes(blob.clone()).expect("roundtrip");
+    println!(
+        "persistence: {} bytes on disk, {} trips after reload",
+        blob.len(),
+        restored.num_trajectories()
+    );
+}

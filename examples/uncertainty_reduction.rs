@@ -1,0 +1,110 @@
+//! Uncertainty reduction: the paper's core framing. For one sparse
+//! trajectory, count how many routes are *topologically* possible between
+//! consecutive fixes, then show how HRIS cuts them down to a handful of
+//! scored suggestions.
+//!
+//! ```text
+//! cargo run --release --example uncertainty_reduction
+//! ```
+
+use hris::{Hris, HrisParams};
+use hris_eval::metrics::accuracy_al;
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_roadnet::{NodeId, RoadNetwork};
+use hris_traj::resample_to_interval;
+use std::collections::HashMap;
+
+/// Counts simple paths between two vertices up to a hop budget — the raw
+/// "route uncertainty" a sparse pair leaves open. Capped to keep the
+/// explosion printable.
+fn count_paths(net: &RoadNetwork, from: NodeId, to: NodeId, max_hops: usize, cap: u64) -> u64 {
+    fn rec(
+        net: &RoadNetwork,
+        cur: NodeId,
+        to: NodeId,
+        hops_left: usize,
+        on_path: &mut Vec<NodeId>,
+        count: &mut u64,
+        cap: u64,
+    ) {
+        if *count >= cap {
+            return;
+        }
+        if cur == to {
+            *count += 1;
+            return;
+        }
+        if hops_left == 0 {
+            return;
+        }
+        for &sid in net.out_segments(cur) {
+            let next = net.segment(sid).to;
+            if on_path.contains(&next) {
+                continue;
+            }
+            on_path.push(next);
+            rec(net, next, to, hops_left - 1, on_path, count, cap);
+            on_path.pop();
+        }
+    }
+    let mut count = 0;
+    let mut on_path = vec![from];
+    rec(net, from, to, max_hops, &mut on_path, &mut count, cap);
+    count
+}
+
+fn main() {
+    let mut cfg = ScenarioConfig::quick(23);
+    cfg.num_queries = 3;
+    let s = Scenario::build(cfg);
+    let q = &s.queries[0];
+    let query = resample_to_interval(&q.dense, 360.0); // 6-minute fixes
+    println!(
+        "query: {} fixes at ~6 min interval; true route {:.1} km\n",
+        query.len(),
+        q.truth.length(&s.net) / 1000.0
+    );
+
+    // Raw uncertainty: simple paths between consecutive fixes.
+    println!("raw route uncertainty between consecutive fixes:");
+    let cap = 100_000u64;
+    for (i, w) in query.points.windows(2).enumerate() {
+        let a = s.net.nearest_segment(w[0].pos).expect("on map").segment;
+        let b = s.net.nearest_segment(w[1].pos).expect("on map").segment;
+        let (from, to) = (s.net.segment(a).to, s.net.segment(b).from);
+        // Hop budget: enough segments to plausibly cover the gap (detour
+        // factor 1.6 over the straight line, ~250 m per block edge).
+        let gap = w[0].pos.dist(w[1].pos);
+        let hops = ((gap * 1.6 / 250.0).ceil() as usize).clamp(4, 26);
+        let n = count_paths(&s.net, from, to, hops, cap);
+        let shown = if n >= cap {
+            format!(">{cap}")
+        } else {
+            n.to_string()
+        };
+        println!("  pair {i}: {shown} topologically possible simple routes");
+    }
+
+    // HRIS: a handful of scored suggestions.
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    let suggestions = hris.infer_routes(&query, 5);
+    println!("\nHRIS reduces this to {} suggested routes:", suggestions.len());
+    let mut seen_acc: HashMap<usize, f64> = HashMap::new();
+    for (i, sr) in suggestions.iter().enumerate() {
+        let acc = accuracy_al(&q.truth, &sr.route, &s.net);
+        seen_acc.insert(i, acc);
+        println!(
+            "  #{}: {:.1} km, log-score {:.2}, A_L vs truth {:.3}",
+            i + 1,
+            sr.route.length(&s.net) / 1000.0,
+            sr.log_score,
+            acc
+        );
+    }
+    let best = seen_acc.values().copied().fold(0.0, f64::max);
+    println!(
+        "\nbest suggestion reaches A_L = {best:.3}; the uncertainty collapsed from\n\
+         thousands of feasible routes per gap to a shortlist a human (or a\n\
+         downstream mining job) can actually use."
+    );
+}

@@ -1,0 +1,20 @@
+//! Workspace facade: re-exports the HRIS crates for the integration tests
+//! and runnable examples that live at the repository root.
+//!
+//! The actual functionality lives in the member crates:
+//! - [`hris_geo`] — geometry kernels;
+//! - [`hris_rtree`] — the R-tree spatial index;
+//! - [`hris_roadnet`] — the road-network graph, shortest paths and the
+//!   synthetic city generator;
+//! - [`hris_traj`] — trajectories, preprocessing and the taxi simulator;
+//! - [`hris_mapmatch`] — the Incremental / ST-Matching / IVMM baselines;
+//! - [`hris`] — the History-based Route Inference System itself;
+//! - [`hris_eval`] — metrics, scenarios and the per-figure experiments.
+
+pub use hris;
+pub use hris_eval;
+pub use hris_geo;
+pub use hris_mapmatch;
+pub use hris_roadnet;
+pub use hris_rtree;
+pub use hris_traj;

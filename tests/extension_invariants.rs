@@ -1,0 +1,122 @@
+//! Property tests for the extension features (temporal filter, free-space
+//! inference) and the accuracy metric, exercised across crates.
+
+use hris::freespace::{infer_polyline, FreespaceParams};
+use hris::reference::{search_references, RefSearchConfig};
+use hris_eval::metrics::{accuracy_al, lcr_length};
+use hris_geo::Point;
+use hris_roadnet::{generator, NetworkConfig, Route};
+use hris_traj::{GpsPoint, TrajId, Trajectory, TrajectoryArchive};
+use proptest::prelude::*;
+
+fn random_archive(seed: u64, trips: usize) -> TrajectoryArchive {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..trips {
+        let n = rng.gen_range(3..15);
+        let mut t = rng.gen_range(0.0..86_400.0 * 2.0);
+        let mut x = rng.gen_range(0.0..4_000.0);
+        let mut y = rng.gen_range(0.0..4_000.0);
+        let mut pts = Vec::with_capacity(n);
+        for _ in 0..n {
+            pts.push(GpsPoint::new(Point::new(x, y), t));
+            t += rng.gen_range(20.0..300.0);
+            x += rng.gen_range(-400.0..400.0);
+            y += rng.gen_range(-400.0..400.0);
+        }
+        out.push(Trajectory::new(TrajId(0), pts));
+    }
+    TrajectoryArchive::new(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The temporal filter can only *remove* references: time-aware results
+    /// are a subset (by source ids) of time-blind results.
+    #[test]
+    fn temporal_filter_is_monotone(
+        seed in 0u64..20,
+        tod in 0.0..86_400.0f64,
+        tol in 600.0..21_600.0f64,
+        qx in 500.0..3_500.0f64,
+        qy in 500.0..3_500.0f64,
+    ) {
+        let archive = random_archive(seed, 25);
+        let qi = Point::new(qx, qy);
+        let qj = Point::new(qx + 900.0, qy);
+        let blind_cfg = RefSearchConfig::new(700.0, 0.0);
+        let aware_cfg = RefSearchConfig {
+            temporal: Some((tod, tol)),
+            ..blind_cfg
+        };
+        let blind = search_references(&archive, qi, qj, 600.0, 25.0, &blind_cfg);
+        let aware = search_references(&archive, qi, qj, 600.0, 25.0, &aware_cfg);
+        prop_assert!(aware.len() <= blind.len());
+        let blind_ids: std::collections::HashSet<_> =
+            blind.refs.iter().map(|r| r.sources.clone()).collect();
+        for r in &aware.refs {
+            prop_assert!(blind_ids.contains(&r.sources));
+        }
+    }
+
+    /// Free-space inference always produces a polyline spanning the query,
+    /// whatever the archive looks like.
+    #[test]
+    fn freespace_spans_query(seed in 0u64..12, n_pts in 2usize..6) {
+        let archive = random_archive(seed, 15);
+        let pts: Vec<GpsPoint> = (0..n_pts)
+            .map(|k| {
+                GpsPoint::new(
+                    Point::new(500.0 + k as f64 * 700.0, 1_000.0 + (k % 2) as f64 * 300.0),
+                    k as f64 * 240.0,
+                )
+            })
+            .collect();
+        let query = Trajectory::new(TrajId(0), pts.clone());
+        let pl = infer_polyline(&archive, &query, &FreespaceParams::default()).unwrap();
+        prop_assert!(pl.start().dist(pts[0].pos) < 1e-6);
+        prop_assert!(pl.end().dist(pts[n_pts - 1].pos) < 1e-6);
+        // Every query fix lies on the inferred curve.
+        for p in &pts {
+            prop_assert!(pl.dist_to_point(p.pos) < 1e-6);
+        }
+        prop_assert!(pl.length().is_finite());
+    }
+
+    /// `A_L` over random routes: bounded, symmetric, and LCR dominated by
+    /// both route lengths.
+    #[test]
+    fn accuracy_metric_invariants(
+        seed in 0u64..10,
+        walk_a in prop::collection::vec(0usize..4, 1..25),
+        walk_b in prop::collection::vec(0usize..4, 1..25),
+    ) {
+        let net = generator::generate(&NetworkConfig {
+            blocks_x: 4,
+            blocks_y: 4,
+            ..NetworkConfig::small(seed)
+        });
+        let walk = |start: usize, choices: &[usize]| -> Route {
+            let mut segs = vec![net.segments()[start % net.num_segments()].id];
+            for &c in choices {
+                let nexts = net.next_segments(*segs.last().unwrap());
+                if nexts.is_empty() {
+                    break;
+                }
+                segs.push(nexts[c % nexts.len()]);
+            }
+            Route::new(segs)
+        };
+        let a = walk(seed as usize, &walk_a);
+        let b = walk(seed as usize + 7, &walk_b);
+        let acc = accuracy_al(&a, &b, &net);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((acc - accuracy_al(&b, &a, &net)).abs() < 1e-9);
+        prop_assert!((accuracy_al(&a, &a, &net) - 1.0).abs() < 1e-9);
+        let lcr = lcr_length(&a, &b, &net);
+        prop_assert!(lcr <= a.length(&net) + 1e-6);
+        prop_assert!(lcr <= b.length(&net) + 1e-6);
+    }
+}

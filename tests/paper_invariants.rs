@@ -1,0 +1,155 @@
+//! Cross-crate invariants lifted straight from the paper's claims, checked
+//! on real pipeline outputs (not synthetic fixtures).
+
+use hris::global::{brute_force_top_k, k_gri};
+use hris::{Hris, HrisParams};
+use hris_eval::metrics::{accuracy_al, lcr_length};
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_roadnet::NetworkConfig;
+use hris_traj::resample_to_interval;
+
+fn scenario() -> &'static Scenario {
+    static SCENARIO: std::sync::OnceLock<Scenario> = std::sync::OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        let mut cfg = ScenarioConfig::quick(777);
+        cfg.net = NetworkConfig {
+            blocks_x: 18,
+            blocks_y: 18,
+            block_m: 300.0,
+            arterial_every: 6,
+            seed: 77,
+            ..NetworkConfig::default()
+        };
+        cfg.sim.num_trips = 700;
+        cfg.sim.num_od_patterns = 25;
+        cfg.sim.min_trip_dist_m = 2_500.0;
+        cfg.num_queries = 4;
+        cfg.query_len_m = (3_000.0, 5_500.0);
+        Scenario::build(cfg)
+    })
+}
+
+/// Section III-C: K-GRI's downward-closure DP must equal exhaustive
+/// enumeration — here on the *actual* local-inference output of a query.
+#[test]
+fn kgri_matches_brute_force_on_real_queries() {
+    let s = scenario();
+    let params = HrisParams {
+        max_local_routes: 4, // keep brute force tractable
+        ..HrisParams::default()
+    };
+    let hris = Hris::new(&s.net, s.archive.clone(), params.clone());
+    for q in &s.queries {
+        let query = resample_to_interval(&q.dense, 300.0);
+        let locals = hris.local_inference(&query);
+        let n = locals.len().min(6);
+        let slice = &locals[..n];
+        for k in [1usize, 3] {
+            let dp = k_gri(&s.net, slice, k, params.entropy_floor);
+            let bf = brute_force_top_k(&s.net, slice, k, params.entropy_floor);
+            assert_eq!(dp.len(), bf.len());
+            for (d, b) in dp.iter().zip(bf.iter()) {
+                assert!(
+                    (d.log_score - b.log_score).abs() < 1e-9,
+                    "k={k}: {} vs {}",
+                    d.log_score,
+                    b.log_score
+                );
+            }
+        }
+    }
+}
+
+/// Figure 14a's monotonicity: the best of the top-k suggestions can only
+/// improve as k grows.
+#[test]
+fn max_topk_accuracy_is_monotone_in_k() {
+    let s = scenario();
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    for q in &s.queries {
+        let query = resample_to_interval(&q.dense, 300.0);
+        let mut last_max = 0.0f64;
+        for k in [1usize, 2, 4, 8] {
+            let routes = hris.infer_routes(&query, k);
+            let best = routes
+                .iter()
+                .map(|r| accuracy_al(&q.truth, &r.route, &s.net))
+                .fold(0.0f64, f64::max);
+            assert!(
+                best >= last_max - 1e-9,
+                "k={k}: best {best} dropped below {last_max}"
+            );
+            last_max = last_max.max(best);
+        }
+    }
+}
+
+/// The accuracy metric itself: identity, symmetry, bounds — on real routes.
+#[test]
+fn accuracy_metric_properties_on_real_routes() {
+    let s = scenario();
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    for q in &s.queries {
+        let query = resample_to_interval(&q.dense, 300.0);
+        let top = hris.infer_top1(&query).unwrap();
+        let a = accuracy_al(&q.truth, &top.route, &s.net);
+        assert!((0.0..=1.0).contains(&a));
+        assert!((accuracy_al(&q.truth, &q.truth, &s.net) - 1.0).abs() < 1e-9);
+        assert!(
+            (accuracy_al(&q.truth, &top.route, &s.net)
+                - accuracy_al(&top.route, &q.truth, &s.net))
+            .abs()
+                < 1e-9
+        );
+        // LCR is bounded by both route lengths.
+        let lcr = lcr_length(&q.truth, &top.route, &s.net);
+        assert!(lcr <= q.truth.length(&s.net) + 1e-6);
+        assert!(lcr <= top.route.length(&s.net) + 1e-6);
+    }
+}
+
+/// Observation 1 must hold in the generated archive itself: route
+/// popularity over recurring OD patterns is heavily skewed.
+#[test]
+fn archive_exhibits_skewed_travel_patterns() {
+    let s = scenario();
+    use std::collections::HashMap;
+    let mut counts: HashMap<&hris_roadnet::Route, usize> = HashMap::new();
+    for r in &s.archive_truth {
+        *counts.entry(r).or_default() += 1;
+    }
+    let mut freqs: Vec<usize> = counts.values().copied().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = freqs.iter().sum();
+    let top10: usize = freqs.iter().take(10).sum();
+    assert!(
+        top10 as f64 / total as f64 > 0.3,
+        "top-10 routes should carry >30% of trips, got {:.2}",
+        top10 as f64 / total as f64
+    );
+}
+
+/// The suggested routes must connect the query's endpoints: start and end
+/// near the first/last GPS fix.
+#[test]
+fn inferred_routes_span_the_query() {
+    let s = scenario();
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    for q in &s.queries {
+        let query = resample_to_interval(&q.dense, 360.0);
+        let top = hris.infer_top1(&query).unwrap();
+        let pl = top.route.polyline(&s.net).unwrap();
+        let first = query.points.first().unwrap().pos;
+        let last = query.points.last().unwrap().pos;
+        assert!(
+            pl.start().dist(first) < 800.0,
+            "route starts {} m from the first fix",
+            pl.start().dist(first)
+        );
+        assert!(
+            pl.end().dist(last) < 800.0,
+            "route ends {} m from the last fix",
+            pl.end().dist(last)
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration tests: city generation → fleet simulation →
+//! preprocessing → route inference → accuracy evaluation, spanning every
+//! crate in the workspace.
+
+use hris::{Hris, HrisParams, LocalAlgorithm};
+use hris_eval::metrics::accuracy_al;
+use hris_eval::scenario::{Scenario, ScenarioConfig};
+use hris_mapmatch::{IncrementalMatcher, IvmmMatcher, MapMatcher, StMatcher};
+use hris_roadnet::NetworkConfig;
+use hris_traj::{resample_to_interval, TrajectoryArchive};
+
+/// One shared scenario, built once per test binary (it is deterministic).
+fn scenario() -> &'static Scenario {
+    static SCENARIO: std::sync::OnceLock<Scenario> = std::sync::OnceLock::new();
+    SCENARIO.get_or_init(build_scenario)
+}
+
+fn build_scenario() -> Scenario {
+    let mut cfg = ScenarioConfig::quick(404);
+    cfg.net = NetworkConfig {
+        blocks_x: 20,
+        blocks_y: 20,
+        block_m: 300.0,
+        arterial_every: 5,
+        seed: 9,
+        ..NetworkConfig::default()
+    };
+    cfg.sim.num_trips = 900;
+    cfg.sim.num_od_patterns = 30;
+    cfg.sim.min_trip_dist_m = 3_000.0;
+    cfg.num_queries = 5;
+    cfg.query_len_m = (3_500.0, 6_000.0);
+    Scenario::build(cfg)
+}
+
+#[test]
+fn hris_beats_chance_at_low_sampling_rate() {
+    let s = scenario();
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    let mut total = 0.0;
+    for q in &s.queries {
+        let query = resample_to_interval(&q.dense, 360.0); // 6-minute fixes
+        let top = hris.infer_top1(&query).expect("inference succeeds");
+        assert!(top.route.is_connected(&s.net), "inferred route connects");
+        total += accuracy_al(&q.truth, &top.route, &s.net);
+    }
+    let mean = total / s.queries.len() as f64;
+    assert!(mean > 0.4, "mean A_L at 6-min sampling was {mean}");
+}
+
+#[test]
+fn all_matchers_run_end_to_end() {
+    let s = scenario();
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    let hm = hris::HrisMatcher { hris: &hris };
+    let ivmm = IvmmMatcher::default();
+    let st = StMatcher::default();
+    let inc = IncrementalMatcher::default();
+    let matchers: Vec<&dyn MapMatcher> = vec![&hm, &ivmm, &st, &inc];
+    let query = resample_to_interval(&s.queries[0].dense, 240.0);
+    for m in matchers {
+        let res = m
+            .match_trajectory(&s.net, &query)
+            .unwrap_or_else(|| panic!("{} failed", m.name()));
+        assert!(!res.route.is_empty(), "{} returned an empty route", m.name());
+        assert!(
+            res.route.is_connected(&s.net),
+            "{} returned a disconnected route",
+            m.name()
+        );
+        let acc = accuracy_al(&s.queries[0].truth, &res.route, &s.net);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let s1 = build_scenario();
+    let s2 = build_scenario();
+    let h1 = Hris::new(&s1.net, s1.archive.clone(), HrisParams::default());
+    let h2 = Hris::new(&s2.net, s2.archive.clone(), HrisParams::default());
+    for (qa, qb) in s1.queries.iter().zip(s2.queries.iter()) {
+        let query_a = resample_to_interval(&qa.dense, 300.0);
+        let query_b = resample_to_interval(&qb.dense, 300.0);
+        let ra = h1.infer_routes(&query_a, 3);
+        let rb = h2.infer_routes(&query_b, 3);
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(rb.iter()) {
+            assert_eq!(x.route, y.route);
+            assert!((x.log_score - y.log_score).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn forced_local_algorithms_both_work() {
+    let s = scenario();
+    let query = resample_to_interval(&s.queries[1].dense, 300.0);
+    for algo in [LocalAlgorithm::Tgi, LocalAlgorithm::Nni] {
+        let params = HrisParams {
+            local_algorithm: algo,
+            ..HrisParams::default()
+        };
+        let hris = Hris::new(&s.net, s.archive.clone(), params);
+        let top = hris.infer_top1(&query).expect("inference succeeds");
+        assert!(top.route.is_connected(&s.net));
+        assert!(top.route.length(&s.net) > 1_000.0);
+    }
+}
+
+#[test]
+fn archive_persistence_roundtrips_through_inference() {
+    let s = scenario();
+    // Serialise the archive, reload it, and verify inference is unchanged.
+    let blob = s.archive.to_bytes();
+    let restored = TrajectoryArchive::from_bytes(blob).expect("valid blob");
+    let query = resample_to_interval(&s.queries[2].dense, 300.0);
+    let h1 = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    let h2 = Hris::new(&s.net, restored, HrisParams::default());
+    let r1 = h1.infer_top1(&query).unwrap();
+    let r2 = h2.infer_top1(&query).unwrap();
+    assert_eq!(r1.route, r2.route);
+}
+
+#[test]
+fn top_k_global_routes_ranked_and_loop_free() {
+    let s = scenario();
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+    let query = resample_to_interval(&s.queries[3].dense, 300.0);
+    let routes = hris.infer_routes(&query, 6);
+    assert!(!routes.is_empty());
+    for w in routes.windows(2) {
+        assert!(w[0].log_score >= w[1].log_score);
+    }
+    for r in &routes {
+        // Loop-free: excising loops must be a no-op.
+        assert_eq!(r.route.without_loops(&s.net), r.route);
+    }
+}

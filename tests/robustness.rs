@@ -1,0 +1,205 @@
+//! Failure-injection and edge-case tests: the system must degrade
+//! gracefully, never panic, on hostile inputs.
+
+use hris::{Hris, HrisParams};
+use hris_eval::metrics::accuracy_al;
+use hris_geo::Point;
+use hris_mapmatch::{IncrementalMatcher, IvmmMatcher, MapMatcher, StMatcher};
+use hris_roadnet::{generator, NetworkConfig, RoadNetwork};
+use hris_traj::{
+    add_gps_noise, GpsPoint, SimConfig, Simulator, TrajId, Trajectory, TrajectoryArchive,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn net() -> RoadNetwork {
+    generator::generate(&NetworkConfig::small(31))
+}
+
+fn tiny_archive(net: &RoadNetwork) -> TrajectoryArchive {
+    let mut sim = Simulator::new(
+        net,
+        SimConfig {
+            num_trips: 60,
+            num_od_patterns: 8,
+            min_trip_dist_m: 500.0,
+            seed: 2,
+            ..SimConfig::default()
+        },
+    );
+    sim.generate_archive().0
+}
+
+fn simple_query(net: &RoadNetwork) -> Trajectory {
+    let bbox = net.bbox();
+    let a = bbox.min.lerp(bbox.max, 0.2);
+    let b = bbox.min.lerp(bbox.max, 0.8);
+    Trajectory::new(
+        TrajId(0),
+        vec![
+            GpsPoint::new(a, 0.0),
+            GpsPoint::new(a.midpoint(b), 200.0),
+            GpsPoint::new(b, 400.0),
+        ],
+    )
+}
+
+#[test]
+fn empty_archive_never_panics() {
+    let net = net();
+    let hris = Hris::new(&net, TrajectoryArchive::empty(), HrisParams::default());
+    let q = simple_query(&net);
+    let routes = hris.infer_routes(&q, 3);
+    assert!(!routes.is_empty(), "shortest-path fallback still answers");
+    for r in &routes {
+        assert!(r.route.is_connected(&net));
+    }
+}
+
+#[test]
+fn off_map_query_falls_back_to_nearest_roads() {
+    let net = net();
+    let archive = tiny_archive(&net);
+    let hris = Hris::new(&net, archive, HrisParams::default());
+    let far = net.bbox().max + Point::new(50_000.0, 50_000.0);
+    let q = Trajectory::new(
+        TrajId(0),
+        vec![
+            GpsPoint::new(far, 0.0),
+            GpsPoint::new(far + Point::new(1_000.0, 0.0), 600.0),
+        ],
+    );
+    // Must not panic; the answer maps to the nearest network edge.
+    let top = hris.infer_top1(&q);
+    assert!(top.is_some());
+}
+
+#[test]
+fn extreme_gps_noise_degrades_gracefully() {
+    let net = net();
+    let archive = tiny_archive(&net);
+    let hris = Hris::new(&net, archive, HrisParams::default());
+    let clean = simple_query(&net);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let noisy = add_gps_noise(&clean, 400.0, &mut rng);
+    let top = hris.infer_top1(&noisy).expect("still answers");
+    assert!(top.route.is_connected(&net));
+}
+
+#[test]
+fn all_matchers_handle_two_point_queries() {
+    let net = net();
+    let q = Trajectory::new(
+        TrajId(0),
+        vec![
+            GpsPoint::new(net.node(hris_roadnet::NodeId(0)), 0.0),
+            GpsPoint::new(
+                net.node(hris_roadnet::NodeId((net.num_nodes() - 1) as u32)),
+                900.0,
+            ),
+        ],
+    );
+    let matchers: Vec<Box<dyn MapMatcher>> = vec![
+        Box::new(IvmmMatcher::default()),
+        Box::new(StMatcher::default()),
+        Box::new(IncrementalMatcher::default()),
+    ];
+    for m in &matchers {
+        let res = m.match_trajectory(&net, &q).expect("matched");
+        assert_eq!(res.matched.len(), 2, "{}", m.name());
+        assert!(res.route.is_connected(&net), "{}", m.name());
+    }
+}
+
+#[test]
+fn zero_and_one_point_queries() {
+    let net = net();
+    let archive = tiny_archive(&net);
+    let hris = Hris::new(&net, archive, HrisParams::default());
+    let empty = Trajectory::new(TrajId(0), vec![]);
+    assert!(hris.infer_routes(&empty, 5).is_empty());
+    let single = Trajectory::new(
+        TrajId(0),
+        vec![GpsPoint::new(net.bbox().center(), 0.0)],
+    );
+    let routes = hris.infer_routes(&single, 5);
+    assert_eq!(routes.len(), 1);
+    assert_eq!(routes[0].route.len(), 1);
+}
+
+#[test]
+fn archive_with_single_short_trajectory() {
+    let net = net();
+    let lonely = Trajectory::new(
+        TrajId(0),
+        vec![
+            GpsPoint::new(net.bbox().center(), 0.0),
+            GpsPoint::new(net.bbox().center() + Point::new(120.0, 0.0), 30.0),
+        ],
+    );
+    let hris = Hris::new(
+        &net,
+        TrajectoryArchive::new(vec![lonely]),
+        HrisParams::default(),
+    );
+    let q = simple_query(&net);
+    assert!(hris.infer_top1(&q).is_some());
+}
+
+#[test]
+fn identical_points_in_query() {
+    let net = net();
+    let archive = tiny_archive(&net);
+    let hris = Hris::new(&net, archive, HrisParams::default());
+    let p = net.bbox().center();
+    // Stationary query: same position, advancing time.
+    let q = Trajectory::new(
+        TrajId(0),
+        vec![
+            GpsPoint::new(p, 0.0),
+            GpsPoint::new(p, 180.0),
+            GpsPoint::new(p, 360.0),
+        ],
+    );
+    let top = hris.infer_top1(&q).expect("answers");
+    assert!((0.0..=1.0).contains(&accuracy_al(&top.route, &top.route, &net)));
+}
+
+#[test]
+fn degenerate_hris_params_do_not_panic() {
+    let net = net();
+    let archive = tiny_archive(&net);
+    let q = simple_query(&net);
+    // Hostile parameter corners.
+    let corner_cases = vec![
+        HrisParams {
+            phi_m: 1.0, // no references will be found
+            ..HrisParams::default()
+        },
+        HrisParams {
+            k1: 1,
+            k2: 1,
+            k3: 1,
+            max_local_routes: 1,
+            ..HrisParams::default()
+        },
+        HrisParams {
+            lambda: 1, // empty λ-neighborhoods
+            ..HrisParams::default()
+        },
+        HrisParams {
+            beta: 1.0, // NNI admits almost nothing
+            alpha_m: 0.0,
+            ..HrisParams::default()
+        },
+        HrisParams {
+            max_detour_ratio: 1.0,
+            tgi_popularity_weight: 0.0, // paper-literal weighting
+            ..HrisParams::default()
+        },
+    ];
+    for params in corner_cases {
+        let hris = Hris::new(&net, archive.clone(), params);
+        let _ = hris.infer_routes(&q, 3); // may be empty, must not panic
+    }
+}
