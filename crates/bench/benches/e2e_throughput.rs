@@ -1,0 +1,145 @@
+//! End-to-end query throughput of the three execution modes of the
+//! `QueryEngine` — sequential (plain `Hris` semantics), pair-parallel, and
+//! batch fan-out with shared caches — over the standard bench scenario.
+//!
+//! Besides the criterion timings, the bench measures queries/sec for each
+//! mode directly (checking along the way that every mode returns results
+//! identical to sequential `Hris`) and writes the numbers to
+//! `BENCH_e2e.json` at the workspace root so the baseline is versioned.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hris::{EngineConfig, ExecMode, Hris, HrisParams, QueryEngine, ScoredRoute};
+use hris_bench::{bench_scenario, resampled_queries};
+use std::time::Instant;
+
+const K: usize = 2;
+
+fn assert_identical(label: &str, got: &[Vec<ScoredRoute>], want: &[Vec<ScoredRoute>]) {
+    assert_eq!(got.len(), want.len(), "{label}: query count");
+    for (qi, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.len(), w.len(), "{label}: top-K size of query {qi}");
+        for (a, b) in g.iter().zip(w) {
+            assert!(
+                a.route == b.route && a.log_score == b.log_score,
+                "{label}: query {qi} diverged from sequential output"
+            );
+        }
+    }
+}
+
+/// Wall-clock queries/sec of `run` over `rounds` repetitions of the workload.
+fn qps<F: FnMut() -> Vec<Vec<ScoredRoute>>>(n_queries: usize, rounds: usize, mut run: F) -> f64 {
+    let _ = run(); // warm-up (also warms the engine caches where present)
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        black_box(run());
+    }
+    (n_queries * rounds) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    let s = bench_scenario();
+    let queries = resampled_queries(&s, 180.0);
+    let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
+
+    // Ground truth: the plain sequential pipeline.
+    let baseline: Vec<Vec<ScoredRoute>> = queries.iter().map(|q| hris.infer_routes(q, K)).collect();
+
+    let sequential = QueryEngine::with_config(&hris, EngineConfig::sequential());
+    let pair_parallel = QueryEngine::with_config(
+        &hris,
+        EngineConfig {
+            batch_parallel: false,
+            ..EngineConfig::default()
+        },
+    );
+    let batch = QueryEngine::new(&hris);
+
+    let run_seq = || -> Vec<Vec<ScoredRoute>> {
+        queries
+            .iter()
+            .map(|q| sequential.infer_routes(q, K))
+            .collect()
+    };
+    let run_pair = || -> Vec<Vec<ScoredRoute>> {
+        queries
+            .iter()
+            .map(|q| pair_parallel.infer_routes(q, K))
+            .collect()
+    };
+    let run_batch = || -> Vec<Vec<ScoredRoute>> { batch.infer_batch(&queries, K) };
+
+    // Correctness gate before any timing: all three modes must reproduce
+    // the sequential pipeline byte-for-byte.
+    assert_identical("sequential engine", &run_seq(), &baseline);
+    assert_identical("pair-parallel engine", &run_pair(), &baseline);
+    assert_identical("batch engine", &run_batch(), &baseline);
+
+    let rounds = 3;
+    let qps_seq = qps(queries.len(), rounds, run_seq);
+    let qps_pair = qps(queries.len(), rounds, run_pair);
+    let qps_batch = qps(queries.len(), rounds, run_batch);
+
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let report = serde_json::json!({
+        "bench": "e2e_throughput",
+        "scenario": {
+            "queries": queries.len(),
+            "interval_s": 180.0,
+            "k": K,
+            "rounds": rounds,
+        },
+        "threads": threads,
+        "queries_per_sec": {
+            "sequential": qps_seq,
+            "pair_parallel": qps_pair,
+            "batch": qps_batch,
+        },
+        "speedup_over_sequential": {
+            "pair_parallel": qps_pair / qps_seq,
+            "batch": qps_batch / qps_seq,
+        },
+        "outputs_identical_to_sequential": true,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e2e.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .expect("write BENCH_e2e.json");
+    println!(
+        "e2e qps ({threads} thread(s)): sequential {qps_seq:.2}, \
+         pair-parallel {qps_pair:.2}, batch {qps_batch:.2}"
+    );
+
+    let mut g = c.benchmark_group("e2e_throughput");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("sequential", ExecMode::Sequential),
+        ("pair_parallel", ExecMode::PairParallel),
+    ] {
+        let engine = QueryEngine::with_config(
+            &hris,
+            EngineConfig {
+                mode,
+                batch_parallel: false,
+                ..EngineConfig::default()
+            },
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(engine.infer_routes(q, K));
+                }
+            });
+        });
+    }
+    g.bench_function("batch", |b| {
+        b.iter(|| black_box(batch.infer_batch(&queries, K)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

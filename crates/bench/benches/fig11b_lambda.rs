@@ -18,17 +18,13 @@ fn bench(c: &mut Criterion) {
                 ..HrisParams::default()
             };
             let hris = Hris::new(&s.net, s.archive.clone(), params);
-            g.bench_with_input(
-                BenchmarkId::new(name, lambda),
-                &hris,
-                |b, hris| {
-                    b.iter(|| {
-                        for q in &queries {
-                            black_box(hris.infer_routes(q, 2));
-                        }
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, lambda), &hris, |b, hris| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(hris.infer_routes(q, 2));
+                    }
+                });
+            });
         }
     }
     g.finish();

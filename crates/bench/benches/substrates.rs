@@ -32,7 +32,11 @@ fn bench_rtree(c: &mut Criterion) {
             });
         });
         g.bench_with_input(BenchmarkId::new("knn_10", n), &tree, |b, tree| {
-            b.iter(|| tree.nearest(black_box(Point::new(5_000.0, 5_000.0)), 10, |p, q| p.dist(q)));
+            b.iter(|| {
+                tree.nearest(black_box(Point::new(5_000.0, 5_000.0)), 10, |p, q| {
+                    p.dist(q)
+                })
+            });
         });
     }
     g.finish();
@@ -57,7 +61,15 @@ fn bench_roadnet(c: &mut Criterion) {
         });
     });
     g.bench_function("yen_k4_cross_city", |b| {
-        b.iter(|| k_shortest_routes(black_box(&net), NodeId(0), NodeId(n - 1), 4, CostModel::Time));
+        b.iter(|| {
+            k_shortest_routes(
+                black_box(&net),
+                NodeId(0),
+                NodeId(n - 1),
+                4,
+                CostModel::Time,
+            )
+        });
     });
     g.bench_function("candidate_edges_60m", |b| {
         b.iter(|| net.candidate_edges(black_box(Point::new(4_000.0, 4_000.0)), 60.0));

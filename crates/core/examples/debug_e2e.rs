@@ -43,7 +43,11 @@ fn main() {
     let pts = hris_traj::simulator::drive_route(&net, popular, 0.0, 20.0, 0.8).unwrap();
     let dense = Trajectory::new(TrajId(0), pts);
     let query = resample_to_interval(&dense, 180.0);
-    println!("query: {} points over {:.0} s", query.len(), query.duration());
+    println!(
+        "query: {} points over {:.0} s",
+        query.len(),
+        query.duration()
+    );
 
     let hris = Hris::new(&net, archive, HrisParams::default());
     let locals = hris.local_inference(&query);

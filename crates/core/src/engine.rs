@@ -1,0 +1,363 @@
+//! Parallel batch query engine with shared candidate / shortest-path caches.
+//!
+//! [`Hris`] answers one query on one thread. The [`QueryEngine`] wraps a
+//! `Hris` and serves the same three-phase pipeline as a throughput-oriented
+//! front end:
+//!
+//! * **Pair parallelism** — phases 1–2 of a query (reference search + local
+//!   inference per consecutive point pair) are independent per pair; the
+//!   engine fans them out on the thread pool and hands the results to K-GRI
+//!   in query order.
+//! * **Batch fan-out** — [`QueryEngine::infer_batch`] spreads whole queries
+//!   across the pool (each query's pairs then run sequentially, so the pool
+//!   is never oversubscribed by nested fan-out).
+//! * **Shared caches** — a bounded, sharded LRU for the shortest-path
+//!   fallback ([`SpCache`], keyed `(from, to, cost model)`) and a memo for
+//!   per-point candidate edges (keyed by the *exact bit pattern* of the
+//!   position), both shared by all pairs and all queries served by the
+//!   engine.
+//!
+//! The load-bearing invariant: **scheduling and caching never change any
+//! result.** Pair workers only read shared state, caches are keyed exactly
+//! (no tolerance collisions), and cached values are stored verbatim — so
+//! sequential, pair-parallel and batch execution return byte-identical
+//! routes and scores. `tests/engine_determinism.rs` pins this down.
+
+use crate::global::{k_gri_with, GlobalRoute};
+use crate::local::{LocalInferenceResult, LocalStats};
+use crate::params::{EngineConfig, ExecMode};
+use crate::pipeline::{degenerate_local, infer_pair, DegenerateQuery, Hris, ScoredRoute};
+use hris_roadnet::network::CandidateEdge;
+use hris_roadnet::shortest::{route_between_segments, route_between_segments_cached, SpCache};
+use hris_roadnet::{CostModel, Route, SegmentId};
+use hris_traj::Trajectory;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Exact-position key: the bit patterns of a point's coordinates. Two query
+/// points share a memo entry only when they are bit-identical, so the memo
+/// cannot perturb results.
+type CandKey = (u64, u64);
+
+/// Hit/miss counters of the engine's two caches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineCacheStats {
+    /// Shortest-path fallback lookups answered from the cache.
+    pub sp_hits: u64,
+    /// Shortest-path fallback lookups that ran a real search.
+    pub sp_misses: u64,
+    /// Candidate-edge lookups answered from the memo.
+    pub candidate_hits: u64,
+    /// Candidate-edge lookups computed fresh.
+    pub candidate_misses: u64,
+}
+
+/// Throughput-oriented front end over a [`Hris`] instance.
+///
+/// Cheap to construct; holds only cache state. All methods take `&self` and
+/// the engine is `Sync`, so one engine may serve many threads.
+pub struct QueryEngine<'a> {
+    hris: &'a Hris<'a>,
+    cfg: EngineConfig,
+    sp_cache: Option<SpCache>,
+    cand_memo: Option<RwLock<HashMap<CandKey, Arc<Vec<CandidateEdge>>>>>,
+    cand_hits: AtomicU64,
+    cand_misses: AtomicU64,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Engine with the default configuration (pair-parallel, both caches).
+    #[must_use]
+    pub fn new(hris: &'a Hris<'a>) -> Self {
+        QueryEngine::with_config(hris, EngineConfig::default())
+    }
+
+    /// Engine with an explicit configuration.
+    #[must_use]
+    pub fn with_config(hris: &'a Hris<'a>, cfg: EngineConfig) -> Self {
+        QueryEngine {
+            hris,
+            sp_cache: (cfg.sp_cache_capacity > 0).then(|| SpCache::new(cfg.sp_cache_capacity)),
+            cand_memo: cfg.candidate_memo.then(|| RwLock::new(HashMap::new())),
+            cfg,
+            cand_hits: AtomicU64::new(0),
+            cand_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped system.
+    #[must_use]
+    pub fn hris(&self) -> &Hris<'a> {
+        self.hris
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Current cache counters (cumulative since construction).
+    #[must_use]
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        EngineCacheStats {
+            sp_hits: self.sp_cache.as_ref().map_or(0, SpCache::hits),
+            sp_misses: self.sp_cache.as_ref().map_or(0, SpCache::misses),
+            candidate_hits: self.cand_hits.load(Ordering::Relaxed),
+            candidate_misses: self.cand_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Top-`k` routes of one query (same contract as [`Hris::infer_routes`]).
+    #[must_use]
+    pub fn infer_routes(&self, query: &Trajectory, k: usize) -> Vec<ScoredRoute> {
+        self.infer_routes_detailed(query, k)
+            .0
+            .into_iter()
+            .map(|g| ScoredRoute {
+                route: g.route,
+                log_score: g.log_score,
+            })
+            .collect()
+    }
+
+    /// The most likely single route.
+    #[must_use]
+    pub fn infer_top1(&self, query: &Trajectory) -> Option<ScoredRoute> {
+        self.infer_routes(query, 1).into_iter().next()
+    }
+
+    /// Full inference with per-pair instrumentation.
+    #[must_use]
+    pub fn infer_routes_detailed(
+        &self,
+        query: &Trajectory,
+        k: usize,
+    ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
+        self.infer_detailed_mode(query, k, self.cfg.mode)
+    }
+
+    /// Top-`k` routes for every query of a batch, sharing both caches and —
+    /// when `batch_parallel` is set — spreading queries across the pool.
+    #[must_use]
+    pub fn infer_batch(&self, queries: &[Trajectory], k: usize) -> Vec<Vec<ScoredRoute>> {
+        self.infer_batch_detailed(queries, k)
+            .into_iter()
+            .map(|(globals, _)| {
+                globals
+                    .into_iter()
+                    .map(|g| ScoredRoute {
+                        route: g.route,
+                        log_score: g.log_score,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// [`QueryEngine::infer_batch`] with per-pair instrumentation, for the
+    /// evaluation harness.
+    #[must_use]
+    pub fn infer_batch_detailed(
+        &self,
+        queries: &[Trajectory],
+        k: usize,
+    ) -> Vec<(Vec<GlobalRoute>, Vec<LocalStats>)> {
+        if self.cfg.batch_parallel && queries.len() > 1 {
+            // One level of fan-out only: queries go to the pool, each
+            // query's pairs run sequentially inside their worker.
+            queries
+                .par_iter()
+                .map(|q| self.infer_detailed_mode(q, k, ExecMode::Sequential))
+                .collect()
+        } else {
+            queries
+                .iter()
+                .map(|q| self.infer_detailed_mode(q, k, self.cfg.mode))
+                .collect()
+        }
+    }
+
+    /// Phases 1–2 under the engine's scheduling and caches (phase 3 input).
+    #[must_use]
+    pub fn local_inference(&self, query: &Trajectory) -> Vec<LocalInferenceResult> {
+        self.local_inference_mode(query, self.cfg.mode)
+    }
+
+    fn infer_detailed_mode(
+        &self,
+        query: &Trajectory,
+        k: usize,
+        mode: ExecMode,
+    ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
+        let params = self.hris.params();
+        let locals = self.local_inference_mode(query, mode);
+        let stats = locals.iter().map(|l| l.stats.clone()).collect();
+        let globals = k_gri_with(
+            self.hris.network(),
+            &locals,
+            k,
+            params.entropy_floor,
+            params.popularity_model,
+        );
+        (globals, stats)
+    }
+
+    fn local_inference_mode(
+        &self,
+        query: &Trajectory,
+        mode: ExecMode,
+    ) -> Vec<LocalInferenceResult> {
+        let net = self.hris.network();
+        match degenerate_local(net, query) {
+            DegenerateQuery::Empty => return Vec::new(),
+            DegenerateQuery::Single(result) => return vec![result],
+            DegenerateQuery::No => {}
+        }
+        // Candidates once per point (shared by the two adjoining pairs),
+        // through the cross-query memo when enabled.
+        let cands: Vec<Arc<Vec<CandidateEdge>>> = query
+            .points
+            .iter()
+            .map(|p| self.candidates(p.pos))
+            .collect();
+        let pair_indices: Vec<usize> = (0..query.len() - 1).collect();
+        let work = |i: usize| {
+            infer_pair(
+                net,
+                self.hris.archive(),
+                self.hris.params(),
+                query.points[i],
+                query.points[i + 1],
+                &cands[i],
+                &cands[i + 1],
+                &|a, b| self.sp_fallback(a, b),
+            )
+        };
+        match mode {
+            ExecMode::Sequential => pair_indices.into_iter().map(work).collect(),
+            ExecMode::PairParallel => pair_indices.par_iter().map(|&i| work(i)).collect(),
+        }
+    }
+
+    /// Candidate edges of a point, memoised by exact position.
+    fn candidates(&self, p: hris_geo::Point) -> Arc<Vec<CandidateEdge>> {
+        let Some(memo) = &self.cand_memo else {
+            self.cand_misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(crate::pipeline::query_candidates(
+                self.hris.network(),
+                self.hris.params(),
+                p,
+            ));
+        };
+        let key: CandKey = (p.x.to_bits(), p.y.to_bits());
+        if let Some(hit) = memo.read().expect("candidate memo").get(&key) {
+            self.cand_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.cand_misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(crate::pipeline::query_candidates(
+            self.hris.network(),
+            self.hris.params(),
+            p,
+        ));
+        // A racing writer may have inserted the same key meanwhile; both
+        // computed the same value, so either entry is correct.
+        memo.write()
+            .expect("candidate memo")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Shortest-path fallback, through the shared cache when enabled.
+    fn sp_fallback(&self, a: SegmentId, b: SegmentId) -> Option<Route> {
+        let net = self.hris.network();
+        match &self.sp_cache {
+            Some(cache) => route_between_segments_cached(net, a, b, CostModel::Distance, cache),
+            None => route_between_segments(net, a, b, CostModel::Distance),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HrisParams;
+    use hris_roadnet::{generator, NetworkConfig};
+    use hris_traj::{TrajId, TrajectoryArchive};
+
+    fn sparse_setup() -> (hris_roadnet::RoadNetwork, Vec<Trajectory>) {
+        // Empty archive → every pair takes the shortest-path fallback, so
+        // the SP cache sees traffic deterministically.
+        let net = generator::generate(&NetworkConfig::small(5));
+        let mk = |id: u32, x0: f64| {
+            Trajectory::new(
+                TrajId(id),
+                (0..4)
+                    .map(|k| {
+                        hris_traj::GpsPoint::new(
+                            hris_geo::Point::new(x0 + k as f64 * 400.0, 120.0),
+                            k as f64 * 120.0,
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let queries = vec![mk(0, 0.0), mk(1, 0.0), mk(2, 200.0)];
+        (net, queries)
+    }
+
+    #[test]
+    fn sp_cache_reused_across_batch_queries() {
+        let (net, queries) = sparse_setup();
+        let hris = Hris::new(&net, TrajectoryArchive::empty(), HrisParams::default());
+        let engine = QueryEngine::new(&hris);
+        let out = engine.infer_batch(&queries, 2);
+        assert_eq!(out.len(), queries.len());
+        let stats = engine.cache_stats();
+        // Queries 0 and 1 are identical: the second one's fallbacks must all
+        // be cache hits.
+        assert!(stats.sp_hits > 0, "expected SP cache hits, got {stats:?}");
+        assert!(
+            stats.candidate_hits > 0,
+            "expected memo hits, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_caches_report_zero() {
+        let (net, queries) = sparse_setup();
+        let hris = Hris::new(&net, TrajectoryArchive::empty(), HrisParams::default());
+        let engine = QueryEngine::with_config(&hris, EngineConfig::sequential());
+        let _ = engine.infer_batch(&queries, 2);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.sp_hits, 0);
+        assert_eq!(stats.candidate_hits, 0);
+        assert!(stats.candidate_misses > 0);
+    }
+
+    #[test]
+    fn degenerate_queries_match_hris() {
+        let (net, _) = sparse_setup();
+        let hris = Hris::new(&net, TrajectoryArchive::empty(), HrisParams::default());
+        let engine = QueryEngine::new(&hris);
+
+        let empty = Trajectory::new(TrajId(0), vec![]);
+        assert!(engine.infer_routes(&empty, 3).is_empty());
+
+        let single = Trajectory::new(
+            TrajId(0),
+            vec![hris_traj::GpsPoint::new(
+                hris_geo::Point::new(80.0, 90.0),
+                0.0,
+            )],
+        );
+        let ours = engine.infer_routes(&single, 3);
+        let theirs = hris.infer_routes(&single, 3);
+        assert_eq!(ours.len(), theirs.len());
+        assert_eq!(ours[0].route, theirs[0].route);
+    }
+}

@@ -231,9 +231,7 @@ fn best_walk(
                 }
                 set.len()
             };
-            support(a)
-                .cmp(&support(b))
-                .then(b.len().cmp(&a.len()))
+            support(a).cmp(&support(b)).then(b.len().cmp(&a.len()))
         })
         .map(|p| p.into_iter().map(|id| cloud[id].pos).collect())
         .unwrap_or_default()
@@ -262,7 +260,10 @@ mod tests {
             // Along y.
             let mut d = d - 1000.0;
             while d < 1000.0 {
-                pts.push(GpsPoint::new(Point::new(1000.0 - (k % 2) as f64 * 8.0, d), t));
+                pts.push(GpsPoint::new(
+                    Point::new(1000.0 - (k % 2) as f64 * 8.0, d),
+                    t,
+                ));
                 t += 30.0;
                 d += 250.0;
             }
@@ -325,10 +326,7 @@ mod tests {
         let archive = corridor_archive();
         let empty = Trajectory::new(TrajId(0), vec![]);
         assert!(infer_polyline(&archive, &empty, &FreespaceParams::default()).is_none());
-        let single = Trajectory::new(
-            TrajId(0),
-            vec![GpsPoint::new(Point::new(1.0, 1.0), 0.0)],
-        );
+        let single = Trajectory::new(TrajId(0), vec![GpsPoint::new(Point::new(1.0, 1.0), 0.0)]);
         assert!(infer_polyline(&archive, &single, &FreespaceParams::default()).is_none());
     }
 

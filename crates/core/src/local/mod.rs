@@ -248,13 +248,18 @@ pub fn infer_local_routes(
         routes.retain(|r| r.length(net) <= bound);
     }
     routes.sort_by(|a, b| {
-        route_popularity_with(b, &edge_index, params.entropy_floor, params.popularity_model)
-            .total_cmp(&route_popularity_with(
-                a,
-                &edge_index,
-                params.entropy_floor,
-                params.popularity_model,
-            ))
+        route_popularity_with(
+            b,
+            &edge_index,
+            params.entropy_floor,
+            params.popularity_model,
+        )
+        .total_cmp(&route_popularity_with(
+            a,
+            &edge_index,
+            params.entropy_floor,
+            params.popularity_model,
+        ))
     });
     routes.truncate(params.max_local_routes.max(1));
 

@@ -155,6 +155,60 @@ impl Default for HrisParams {
     }
 }
 
+/// How a [`QueryEngine`](crate::engine::QueryEngine) schedules the per-pair
+/// work of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExecMode {
+    /// Pairs run one after another on the calling thread.
+    Sequential,
+    /// Pairs of one query run concurrently on the thread pool (K-GRI still
+    /// consumes them in query order).
+    #[default]
+    PairParallel,
+}
+
+/// Tuning knobs of the [`QueryEngine`](crate::engine::QueryEngine); separate
+/// from [`HrisParams`] because none of them may change any inferred route —
+/// they only trade memory and threads for throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Per-query pair scheduling.
+    pub mode: ExecMode,
+    /// Entry bound of the shared shortest-path fallback cache; `0` disables
+    /// the cache entirely.
+    pub sp_cache_capacity: usize,
+    /// Memoise `query_candidates` per exact point position, sharing work
+    /// across the queries of a batch that revisit a location.
+    pub candidate_memo: bool,
+    /// Fan `infer_batch` out across queries on the thread pool.
+    pub batch_parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: ExecMode::default(),
+            sp_cache_capacity: 8192,
+            candidate_memo: true,
+            batch_parallel: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration that mirrors `Hris` exactly: one thread, no caches.
+    /// Useful as the baseline in determinism and throughput comparisons.
+    #[must_use]
+    pub fn sequential() -> Self {
+        EngineConfig {
+            mode: ExecMode::Sequential,
+            sp_cache_capacity: 0,
+            candidate_memo: false,
+            batch_parallel: false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

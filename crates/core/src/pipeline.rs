@@ -21,8 +21,8 @@ use crate::reference::{search_references, ReferenceSet};
 use hris_mapmatch::{MapMatcher, MatchResult};
 use hris_roadnet::network::CandidateEdge;
 use hris_roadnet::shortest::route_between_segments;
-use hris_roadnet::{CostModel, RoadNetwork, Route};
-use hris_traj::{partition_trips, StayPointConfig, Trajectory, TrajectoryArchive};
+use hris_roadnet::{CostModel, RoadNetwork, Route, SegmentId};
+use hris_traj::{partition_trips, GpsPoint, StayPointConfig, Trajectory, TrajectoryArchive};
 
 /// A route suggested by HRIS with its (log) score.
 #[derive(Debug, Clone)]
@@ -131,72 +131,131 @@ impl<'a> Hris<'a> {
     /// Runs phases 1–2 for every consecutive pair of the query, including
     /// the shortest-path fallback for pairs that local inference could not
     /// cover.
+    ///
+    /// Candidate edges are computed once per query *point* and shared by the
+    /// two pairs adjoining each interior point (an interior point is `q_j`
+    /// of one pair and `q_i` of the next).
     #[must_use]
     pub fn local_inference(&self, query: &Trajectory) -> Vec<LocalInferenceResult> {
-        let n = query.len();
-        if n < 2 {
-            // Degenerate query: a single point maps to its nearest segment.
-            if n == 1 {
-                if let Some(c) = self.net.nearest_segment(query.points[0].pos) {
-                    return vec![fallback_result(Route::new(vec![c.segment]))];
-                }
-            }
-            return Vec::new();
+        match degenerate_local(self.net, query) {
+            DegenerateQuery::Empty => return Vec::new(),
+            DegenerateQuery::Single(result) => return vec![result],
+            DegenerateQuery::No => {}
         }
-        let v_max = self.net.max_speed();
-        let mut out = Vec::with_capacity(n - 1);
-        for w in query.points.windows(2) {
-            let (qi, qj) = (w[0], w[1]);
-            let dt = (qj.t - qi.t).max(1.0);
-            let ref_cfg = crate::reference::RefSearchConfig {
-                phi: self.params.phi_m,
-                splice_eps: self.params.splice_eps_m,
-                splice_when_simple_below: self.params.splice_when_simple_below,
-                max_refs: self.params.max_refs_per_pair,
-                temporal: self.params.temporal_tolerance_s.map(|tol| (qi.t, tol)),
-            };
-            let refs = search_references(&self.archive, qi.pos, qj.pos, dt, v_max, &ref_cfg);
-            let qi_cands = self.query_candidates(qi.pos);
-            let qj_cands = self.query_candidates(qj.pos);
-
-            let mut result = if refs.is_empty() || qi_cands.is_empty() || qj_cands.is_empty() {
-                LocalInferenceResult {
-                    routes: Vec::new(),
-                    edge_index: RefEdgeIndex::default(),
-                    refs,
-                    stats: LocalStats::default(),
-                }
-            } else {
-                infer_local_routes(self.net, refs, &qi_cands, &qj_cands, &self.params)
-            };
-
-            if result.routes.is_empty() {
-                // Data sparseness fallback: shortest path between the best
-                // candidate edges.
-                if let (Some(a), Some(b)) = (qi_cands.first(), qj_cands.first()) {
-                    if let Some(r) =
-                        route_between_segments(self.net, a.segment, b.segment, CostModel::Distance)
-                    {
-                        result.routes.push(r);
-                    }
-                }
-            }
-            out.push(result);
-        }
-        out
+        let cands: Vec<Vec<CandidateEdge>> = query
+            .points
+            .iter()
+            .map(|p| self.query_candidates(p.pos))
+            .collect();
+        (0..query.len() - 1)
+            .map(|i| {
+                infer_pair(
+                    self.net,
+                    &self.archive,
+                    &self.params,
+                    query.points[i],
+                    query.points[i + 1],
+                    &cands[i],
+                    &cands[i + 1],
+                    &|a, b| route_between_segments(self.net, a, b, CostModel::Distance),
+                )
+            })
+            .collect()
     }
 
     /// Candidate edges of a query point, with nearest-segment fallback.
-    fn query_candidates(&self, p: hris_geo::Point) -> Vec<CandidateEdge> {
-        let mut c = self.net.candidate_edges(p, self.params.candidate_eps_m);
-        if c.is_empty() {
-            if let Some(nearest) = self.net.nearest_segment(p) {
-                c.push(nearest);
+    pub(crate) fn query_candidates(&self, p: hris_geo::Point) -> Vec<CandidateEdge> {
+        query_candidates(self.net, &self.params, p)
+    }
+}
+
+/// Candidate edges of a query point, with nearest-segment fallback.
+pub(crate) fn query_candidates(
+    net: &RoadNetwork,
+    params: &HrisParams,
+    p: hris_geo::Point,
+) -> Vec<CandidateEdge> {
+    let mut c = net.candidate_edges(p, params.candidate_eps_m);
+    if c.is_empty() {
+        if let Some(nearest) = net.nearest_segment(p) {
+            c.push(nearest);
+        }
+    }
+    c.truncate(params.max_query_candidates.max(1));
+    c
+}
+
+/// Outcome of the sub-two-point query check shared by `Hris` and the engine.
+pub(crate) enum DegenerateQuery {
+    /// No points (or a single point off the network): nothing to infer.
+    Empty,
+    /// A single point mapped to its nearest segment.
+    Single(LocalInferenceResult),
+    /// Two or more points: run the real pipeline.
+    No,
+}
+
+/// Handles queries with fewer than two points.
+pub(crate) fn degenerate_local(net: &RoadNetwork, query: &Trajectory) -> DegenerateQuery {
+    match query.len() {
+        0 => DegenerateQuery::Empty,
+        1 => match net.nearest_segment(query.points[0].pos) {
+            Some(c) => DegenerateQuery::Single(fallback_result(Route::new(vec![c.segment]))),
+            None => DegenerateQuery::Empty,
+        },
+        _ => DegenerateQuery::No,
+    }
+}
+
+/// Phases 1–2 for one consecutive query-point pair: reference search, local
+/// route inference and the data-sparseness shortest-path fallback (routed
+/// through `sp_fallback` so callers can interpose a cache).
+///
+/// This is the unit of work the [`engine::QueryEngine`](crate::engine)
+/// parallelises: it only reads shared state, so pairs can run in any order —
+/// or concurrently — without changing any result.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn infer_pair(
+    net: &RoadNetwork,
+    archive: &TrajectoryArchive,
+    params: &HrisParams,
+    qi: GpsPoint,
+    qj: GpsPoint,
+    qi_cands: &[CandidateEdge],
+    qj_cands: &[CandidateEdge],
+    sp_fallback: &dyn Fn(SegmentId, SegmentId) -> Option<Route>,
+) -> LocalInferenceResult {
+    let dt = (qj.t - qi.t).max(1.0);
+    let ref_cfg = crate::reference::RefSearchConfig {
+        phi: params.phi_m,
+        splice_eps: params.splice_eps_m,
+        splice_when_simple_below: params.splice_when_simple_below,
+        max_refs: params.max_refs_per_pair,
+        temporal: params.temporal_tolerance_s.map(|tol| (qi.t, tol)),
+    };
+    let refs = search_references(archive, qi.pos, qj.pos, dt, net.max_speed(), &ref_cfg);
+
+    let mut result = if refs.is_empty() || qi_cands.is_empty() || qj_cands.is_empty() {
+        LocalInferenceResult {
+            routes: Vec::new(),
+            edge_index: RefEdgeIndex::default(),
+            refs,
+            stats: LocalStats::default(),
+        }
+    } else {
+        infer_local_routes(net, refs, qi_cands, qj_cands, params)
+    };
+
+    if result.routes.is_empty() {
+        // Data sparseness fallback: shortest path between the best
+        // candidate edges.
+        if let (Some(a), Some(b)) = (qi_cands.first(), qj_cands.first()) {
+            if let Some(r) = sp_fallback(a.segment, b.segment) {
+                result.routes.push(r);
             }
         }
-        c.truncate(self.params.max_query_candidates.max(1));
-        c
     }
+    result
 }
 
 fn fallback_result(route: Route) -> LocalInferenceResult {
@@ -292,7 +351,10 @@ mod tests {
         let top = hris.infer_top1(&query).expect("route inferred");
         assert!(top.route.is_connected(&net));
         let cov = top.route.common_length(popular, &net) / popular.length(&net);
-        assert!(cov > 0.5, "top-1 should mostly track the true route, got {cov}");
+        assert!(
+            cov > 0.5,
+            "top-1 should mostly track the true route, got {cov}"
+        );
     }
 
     #[test]

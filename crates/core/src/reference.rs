@@ -78,8 +78,11 @@ impl ReferenceSet {
         if n == 0 {
             return 0.0;
         }
-        let bbox =
-            hris_geo::BBox::covering(self.refs.iter().flat_map(|r| r.points.iter().map(|p| p.pos)));
+        let bbox = hris_geo::BBox::covering(
+            self.refs
+                .iter()
+                .flat_map(|r| r.points.iter().map(|p| p.pos)),
+        );
         let km2 = hris_geo::area_km2(&bbox);
         if km2 <= f64::EPSILON {
             f64::INFINITY
@@ -348,7 +351,9 @@ pub fn search_references(
 
 /// Condition 3 of Definition 6 over a point run.
 fn speed_feasible(points: &[GpsPoint], qi: Point, qj: Point, budget: f64) -> bool {
-    points.iter().all(|p| p.pos.dist(qi) + p.pos.dist(qj) <= budget)
+    points
+        .iter()
+        .all(|p| p.pos.dist(qi) + p.pos.dist(qj) <= budget)
 }
 
 fn cell(p: Point, size: f64) -> (i64, i64) {
@@ -397,7 +402,17 @@ mod tests {
 
     #[test]
     fn finds_simple_reference() {
-        let refs = search_references(&archive(), QI, QJ, 180.0, 25.0, &RefSearchConfig { splice_when_simple_below: usize::MAX, ..RefSearchConfig::new(100.0, 0.0) });
+        let refs = search_references(
+            &archive(),
+            QI,
+            QJ,
+            180.0,
+            25.0,
+            &RefSearchConfig {
+                splice_when_simple_below: usize::MAX,
+                ..RefSearchConfig::new(100.0, 0.0)
+            },
+        );
         assert_eq!(refs.len(), 1);
         assert_eq!(refs.refs[0].kind, RefKind::Simple);
         assert_eq!(refs.refs[0].sources, vec![TrajId(0)]);
@@ -408,16 +423,46 @@ mod tests {
     fn speed_infeasible_reference_rejected() {
         // T4 passes both endpoints, but its middle point violates
         // condition 3 for any realistic budget.
-        let refs = search_references(&archive(), QI, QJ, 180.0, 25.0, &RefSearchConfig { splice_when_simple_below: usize::MAX, ..RefSearchConfig::new(100.0, 0.0) });
+        let refs = search_references(
+            &archive(),
+            QI,
+            QJ,
+            180.0,
+            25.0,
+            &RefSearchConfig {
+                splice_when_simple_below: usize::MAX,
+                ..RefSearchConfig::new(100.0, 0.0)
+            },
+        );
         assert!(refs.refs.iter().all(|r| r.sources != vec![TrajId(4)]));
         // With an enormous time budget T4 becomes feasible.
-        let refs = search_references(&archive(), QI, QJ, 10_000.0, 25.0, &RefSearchConfig { splice_when_simple_below: usize::MAX, ..RefSearchConfig::new(100.0, 0.0) });
+        let refs = search_references(
+            &archive(),
+            QI,
+            QJ,
+            10_000.0,
+            25.0,
+            &RefSearchConfig {
+                splice_when_simple_below: usize::MAX,
+                ..RefSearchConfig::new(100.0, 0.0)
+            },
+        );
         assert!(refs.refs.iter().any(|r| r.sources == vec![TrajId(4)]));
     }
 
     #[test]
     fn faraway_trajectory_ignored() {
-        let refs = search_references(&archive(), QI, QJ, 7200.0, 25.0, &RefSearchConfig { splice_when_simple_below: usize::MAX, ..RefSearchConfig::new(100.0, 300.0) });
+        let refs = search_references(
+            &archive(),
+            QI,
+            QJ,
+            7200.0,
+            25.0,
+            &RefSearchConfig {
+                splice_when_simple_below: usize::MAX,
+                ..RefSearchConfig::new(100.0, 300.0)
+            },
+        );
         for r in &refs.refs {
             assert!(!r.sources.contains(&TrajId(3)));
         }
@@ -427,7 +472,17 @@ mod tests {
     fn splices_half_trajectories() {
         // T1 ends near x = 900, T2 starts near x = 1100: they splice with
         // e ≥ ~213 m (dy = 70).
-        let refs = search_references(&archive(), QI, QJ, 300.0, 25.0, &RefSearchConfig { splice_when_simple_below: usize::MAX, ..RefSearchConfig::new(100.0, 250.0) });
+        let refs = search_references(
+            &archive(),
+            QI,
+            QJ,
+            300.0,
+            25.0,
+            &RefSearchConfig {
+                splice_when_simple_below: usize::MAX,
+                ..RefSearchConfig::new(100.0, 250.0)
+            },
+        );
         let spliced: Vec<_> = refs
             .refs
             .iter()
@@ -443,19 +498,46 @@ mod tests {
 
     #[test]
     fn splice_disabled_with_zero_eps() {
-        let refs = search_references(&archive(), QI, QJ, 300.0, 25.0, &RefSearchConfig { splice_when_simple_below: usize::MAX, ..RefSearchConfig::new(100.0, 0.0) });
+        let refs = search_references(
+            &archive(),
+            QI,
+            QJ,
+            300.0,
+            25.0,
+            &RefSearchConfig {
+                splice_when_simple_below: usize::MAX,
+                ..RefSearchConfig::new(100.0, 0.0)
+            },
+        );
         assert!(refs.refs.iter().all(|r| r.kind == RefKind::Simple));
     }
 
     #[test]
     fn too_small_splice_eps_finds_nothing() {
-        let refs = search_references(&archive(), QI, QJ, 300.0, 25.0, &RefSearchConfig { splice_when_simple_below: usize::MAX, ..RefSearchConfig::new(100.0, 50.0) });
+        let refs = search_references(
+            &archive(),
+            QI,
+            QJ,
+            300.0,
+            25.0,
+            &RefSearchConfig {
+                splice_when_simple_below: usize::MAX,
+                ..RefSearchConfig::new(100.0, 50.0)
+            },
+        );
         assert!(refs.refs.iter().all(|r| r.kind == RefKind::Simple));
     }
 
     #[test]
     fn empty_archive_yields_empty_set() {
-        let refs = search_references(&TrajectoryArchive::empty(), QI, QJ, 180.0, 25.0, &RefSearchConfig::new(500.0, 150.0));
+        let refs = search_references(
+            &TrajectoryArchive::empty(),
+            QI,
+            QJ,
+            180.0,
+            25.0,
+            &RefSearchConfig::new(500.0, 150.0),
+        );
         assert!(refs.is_empty());
         assert_eq!(refs.density_per_km2(), 0.0);
     }
@@ -472,13 +554,33 @@ mod tests {
             ],
         );
         let a = TrajectoryArchive::new(vec![rev]);
-        let refs = search_references(&a, QI, QJ, 180.0, 25.0, &RefSearchConfig { splice_when_simple_below: usize::MAX, ..RefSearchConfig::new(100.0, 0.0) });
+        let refs = search_references(
+            &a,
+            QI,
+            QJ,
+            180.0,
+            25.0,
+            &RefSearchConfig {
+                splice_when_simple_below: usize::MAX,
+                ..RefSearchConfig::new(100.0, 0.0)
+            },
+        );
         assert!(refs.is_empty());
     }
 
     #[test]
     fn density_computation() {
-        let refs = search_references(&archive(), QI, QJ, 180.0, 25.0, &RefSearchConfig { splice_when_simple_below: usize::MAX, ..RefSearchConfig::new(100.0, 0.0) });
+        let refs = search_references(
+            &archive(),
+            QI,
+            QJ,
+            180.0,
+            25.0,
+            &RefSearchConfig {
+                splice_when_simple_below: usize::MAX,
+                ..RefSearchConfig::new(100.0, 0.0)
+            },
+        );
         // 5 points over a 2000 × ~0 m box → degenerate in y but positive in
         // practice thanks to GPS spread... here y is constant (20), so the
         // MBB is a line → infinite density.

@@ -1,0 +1,107 @@
+//! The engine's core invariant: scheduling and caching never change any
+//! inferred route or score. Every execution mode must return results
+//! byte-identical to the plain sequential [`Hris`] pipeline.
+
+use hris::{EngineConfig, ExecMode, Hris, HrisParams, QueryEngine, ScoredRoute};
+use hris_roadnet::{generator, NetworkConfig};
+use hris_traj::{resample_to_interval, SimConfig, Simulator, TrajId, Trajectory};
+
+/// A seeded scenario with enough archive data that queries exercise both the
+/// reference-driven path and the shortest-path fallback.
+fn scenario() -> (hris_roadnet::RoadNetwork, Hris<'static>, Vec<Trajectory>) {
+    // Leak the network so `Hris<'static>` can borrow it; fine in a test.
+    let net: &'static _ = Box::leak(Box::new(generator::generate(&NetworkConfig::small(8))));
+    let mut sim = Simulator::new(
+        net,
+        SimConfig {
+            num_trips: 250,
+            num_od_patterns: 10,
+            min_trip_dist_m: 800.0,
+            seed: 13,
+            ..SimConfig::default()
+        },
+    );
+    let (archive, routes) = sim.generate_archive();
+    let mut queries = Vec::new();
+    for (i, r) in routes.iter().step_by(routes.len() / 4).take(4).enumerate() {
+        let pts = hris_traj::simulator::drive_route(net, r, 0.0, 20.0, 0.8).unwrap();
+        queries.push(resample_to_interval(
+            &Trajectory::new(TrajId(i as u32), pts),
+            240.0,
+        ));
+    }
+    // Duplicate a query so the batch revisits identical positions and the
+    // caches get real hit traffic.
+    let dup = queries[0].clone();
+    queries.push(dup);
+    let hris = Hris::new(net, archive, HrisParams::default());
+    (net.clone(), hris, queries)
+}
+
+fn assert_same(kind: &str, a: &[ScoredRoute], b: &[ScoredRoute]) {
+    assert_eq!(a.len(), b.len(), "{kind}: route count differs");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.route, y.route, "{kind}: route {i} differs");
+        assert!(
+            x.log_score == y.log_score,
+            "{kind}: score {i} differs ({} vs {})",
+            x.log_score,
+            y.log_score,
+        );
+    }
+}
+
+#[test]
+fn all_execution_modes_match_sequential_hris() {
+    let (_net, hris, queries) = scenario();
+    let k = 3;
+
+    let baseline: Vec<Vec<ScoredRoute>> = queries.iter().map(|q| hris.infer_routes(q, k)).collect();
+
+    // Engine in pure-sequential, cache-free mode.
+    let seq = QueryEngine::with_config(&hris, EngineConfig::sequential());
+    for (q, want) in queries.iter().zip(&baseline) {
+        assert_same("sequential engine", &seq.infer_routes(q, k), want);
+    }
+
+    // Pair-parallel with both caches.
+    let par = QueryEngine::new(&hris);
+    assert_eq!(par.config().mode, ExecMode::PairParallel);
+    for (q, want) in queries.iter().zip(&baseline) {
+        assert_same("pair-parallel engine", &par.infer_routes(q, k), want);
+    }
+
+    // Batch fan-out over the same shared caches.
+    let batch = QueryEngine::new(&hris);
+    let got = batch.infer_batch(&queries, k);
+    assert_eq!(got.len(), baseline.len());
+    for (i, (g, want)) in got.iter().zip(&baseline).enumerate() {
+        assert_same(&format!("batch query {i}"), g, want);
+    }
+
+    // The duplicated query plus shared positions must have produced real
+    // cache traffic — and none of it changed a single byte above.
+    let stats = batch.cache_stats();
+    assert!(
+        stats.candidate_hits > 0,
+        "expected candidate memo hits, got {stats:?}"
+    );
+}
+
+#[test]
+fn detailed_outputs_match_across_modes() {
+    let (_net, hris, queries) = scenario();
+    let k = 2;
+    let engine = QueryEngine::new(&hris);
+    for q in &queries {
+        let (g_hris, s_hris) = hris.infer_routes_detailed(q, k);
+        let (g_eng, s_eng) = engine.infer_routes_detailed(q, k);
+        assert_eq!(g_hris.len(), g_eng.len());
+        for (a, b) in g_hris.iter().zip(&g_eng) {
+            assert_eq!(a.route, b.route);
+            assert!(a.log_score == b.log_score);
+            assert_eq!(a.local_indices, b.local_indices);
+        }
+        assert_eq!(s_hris.len(), s_eng.len());
+    }
+}

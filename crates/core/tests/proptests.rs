@@ -49,9 +49,9 @@ fn trajectory(max_pts: usize) -> impl Strategy<Value = Trajectory> {
 fn locals_strategy() -> impl Strategy<Value = Vec<LocalInferenceResult>> {
     let pair = prop::collection::vec(
         (
-            0u32..40,                                  // segment id
-            prop::collection::vec(0usize..6, 0..5),    // covering refs
-            prop::collection::vec(0u32..10, 1..3),     // source traj ids
+            0u32..40,                               // segment id
+            prop::collection::vec(0usize..6, 0..5), // covering refs
+            prop::collection::vec(0u32..10, 1..3),  // source traj ids
         ),
         1..5,
     );

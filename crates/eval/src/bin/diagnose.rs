@@ -72,8 +72,13 @@ fn main() {
         for (ri, r) in l.routes.iter().enumerate() {
             let pop = hris::global::popularity(r, l, 0.05);
             let ov = r.common_length(&q.truth, &s.net) / r.length(&s.net).max(1.0);
-            println!("    r{ri}: {} segs {:.2} km pop {:.1} overlap {:.2}",
-                r.len(), r.length(&s.net)/1000.0, pop, ov);
+            println!(
+                "    r{ri}: {} segs {:.2} km pop {:.1} overlap {:.2}",
+                r.len(),
+                r.length(&s.net) / 1000.0,
+                pop,
+                ov
+            );
         }
     }
     let (globals, _) = hris.infer_routes_detailed(&query, 3);

@@ -68,8 +68,21 @@ fn main() {
 
     // Base scenario: queries around the default length.
     let needs_base = [
-        "fig8a", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
-        "fig13a", "fig13b", "fig14a", "fig14b", "ablation", "freespace",
+        "fig8a",
+        "fig9a",
+        "fig9b",
+        "fig10a",
+        "fig10b",
+        "fig11a",
+        "fig11b",
+        "fig12a",
+        "fig12b",
+        "fig13a",
+        "fig13b",
+        "fig14a",
+        "fig14b",
+        "ablation",
+        "freespace",
     ]
     .iter()
     .any(|f| want(f));

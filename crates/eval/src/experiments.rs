@@ -219,12 +219,7 @@ pub fn fig10(s: &Scenario) -> (Table, Table) {
 pub fn fig11(s: &Scenario) -> (Table, Table) {
     let lambdas = [2usize, 4, 6, 8];
     let series: Vec<String> = SR_SLICES_MIN.iter().map(|m| format!("SR={m}min")).collect();
-    let mut acc = Table::new(
-        "Figure 11a",
-        "TGI accuracy vs λ",
-        "lambda",
-        series,
-    );
+    let mut acc = Table::new("Figure 11a", "TGI accuracy vs λ", "lambda", series);
     let mut time = Table::new(
         "Figure 11b",
         "TGI running time vs λ (SR = 3 min)",

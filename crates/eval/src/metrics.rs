@@ -113,7 +113,10 @@ mod tests {
         // Same segment multiset, scrambled order: LCS < full overlap.
         let scrambled = Route::new(vec![fwd[2], fwd[0], fwd[1]]);
         let lcs = lcr_length(&ground, &scrambled, &net);
-        assert!((lcs - 200.0).abs() < 1e-9, "only [0,1] stays in order, got {lcs}");
+        assert!(
+            (lcs - 200.0).abs() < 1e-9,
+            "only [0,1] stays in order, got {lcs}"
+        );
     }
 
     #[test]

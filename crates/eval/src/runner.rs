@@ -1,12 +1,19 @@
 //! Evaluation runners: matcher/HRIS accuracy and running time over a
-//! scenario's query workload, parallelised across queries.
+//! scenario's query workload.
+//!
+//! HRIS evaluations go through the [`QueryEngine`]: queries are resampled up
+//! front, inferred as one batch (sharing the engine's candidate memo and
+//! shortest-path cache across the whole workload), and `mean_time_s` is the
+//! batch wall time divided by the query count — per-query cost as a batch
+//! consumer actually pays it. Baseline matchers fan out across queries with
+//! the same thread pool.
 
 use crate::metrics::accuracy_al;
 use crate::scenario::Scenario;
-use hris::{Hris, HrisParams};
+use hris::{Hris, HrisParams, QueryEngine};
 use hris_mapmatch::MapMatcher;
-use hris_traj::{resample_to_interval, TrajectoryArchive};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use hris_traj::{resample_to_interval, Trajectory, TrajectoryArchive};
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// Aggregated outcome of one evaluation sweep cell.
@@ -32,18 +39,30 @@ pub fn evaluate_matcher<M: MapMatcher + Sync>(
     matcher: &M,
     interval_s: f64,
 ) -> EvalOutcome {
-    let results = parallel_map(scenario.queries.len(), |qi| {
-        let q = &scenario.queries[qi];
-        let query = resample_to_interval(&q.dense, interval_s);
-        let t0 = Instant::now();
-        let matched = matcher.match_trajectory(&scenario.net, &query);
-        let dt = t0.elapsed().as_secs_f64();
-        let acc = matched
-            .map(|m| accuracy_al(&q.truth, &m.route, &scenario.net))
-            .unwrap_or(0.0);
-        (acc, dt, 0.0, 0.0)
-    });
+    let results: Vec<(f64, f64, f64, f64)> = scenario
+        .queries
+        .par_iter()
+        .map(|q| {
+            let query = resample_to_interval(&q.dense, interval_s);
+            let t0 = Instant::now();
+            let matched = matcher.match_trajectory(&scenario.net, &query);
+            let dt = t0.elapsed().as_secs_f64();
+            let acc = matched
+                .map(|m| accuracy_al(&q.truth, &m.route, &scenario.net))
+                .unwrap_or(0.0);
+            (acc, dt, 0.0, 0.0)
+        })
+        .collect();
     aggregate(&results)
+}
+
+/// Resamples every query of the scenario to the evaluation interval.
+fn resampled(scenario: &Scenario, interval_s: f64) -> Vec<Trajectory> {
+    scenario
+        .queries
+        .iter()
+        .map(|q| resample_to_interval(&q.dense, interval_s))
+        .collect()
 }
 
 /// Evaluates HRIS (top-1 accuracy, Section IV-C protocol) at the given
@@ -57,20 +76,26 @@ pub fn evaluate_hris(
 ) -> EvalOutcome {
     let archive = archive_override.unwrap_or(&scenario.archive);
     let hris = Hris::new(&scenario.net, archive.clone(), params.clone());
-    let results = parallel_map(scenario.queries.len(), |qi| {
-        let q = &scenario.queries[qi];
-        let query = resample_to_interval(&q.dense, interval_s);
-        let t0 = Instant::now();
-        let (globals, stats) = hris.infer_routes_detailed(&query, params.k3.max(1));
-        let dt = t0.elapsed().as_secs_f64();
-        let acc = globals
-            .first()
-            .map(|g| accuracy_al(&q.truth, &g.route, &scenario.net))
-            .unwrap_or(0.0);
-        let density = mean(stats.iter().map(|s| s.density).filter(|d| d.is_finite()));
-        let knn = stats.iter().map(|s| s.knn_searches).sum::<usize>() as f64;
-        (acc, dt, density, knn)
-    });
+    let engine = QueryEngine::new(&hris);
+    let queries = resampled(scenario, interval_s);
+
+    let t0 = Instant::now();
+    let detailed = engine.infer_batch_detailed(&queries, params.k3.max(1));
+    let per_query_s = t0.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+
+    let results: Vec<(f64, f64, f64, f64)> = detailed
+        .into_iter()
+        .zip(&scenario.queries)
+        .map(|((globals, stats), q)| {
+            let acc = globals
+                .first()
+                .map(|g| accuracy_al(&q.truth, &g.route, &scenario.net))
+                .unwrap_or(0.0);
+            let density = mean(stats.iter().map(|s| s.density).filter(|d| d.is_finite()));
+            let knn = stats.iter().map(|s| s.knn_searches).sum::<usize>() as f64;
+            (acc, per_query_s, density, knn)
+        })
+        .collect();
     aggregate(&results)
 }
 
@@ -84,52 +109,29 @@ pub fn evaluate_hris_topk(
     k: usize,
 ) -> (f64, f64) {
     let hris = Hris::new(&scenario.net, scenario.archive.clone(), params.clone());
-    let results = parallel_map(scenario.queries.len(), |qi| {
-        let q = &scenario.queries[qi];
-        let query = resample_to_interval(&q.dense, interval_s);
-        let routes = hris.infer_routes(&query, k.max(1));
-        if routes.is_empty() {
-            return (0.0, 0.0, 0.0, 0.0);
-        }
-        let accs: Vec<f64> = routes
-            .iter()
-            .map(|r| accuracy_al(&q.truth, &r.route, &scenario.net))
-            .collect();
-        let avg = mean(accs.iter().copied());
-        let max = accs.iter().copied().fold(0.0, f64::max);
-        (avg, max, 0.0, 0.0)
-    });
+    let engine = QueryEngine::new(&hris);
+    let queries = resampled(scenario, interval_s);
+    let batches = engine.infer_batch(&queries, k.max(1));
+
+    let results: Vec<(f64, f64)> = batches
+        .into_iter()
+        .zip(&scenario.queries)
+        .map(|(routes, q)| {
+            if routes.is_empty() {
+                return (0.0, 0.0);
+            }
+            let accs: Vec<f64> = routes
+                .iter()
+                .map(|r| accuracy_al(&q.truth, &r.route, &scenario.net))
+                .collect();
+            let avg = mean(accs.iter().copied());
+            let max = accs.iter().copied().fold(0.0, f64::max);
+            (avg, max)
+        })
+        .collect();
     let avg = mean(results.iter().map(|r| r.0));
     let max = mean(results.iter().map(|r| r.1));
     (avg, max)
-}
-
-/// Runs `f(i)` for `i in 0..n` across the available cores (crossbeam scoped
-/// threads; no unsafe, no 'static bound needed).
-fn parallel_map<F>(n: usize, f: F) -> Vec<(f64, f64, f64, f64)>
-where
-    F: Fn(usize) -> (f64, f64, f64, f64) + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    let results: Vec<parking_lot::Mutex<(f64, f64, f64, f64)>> =
-        (0..n).map(|_| parking_lot::Mutex::new((0.0, 0.0, 0.0, 0.0))).collect();
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                *results[i].lock() = f(i);
-            });
-        }
-    })
-    .expect("evaluation worker panicked");
-    results.into_iter().map(|m| m.into_inner()).collect()
 }
 
 fn aggregate(results: &[(f64, f64, f64, f64)]) -> EvalOutcome {
@@ -202,5 +204,33 @@ mod tests {
         let thin = s.thinned_archive(0.3);
         let out = evaluate_hris(&s, &HrisParams::default(), 180.0, Some(&thin));
         assert_eq!(out.queries, 3);
+    }
+
+    #[test]
+    fn engine_evaluation_matches_plain_hris() {
+        // The runner's switch to the batch engine must not move accuracy at
+        // all — same routes, same scores, same A_L.
+        let s = scenario();
+        let params = HrisParams::default();
+        let hris = Hris::new(&s.net, s.archive.clone(), params.clone());
+        let out = evaluate_hris(&s, &params, 180.0, None);
+        let direct: Vec<f64> = s
+            .queries
+            .iter()
+            .map(|q| {
+                let query = resample_to_interval(&q.dense, 180.0);
+                hris.infer_routes(&query, params.k3.max(1))
+                    .first()
+                    .map(|r| accuracy_al(&q.truth, &r.route, &s.net))
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let want = mean(direct.into_iter());
+        assert!(
+            (out.mean_accuracy - want).abs() < 1e-12,
+            "engine path changed accuracy: {} vs {}",
+            out.mean_accuracy,
+            want
+        );
     }
 }

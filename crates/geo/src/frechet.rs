@@ -106,7 +106,10 @@ mod tests {
         let a = line(&[(0.0, 0.0), (10.0, 0.0)]);
         let b = line(&[(0.0, 4.0), (15.0, 0.0)]);
         let d = discrete_frechet(&a, &b);
-        assert!(d >= 5.0 - 1e-9, "leash must cover the endpoint gap, got {d}");
+        assert!(
+            d >= 5.0 - 1e-9,
+            "leash must cover the endpoint gap, got {d}"
+        );
     }
 
     #[test]

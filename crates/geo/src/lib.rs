@@ -20,7 +20,7 @@ pub mod segment;
 
 pub use bbox::BBox;
 pub use frechet::{discrete_frechet, mean_deviation};
-pub use geodesy::{haversine_m, LocalProjection, LatLon, EARTH_RADIUS_M};
+pub use geodesy::{haversine_m, LatLon, LocalProjection, EARTH_RADIUS_M};
 pub use point::Point;
 pub use polyline::{Polyline, PolylineProjection};
 pub use segment::SegmentGeom;

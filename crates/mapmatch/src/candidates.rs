@@ -87,8 +87,9 @@ pub fn network_dist(net: &RoadNetwork, a: &CandidateEdge, b: &CandidateEdge) -> 
     let seg_a = net.segment(a.segment);
     let seg_b = net.segment(b.segment);
     let remaining = seg_a.length - a.offset;
-    let bridge = hris_roadnet::shortest::shortest_path(net, seg_a.to, seg_b.from, CostModel::Distance)
-        .map_or(f64::INFINITY, |p| p.cost);
+    let bridge =
+        hris_roadnet::shortest::shortest_path(net, seg_a.to, seg_b.from, CostModel::Distance)
+            .map_or(f64::INFINITY, |p| p.cost);
     remaining + bridge + b.offset
 }
 
@@ -233,7 +234,11 @@ mod tests {
         let far = Point::new(bbox.max.x + 10_000.0, bbox.max.y + 10_000.0);
         let traj = Trajectory::new(TrajId(0), vec![GpsPoint::new(far, 0.0)]);
         let cands = candidates_for(&net, &traj, &MatchParams::default()).unwrap();
-        assert_eq!(cands[0].cands.len(), 1, "fallback keeps exactly the nearest");
+        assert_eq!(
+            cands[0].cands.len(),
+            1,
+            "fallback keeps exactly the nearest"
+        );
     }
 
     #[test]

@@ -142,7 +142,9 @@ mod tests {
                 .unwrap();
         let pts = simulator::drive_route(&net, &path.route(), 0.0, 10.0, 0.75).unwrap();
         let sparse = resample_to_interval(&Trajectory::new(TrajId(0), pts), 240.0);
-        let m = HmmMatcher::default().match_trajectory(&net, &sparse).unwrap();
+        let m = HmmMatcher::default()
+            .match_trajectory(&net, &sparse)
+            .unwrap();
         assert!(m.route.is_connected(&net));
         assert_eq!(m.matched.len(), sparse.len());
     }
@@ -151,7 +153,9 @@ mod tests {
     fn empty_trajectory_is_none() {
         let net = net();
         let empty = Trajectory::new(TrajId(0), vec![]);
-        assert!(HmmMatcher::default().match_trajectory(&net, &empty).is_none());
+        assert!(HmmMatcher::default()
+            .match_trajectory(&net, &empty)
+            .is_none());
     }
 
     #[test]

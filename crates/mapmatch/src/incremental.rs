@@ -68,8 +68,7 @@ impl MapMatcher for IncrementalMatcher {
                     }
                     _ => 0.5,
                 };
-                let cost =
-                    c.dist + self.detour_weight * detour + self.heading_weight * heading;
+                let cost = c.dist + self.detour_weight * detour + self.heading_weight * heading;
                 if cost < best_cost {
                     best_cost = cost;
                     best = ci;

@@ -86,11 +86,9 @@ impl MapMatcher for IvmmMatcher {
             .map(|j| {
                 let best = (0..cands[j].cands.len())
                     .max_by(|&a, &b| {
-                        votes[j][a].cmp(&votes[j][b]).then(
-                            cands[j].cands[b]
-                                .dist
-                                .total_cmp(&cands[j].cands[a].dist),
-                        )
+                        votes[j][a]
+                            .cmp(&votes[j][b])
+                            .then(cands[j].cands[b].dist.total_cmp(&cands[j].cands[a].dist))
                     })
                     .unwrap_or(0);
                 cands[j].cands[best]
@@ -129,7 +127,9 @@ mod tests {
         let route = path.route();
         let pts = simulator::drive_route(&net, &route, 0.0, 20.0, 0.8).unwrap();
         let traj = Trajectory::new(TrajId(0), pts);
-        let m = IvmmMatcher::default().match_trajectory(&net, &traj).unwrap();
+        let m = IvmmMatcher::default()
+            .match_trajectory(&net, &traj)
+            .unwrap();
         let cov = m.route.common_length(&route, &net) / route.length(&net);
         assert!(cov > 0.85, "coverage {cov}");
     }
@@ -144,7 +144,9 @@ mod tests {
         let pts = simulator::drive_route(&net, &route, 0.0, 10.0, 0.75).unwrap();
         let dense = Trajectory::new(TrajId(0), pts);
         let sparse = resample_to_interval(&dense, 180.0);
-        let m = IvmmMatcher::default().match_trajectory(&net, &sparse).unwrap();
+        let m = IvmmMatcher::default()
+            .match_trajectory(&net, &sparse)
+            .unwrap();
         assert!(m.route.is_connected(&net));
         assert_eq!(m.matched.len(), sparse.len());
     }
@@ -157,7 +159,9 @@ mod tests {
                 .unwrap();
         let pts = simulator::drive_route(&net, &path.route(), 0.0, 60.0, 0.8).unwrap();
         let traj = Trajectory::new(TrajId(0), pts);
-        let m = IvmmMatcher::default().match_trajectory(&net, &traj).unwrap();
+        let m = IvmmMatcher::default()
+            .match_trajectory(&net, &traj)
+            .unwrap();
         assert_eq!(m.matched.len(), traj.len());
     }
 }

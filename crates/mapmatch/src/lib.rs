@@ -23,8 +23,8 @@ pub mod ivmm;
 pub mod stmatching;
 
 pub use candidates::{
-    build_transitions, candidates_for, emission_prob, network_dist, reconstruct_route,
-    MatchParams, PointCandidates, TransitionTable,
+    build_transitions, candidates_for, emission_prob, network_dist, reconstruct_route, MatchParams,
+    PointCandidates, TransitionTable,
 };
 pub use hmm::HmmMatcher;
 pub use incremental::IncrementalMatcher;

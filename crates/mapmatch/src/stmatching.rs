@@ -70,9 +70,13 @@ impl MapMatcher for StMatcher {
     fn match_trajectory(&self, net: &RoadNetwork, traj: &Trajectory) -> Option<MatchResult> {
         let cands = candidates_for(net, traj, &self.params)?;
         let table = build_transitions(net, &cands);
-        let chosen = solve_dp(net, &cands, &table, self.params.gps_sigma, |i, ai, bi, nd| {
-            Self::temporal(net, &cands, i, ai, bi, nd)
-        });
+        let chosen = solve_dp(
+            net,
+            &cands,
+            &table,
+            self.params.gps_sigma,
+            |i, ai, bi, nd| Self::temporal(net, &cands, i, ai, bi, nd),
+        );
         let matched = chosen
             .iter()
             .enumerate()
@@ -136,7 +140,9 @@ where
 
     let obs = |i: usize, c: usize| -> f64 {
         let w = point_weight(i).max(1e-6);
-        w * emission_prob(cands[i].cands[c].dist, sigma).max(1e-300).ln()
+        w * emission_prob(cands[i].cands[c].dist, sigma)
+            .max(1e-300)
+            .ln()
     };
 
     score.push(
@@ -238,7 +244,9 @@ mod tests {
         let dense = Trajectory::new(TrajId(0), pts);
         let sparse = resample_to_interval(&dense, 120.0);
         assert!(sparse.len() >= 2);
-        let m = StMatcher::default().match_trajectory(&net, &sparse).unwrap();
+        let m = StMatcher::default()
+            .match_trajectory(&net, &sparse)
+            .unwrap();
         assert!(m.route.is_connected(&net));
         // Shortest-path-driven matching on a shortest-path route: still good.
         let cov = m.route.common_length(&route, &net) / route.length(&net);
@@ -250,10 +258,7 @@ mod tests {
         let net = net();
         let seg = &net.segments()[0];
         let p = seg.geometry.point_at(seg.length / 2.0);
-        let traj = Trajectory::new(
-            TrajId(0),
-            vec![hris_traj::GpsPoint::new(p, 0.0)],
-        );
+        let traj = Trajectory::new(TrajId(0), vec![hris_traj::GpsPoint::new(p, 0.0)]);
         let m = StMatcher::default().match_trajectory(&net, &traj).unwrap();
         assert!(m.matched[0].dist < 1.0);
     }

@@ -7,7 +7,7 @@ use hris_mapmatch::{
     MatchParams, StMatcher,
 };
 use hris_roadnet::{generator, CostModel, NetworkConfig, NodeId, RoadNetwork};
-use hris_traj::{simulator, resample_to_interval, TrajId, Trajectory};
+use hris_traj::{resample_to_interval, simulator, TrajId, Trajectory};
 use proptest::prelude::*;
 
 fn test_net(seed: u64) -> RoadNetwork {

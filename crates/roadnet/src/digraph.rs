@@ -83,7 +83,10 @@ impl DiGraph {
             weight >= 0.0 && weight.is_finite(),
             "edge weight must be finite and non-negative, got {weight}"
         );
-        assert!(u < self.out.len() && v < self.out.len(), "endpoint out of range");
+        assert!(
+            u < self.out.len() && v < self.out.len(),
+            "endpoint out of range"
+        );
         self.out[u].push((v, weight));
         self.edge_count += 1;
     }

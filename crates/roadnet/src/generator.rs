@@ -150,8 +150,16 @@ pub fn generate(config: &NetworkConfig) -> RoadNetwork {
     let jitter = config.block_m * config.jitter_frac;
     for j in 0..ny {
         for i in 0..nx {
-            let dx = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
-            let dy = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+            let dx = if jitter > 0.0 {
+                rng.gen_range(-jitter..jitter)
+            } else {
+                0.0
+            };
+            let dy = if jitter > 0.0 {
+                rng.gen_range(-jitter..jitter)
+            } else {
+                0.0
+            };
             positions.push(Point::new(
                 i as f64 * config.block_m + dx,
                 j as f64 * config.block_m + dy,
@@ -161,7 +169,8 @@ pub fn generate(config: &NetworkConfig) -> RoadNetwork {
     let at = |i: usize, j: usize| j * nx + i;
 
     // --- streets: grid edges with classes --------------------------------
-    let is_arterial_line = |idx: usize| config.arterial_every > 0 && idx.is_multiple_of(config.arterial_every);
+    let is_arterial_line =
+        |idx: usize| config.arterial_every > 0 && idx.is_multiple_of(config.arterial_every);
     let mut streets: Vec<Street> = Vec::new();
     for j in 0..ny {
         for i in 0..nx {
@@ -420,7 +429,10 @@ mod tests {
                 asym += 1;
             }
         }
-        assert!(asym > 0, "one-way conversion should create asymmetric pairs");
+        assert!(
+            asym > 0,
+            "one-way conversion should create asymmetric pairs"
+        );
         assert!(net.is_strongly_connected());
     }
 

@@ -29,4 +29,4 @@ pub use ids::{NodeId, SegmentId};
 pub use network::{RoadNetwork, Segment};
 pub use osm::{parse_osm_xml, OsmNetwork};
 pub use route::Route;
-pub use shortest::{CostModel, PathResult};
+pub use shortest::{CostModel, PathResult, SpCache};

@@ -573,7 +573,10 @@ mod tests {
         let net = tiny_grid();
         let r = net.out_segments(NodeId(0))[0];
         let n1 = net.lambda_neighborhood(r, 1);
-        assert!(n1.is_empty(), "λ = 1 allows no hops (h < 1 means h = 0 only)");
+        assert!(
+            n1.is_empty(),
+            "λ = 1 allows no hops (h < 1 means h = 0 only)"
+        );
         let n2 = net.lambda_neighborhood(r, 2);
         assert!(!n2.is_empty());
         for &(_, h) in &n2 {

@@ -125,10 +125,10 @@ pub fn parse_osm_xml(xml: &str) -> Option<OsmNetwork> {
     // ---- build -------------------------------------------------------------
     let mut b = RoadNetworkBuilder::new();
     let mut built: HashMap<i64, NodeId> = HashMap::new();
-    let mut intern = |osm_id: i64,
-                      nodes: &HashMap<i64, LatLon>,
-                      b: &mut RoadNetworkBuilder,
-                      built: &mut HashMap<i64, NodeId>|
+    let intern = |osm_id: i64,
+                  nodes: &HashMap<i64, LatLon>,
+                  b: &mut RoadNetworkBuilder,
+                  built: &mut HashMap<i64, NodeId>|
      -> Option<NodeId> {
         if let Some(&id) = built.get(&osm_id) {
             return Some(id);
@@ -269,7 +269,10 @@ mod tests {
             .count();
         assert_eq!(fast, 4);
         // Classes mapped.
-        assert!(net.segments().iter().any(|s| s.class == RoadClass::Arterial));
+        assert!(net
+            .segments()
+            .iter()
+            .any(|s| s.class == RoadClass::Arterial));
         assert!(net
             .segments()
             .iter()

@@ -120,8 +120,7 @@ impl Route {
         let mut out: Vec<SegmentId> = Vec::with_capacity(self.segments.len());
         // Position in `out` *after* which each node occurs (out[..pos] ends
         // at that node). The start node occurs at position 0.
-        let mut seen: std::collections::HashMap<NodeId, usize> =
-            std::collections::HashMap::new();
+        let mut seen: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
         let start = net.segment(self.segments[0]).from;
         seen.insert(start, 0);
         for &sid in &self.segments {
@@ -148,7 +147,8 @@ impl Route {
     /// Evenly-spaced points along the route, including both endpoints.
     #[must_use]
     pub fn sample_points(&self, net: &RoadNetwork, n: usize) -> Vec<Point> {
-        self.polyline(net).map_or_else(Vec::new, |pl| pl.resample(n.max(2)))
+        self.polyline(net)
+            .map_or_else(Vec::new, |pl| pl.resample(n.max(2)))
     }
 
     /// Length of the longest common run of road segments with `other`,

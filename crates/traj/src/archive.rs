@@ -101,7 +101,8 @@ impl TrajectoryArchive {
     /// of reference-trajectory search.
     #[must_use]
     pub fn points_within(&self, center: Point, radius: f64) -> Vec<&ArchivePoint> {
-        self.index.query_circle(center, radius, |ap, q| ap.pos.dist(q))
+        self.index
+            .query_circle(center, radius, |ap, q| ap.pos.dist(q))
     }
 
     /// Best-first iterator over archived points by distance from `p`.

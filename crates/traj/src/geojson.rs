@@ -148,10 +148,7 @@ mod tests {
         });
         let fc = network_collection(&net, None);
         assert_eq!(fc["type"], "FeatureCollection");
-        assert_eq!(
-            fc["features"].as_array().unwrap().len(),
-            net.num_segments()
-        );
+        assert_eq!(fc["features"].as_array().unwrap().len(), net.num_segments());
         // Parses back as valid JSON text.
         let text = serde_json::to_string(&fc).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();

@@ -93,9 +93,7 @@ pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> usize {
         cur[0] = i + 1;
         for (j, &y) in pb.iter().enumerate() {
             let subcost = usize::from(x.dist(y) > eps);
-            cur[j + 1] = (prev[j] + subcost)
-                .min(prev[j + 1] + 1)
-                .min(cur[j] + 1);
+            cur[j + 1] = (prev[j] + subcost).min(prev[j + 1] + 1).min(cur[j] + 1);
         }
         std::mem::swap(&mut prev, &mut cur);
     }

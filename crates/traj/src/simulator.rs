@@ -187,7 +187,9 @@ impl<'a> Simulator<'a> {
     fn generate_one(&mut self) -> Option<TripRecord> {
         let mut pattern_idx: Option<usize> = None;
         let route = if !self.patterns.is_empty()
-            && self.rng.gen_bool(self.cfg.pattern_trip_frac.clamp(0.0, 1.0))
+            && self
+                .rng
+                .gen_bool(self.cfg.pattern_trip_frac.clamp(0.0, 1.0))
         {
             // Demand skew across patterns AND route skew within a pattern.
             let p = zipf_sample(self.patterns.len(), 1.0, &mut self.rng);
@@ -209,7 +211,9 @@ impl<'a> Simulator<'a> {
                 // Peak hour spread evenly over the day per pattern.
                 let peak = 86_400.0 * p as f64 / self.patterns.len().max(1) as f64;
                 let (g, _) = gaussian_pair(&mut self.rng, 7_200.0);
-                let day = self.rng.gen_range(0..(self.cfg.horizon_s / 86_400.0).max(1.0) as u64);
+                let day = self
+                    .rng
+                    .gen_range(0..(self.cfg.horizon_s / 86_400.0).max(1.0) as u64);
                 (day as f64 * 86_400.0 + (peak + g).rem_euclid(86_400.0))
                     .min(self.cfg.horizon_s - 1.0)
             }
@@ -249,7 +253,11 @@ impl<'a> Simulator<'a> {
     /// A random OD pair whose network distance is at least `min_dist` and at
     /// most `max_dist` metres — used to build length-controlled query trips.
     #[must_use]
-    pub fn od_with_dist(&mut self, min_dist: f64, max_dist: f64) -> Option<(NodeId, NodeId, Route)> {
+    pub fn od_with_dist(
+        &mut self,
+        min_dist: f64,
+        max_dist: f64,
+    ) -> Option<(NodeId, NodeId, Route)> {
         for _ in 0..400 {
             let (a, b) = random_od(self.net, min_dist, &mut self.rng)?;
             if let Some(p) = shortest_path(self.net, a, b, CostModel::Time) {
@@ -297,10 +305,7 @@ pub fn drive_route(
         t += seg_duration;
     }
     // Arrival fix (skip if the last periodic sample already landed there).
-    let arrive = GpsPoint::new(
-        net.segment(*route.segments().last()?).geometry.end(),
-        t,
-    );
+    let arrive = GpsPoint::new(net.segment(*route.segments().last()?).geometry.end(), t);
     if points.last().map(|p| (p.t - arrive.t).abs() > 1e-9) != Some(false) {
         points.push(arrive);
     }
@@ -396,10 +401,13 @@ mod tests {
     #[test]
     fn drive_route_samples_on_the_route() {
         let net = net();
-        let mut sim = Simulator::new(&net, SimConfig {
-            gps_noise_m: 0.0,
-            ..small_cfg()
-        });
+        let mut sim = Simulator::new(
+            &net,
+            SimConfig {
+                gps_noise_m: 0.0,
+                ..small_cfg()
+            },
+        );
         let (_, _, route) = sim.od_with_dist(500.0, 5000.0).unwrap();
         let pts = drive_route(&net, &route, 0.0, 30.0, 0.8).unwrap();
         let pl = route.polyline(&net).unwrap();

@@ -67,10 +67,7 @@ pub fn detect_stay_points(traj: &Trajectory, cfg: &StayPointConfig) -> Vec<StayP
         }
         if j > i && pts[j].t - pts[i].t >= cfg.time_threshold_s {
             let n = (j - i + 1) as f64;
-            let centroid = pts[i..=j]
-                .iter()
-                .fold(Point::ORIGIN, |acc, p| acc + p.pos)
-                / n;
+            let centroid = pts[i..=j].iter().fold(Point::ORIGIN, |acc, p| acc + p.pos) / n;
             out.push(StayPoint {
                 start: i,
                 end: j,
@@ -152,7 +149,10 @@ mod tests {
         let mut pts = Vec::new();
         // Move east at 10 m/s for 100 s, sampling every 10 s.
         for k in 0..=10 {
-            pts.push(GpsPoint::new(Point::new(k as f64 * 100.0, 0.0), k as f64 * 10.0));
+            pts.push(GpsPoint::new(
+                Point::new(k as f64 * 100.0, 0.0),
+                k as f64 * 10.0,
+            ));
         }
         // Stay near (1000, 0) for 300 s.
         for k in 1..=10 {
@@ -214,7 +214,10 @@ mod tests {
     fn partition_splits_at_long_gap() {
         let mut pts = Vec::new();
         for k in 0..5 {
-            pts.push(GpsPoint::new(Point::new(k as f64 * 100.0, 0.0), k as f64 * 10.0));
+            pts.push(GpsPoint::new(
+                Point::new(k as f64 * 100.0, 0.0),
+                k as f64 * 10.0,
+            ));
         }
         // 1-hour gap.
         for k in 0..5 {

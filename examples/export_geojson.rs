@@ -12,7 +12,9 @@ use hris_geo::{LatLon, LocalProjection};
 use hris_traj::{geojson, resample_to_interval};
 
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "geojson_out".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "geojson_out".to_string());
     std::fs::create_dir_all(&dir).expect("create output directory");
 
     let mut cfg = ScenarioConfig::quick(31);
@@ -36,7 +38,11 @@ fn main() {
         geojson::route_feature(&q.truth, &s.net, Some(&proj)),
         geojson::route_feature(&top.route, &s.net, Some(&proj)),
     ];
-    write(&dir, "query_and_routes.geojson", &geojson::feature_collection(features));
+    write(
+        &dir,
+        "query_and_routes.geojson",
+        &geojson::feature_collection(features),
+    );
 
     println!(
         "wrote {dir}/network.geojson ({} segments) and {dir}/query_and_routes.geojson",
@@ -53,6 +59,9 @@ fn main() {
 
 fn write(dir: &str, name: &str, value: &serde_json::Value) {
     let path = format!("{dir}/{name}");
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
-        .expect("write file");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialise"),
+    )
+    .expect("write file");
 }

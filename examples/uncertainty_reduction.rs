@@ -88,7 +88,10 @@ fn main() {
     // HRIS: a handful of scored suggestions.
     let hris = Hris::new(&s.net, s.archive.clone(), HrisParams::default());
     let suggestions = hris.infer_routes(&query, 5);
-    println!("\nHRIS reduces this to {} suggested routes:", suggestions.len());
+    println!(
+        "\nHRIS reduces this to {} suggested routes:",
+        suggestions.len()
+    );
     let mut seen_acc: HashMap<usize, f64> = HashMap::new();
     for (i, sr) in suggestions.iter().enumerate() {
         let acc = accuracy_al(&q.truth, &sr.route, &s.net);

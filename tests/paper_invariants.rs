@@ -96,9 +96,8 @@ fn accuracy_metric_properties_on_real_routes() {
         assert!((0.0..=1.0).contains(&a));
         assert!((accuracy_al(&q.truth, &q.truth, &s.net) - 1.0).abs() < 1e-9);
         assert!(
-            (accuracy_al(&q.truth, &top.route, &s.net)
-                - accuracy_al(&top.route, &q.truth, &s.net))
-            .abs()
+            (accuracy_al(&q.truth, &top.route, &s.net) - accuracy_al(&top.route, &q.truth, &s.net))
+                .abs()
                 < 1e-9
         );
         // LCR is bounded by both route lengths.

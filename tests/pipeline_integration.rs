@@ -62,7 +62,11 @@ fn all_matchers_run_end_to_end() {
         let res = m
             .match_trajectory(&s.net, &query)
             .unwrap_or_else(|| panic!("{} failed", m.name()));
-        assert!(!res.route.is_empty(), "{} returned an empty route", m.name());
+        assert!(
+            !res.route.is_empty(),
+            "{} returned an empty route",
+            m.name()
+        );
         assert!(
             res.route.is_connected(&s.net),
             "{} returned a disconnected route",

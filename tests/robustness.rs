@@ -118,10 +118,7 @@ fn zero_and_one_point_queries() {
     let hris = Hris::new(&net, archive, HrisParams::default());
     let empty = Trajectory::new(TrajId(0), vec![]);
     assert!(hris.infer_routes(&empty, 5).is_empty());
-    let single = Trajectory::new(
-        TrajId(0),
-        vec![GpsPoint::new(net.bbox().center(), 0.0)],
-    );
+    let single = Trajectory::new(TrajId(0), vec![GpsPoint::new(net.bbox().center(), 0.0)]);
     let routes = hris.infer_routes(&single, 5);
     assert_eq!(routes.len(), 1);
     assert_eq!(routes[0].route.len(), 1);

@@ -1,0 +1,196 @@
+//! Offline stand-in for `bytes`: just enough of `Bytes`/`BytesMut` and the
+//! `Buf`/`BufMut` traits for the trajectory archive's binary codec
+//! (little-endian u32/f64 records, cheap slicing).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer (shared storage + view range).
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    range: Range<usize>,
+}
+
+impl Bytes {
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(Vec::new()),
+            range: 0..0,
+        }
+    }
+
+    #[must_use]
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        let len = data.len();
+        Bytes {
+            data: Arc::from(data),
+            range: 0..len,
+        }
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.range.clone()]
+    }
+
+    /// A sub-view sharing the same storage.
+    #[must_use]
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            range: self.range.start + range.start..self.range.start + range.end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Read-cursor operations over a byte source.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, n: usize);
+    fn chunk(&self) -> &[u8];
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.range.start += n;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable byte sink.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+/// Write operations over a byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u32_le(7);
+        buf.put_f64_le(2.5);
+        buf.put_f64_le(-1.0);
+        let bytes = buf.freeze();
+        assert_eq!(bytes.len(), 20);
+
+        let mut r = bytes.clone();
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.get_f64_le(), -1.0);
+        assert_eq!(r.remaining(), 0);
+
+        let cut = bytes.slice(0..10);
+        assert_eq!(cut.len(), 10);
+        let mut c = cut;
+        assert_eq!(c.get_u32_le(), 7);
+        assert_eq!(c.remaining(), 6);
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`: the `criterion_group!`/`criterion_main!`
+//! harness surface this workspace's benches use, measuring wall-clock mean
+//! time per iteration with one warm-up pass. No statistics, plots, or saved
+//! baselines — each benchmark prints a single line.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity, so benchmark bodies are not elided.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark id rendered as `function` or `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` once to warm up, then `iters` timed times, recording the
+    /// mean wall-clock nanoseconds per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / self.iters as f64;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, mean_ns: f64) {
+    println!("{id:<56} time: {:>12}/iter", format_time(mean_ns));
+}
+
+/// Top-level harness; builder methods mirror the real crate's `Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(&id.id, bencher.mean_ns);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// Named group whose benchmark ids are prefixed `group/…`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.criterion.sample_size as u64,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.id), bencher.mean_ns);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.criterion.sample_size as u64,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), bencher.mean_ns);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_mean() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("work", 3), &3u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n * 1000).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(ran >= 6); // warm-up + samples
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("50pct").id, "50pct");
+    }
+
+    #[test]
+    fn time_units() {
+        assert_eq!(format_time(12.34), "12.3 ns");
+        assert_eq!(format_time(45_600.0), "45.60 us");
+        assert_eq!(format_time(7_890_000.0), "7.89 ms");
+    }
+}

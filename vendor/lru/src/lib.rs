@@ -1,0 +1,229 @@
+//! Offline stand-in for the `lru` crate: a bounded least-recently-used map
+//! with O(1) `get`/`put` via a slab-backed doubly-linked recency list.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::num::NonZeroUsize;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded LRU cache. Inserting beyond capacity evicts the least recently
+/// used entry; `get` and `put` both count as uses.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    #[must_use]
+    pub fn new(cap: NonZeroUsize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(cap.get()),
+            slab: Vec::with_capacity(cap.get()),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            cap: cap.get(),
+        }
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    #[must_use]
+    pub fn cap(&self) -> NonZeroUsize {
+        NonZeroUsize::new(self.cap).expect("capacity is non-zero")
+    }
+
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(&self.slab[idx].value)
+    }
+
+    /// Looks up `key` without touching recency.
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slab[idx].value)
+    }
+
+    /// Inserts `key → value`, returning the previous value for `key` if any,
+    /// and evicting the least recently used entry when at capacity.
+    pub fn put(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(&idx) = self.map.get(&key) {
+            let old = std::mem::replace(&mut self.slab[idx].value, value);
+            self.detach(idx);
+            self.attach_front(idx);
+            return Some(old);
+        }
+        if self.map.len() >= self.cap {
+            self.evict_lru();
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = entry;
+                idx
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        None
+    }
+
+    /// Removes and returns the least recently used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)>
+    where
+        V: Clone,
+    {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let key = self.slab[idx].key.clone();
+        let value = self.slab[idx].value.clone();
+        self.detach(idx);
+        self.map.remove(&key);
+        self.free.push(idx);
+        Some((key, value))
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn evict_lru(&mut self) {
+        if self.tail == NIL {
+            return;
+        }
+        let idx = self.tail;
+        self.detach(idx);
+        let key = self.slab[idx].key.clone();
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cap: usize) -> LruCache<u32, u32> {
+        LruCache::new(NonZeroUsize::new(cap).unwrap())
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = cache(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // 1 becomes MRU
+        c.put(3, 30); // evicts 2
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_updates_and_promotes() {
+        let mut c = cache(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert_eq!(c.put(1, 11), Some(10)); // update promotes 1
+        c.put(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(&11));
+        assert!(!c.contains(&2));
+    }
+
+    #[test]
+    fn pop_lru_order() {
+        let mut c = cache(3);
+        c.put(1, 1);
+        c.put(2, 2);
+        c.put(3, 3);
+        let _ = c.get(&1);
+        assert_eq!(c.pop_lru(), Some((2, 2)));
+        assert_eq!(c.pop_lru(), Some((3, 3)));
+        assert_eq!(c.pop_lru(), Some((1, 1)));
+        assert_eq!(c.pop_lru(), None);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut c = cache(2);
+        for i in 0..100u32 {
+            c.put(i, i * 2);
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&99), Some(&198));
+        assert_eq!(c.get(&98), Some(&196));
+        assert!(!c.contains(&97));
+    }
+}

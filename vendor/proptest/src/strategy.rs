@@ -1,0 +1,90 @@
+//! The `Strategy` trait and the combinators the workspace's tests use.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A recipe for generating random values of `Self::Value`. Unlike the real
+/// crate there is no value tree: generation is direct and nothing shrinks.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident / $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);

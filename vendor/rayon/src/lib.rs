@@ -1,0 +1,118 @@
+//! Offline stand-in for `rayon`: the `par_iter().map(..).collect()` shape
+//! over slices and `Vec`s, executed on `std::thread::scope` with one
+//! contiguous chunk per available core. Output order always matches input
+//! order, and a single-core host degrades to a plain sequential loop.
+
+/// Number of worker threads a parallel call will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` entry point, implemented for `[T]` and `Vec<T>`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> ParMap<'data, T, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn run_ordered<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn matches_sequential_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        let par: Vec<u64> = items.par_iter().map(|&x| x * x + 1).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn borrows_from_input_slice() {
+        let words = ["alpha".to_string(), "beta".to_string()];
+        let lens: Vec<(&str, usize)> = words.par_iter().map(|w| (w.as_str(), w.len())).collect();
+        assert_eq!(lens, vec![("alpha", 5), ("beta", 4)]);
+    }
+}

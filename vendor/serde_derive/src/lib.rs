@@ -1,0 +1,236 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so this workspace vendors
+//! a minimal serde implementation (see `vendor/serde`). This proc-macro crate
+//! derives that implementation's `Serialize`/`Deserialize` traits for the
+//! shapes the workspace actually uses:
+//!
+//! - structs with named fields (including `#[serde(skip)]` fields and
+//!   lifetime-generic borrow-only serialize wrappers),
+//! - newtype tuple structs (`struct SegmentId(pub u32)` — serialized
+//!   transparently as the inner value, like real serde),
+//! - enums with unit variants only (serialized as the variant-name string).
+//!
+//! No `syn`/`quote`: the input item is parsed directly from the
+//! `proc_macro::TokenStream`, which is easy for this restricted grammar.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: `(field_name, skip)` in declaration order.
+    Named(Vec<(String, bool)>),
+    /// Single-field tuple struct.
+    Newtype,
+    /// Enum of unit variants.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    /// Raw generics text, e.g. `<'a>`; empty when the type is not generic.
+    generics: String,
+    shape: Shape,
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter();
+    // Skip attributes/visibility until the `struct` / `enum` keyword.
+    let mut kind = String::new();
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == '#' => {}
+            TokenTree::Group(_) => {}
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = s;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, got {other:?}"),
+    };
+    // Everything up to the body group is the generics list.
+    let mut generics = String::new();
+    let mut body = None;
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                body = Some(g);
+                break;
+            }
+            other => generics.push_str(&other.to_string()),
+        }
+    }
+    let body = body.expect("derive: type body not found");
+    let shape = if kind == "enum" {
+        Shape::UnitEnum(parse_unit_variants(body.stream()))
+    } else if body.delimiter() == Delimiter::Parenthesis {
+        Shape::Newtype
+    } else {
+        Shape::Named(parse_named_fields(body.stream()))
+    };
+    Input {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let mut iter = stream.into_iter();
+    let mut fields = Vec::new();
+    'outer: loop {
+        // attrs / visibility / field name
+        let mut skip = false;
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(attr)) = iter.next() {
+                        let text = attr.stream().to_string();
+                        if text.starts_with("serde") && text.contains("skip") {
+                            skip = true;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s != "pub" {
+                        break s;
+                    }
+                }
+                Some(TokenTree::Group(_)) => {} // `pub(crate)` payload
+                Some(_) => {}
+                None => break 'outer,
+            }
+        };
+        // Consume `: Type` up to the next top-level comma (angle-bracket aware).
+        let mut depth = 0i64;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push((name, skip));
+    }
+    fields
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter();
+    let mut variants = Vec::new();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // attribute payload (`#[default]`, docs)
+            }
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            TokenTree::Group(_) => panic!("serde derive stand-in supports unit variants only"),
+            _ => {}
+        }
+    }
+    variants
+}
+
+fn impl_header(trait_name: &str, input: &Input) -> String {
+    if input.generics.is_empty() {
+        format!("impl serde::{} for {} ", trait_name, input.name)
+    } else {
+        format!(
+            "impl{} serde::{} for {}{} ",
+            input.generics, trait_name, input.name, input.generics
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for (f, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__obj.push((\"{f}\".to_string(), serde::Serialize::to_json_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __obj: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Obj(__obj)"
+            )
+        }
+        Shape::Newtype => "serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{}::{v} => serde::Value::Str(\"{v}\".to_string()),\n",
+                        input.name
+                    )
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "{header}{{\n fn to_json_value(&self) -> serde::Value {{\n{body}\n}}\n}}",
+        header = impl_header("Serialize", &input)
+    );
+    out.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for (f, skip) in fields {
+                if *skip {
+                    inits.push_str(&format!("{f}: Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: match serde::obj_get(__obj, \"{f}\") {{\n\
+                         Some(__v) => serde::Deserialize::from_json_value(__v)?,\n\
+                         None => serde::Deserialize::from_missing_field(\"{f}\")?,\n\
+                         }},\n"
+                    ));
+                }
+            }
+            format!(
+                "let __obj = __value.as_obj().ok_or_else(|| serde::DeError::msg(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Newtype => format!("Ok({name}(serde::Deserialize::from_json_value(__value)?))"),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "match __value.as_str() {{\n{arms}_ => Err(serde::DeError::msg(\"unknown variant for {name}\")),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "{header}{{\n fn from_json_value(__value: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}",
+        header = impl_header("Deserialize", &input)
+    );
+    out.parse().expect("derived Deserialize impl parses")
+}

@@ -1,0 +1,375 @@
+//! Offline stand-in for `serde_json`, built on the vendored `serde`'s
+//! [`Value`] model: `to_string`/`to_string_pretty`/`from_str`, plus a
+//! `json!` literal macro covering the syntax this workspace uses (nested
+//! object/array literals, `null`/`true`/`false`, and arbitrary interpolated
+//! expressions whose types implement `Serialize`).
+
+pub use serde::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes any `Serialize` into a [`Value`] (used by `json!`).
+#[must_use]
+pub fn to_value<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.to_json_value()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    Ok(v.to_json_value().render_compact())
+}
+
+/// Pretty JSON text (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    Ok(v.to_json_value().render_pretty())
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_json_value(&value)?)
+}
+
+// ---------------------------------------------------------------- parser
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{lit}` at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => {
+                        return Err(Error(format!(
+                            "expected `,` or `]` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_at(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(members));
+                    }
+                    _ => {
+                        return Err(Error(format!(
+                            "expected `,` or `}}` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {pos}", pos = *pos)));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| Error("invalid utf-8".into()));
+            }
+            b'\\' => {
+                let esc = *b
+                    .get(*pos)
+                    .ok_or_else(|| Error("truncated escape".into()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| Error("bad \\u escape".into()))?;
+                        *pos += 4;
+                        let ch = char::from_u32(code)
+                            .ok_or_else(|| Error("bad \\u code point".into()))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err(Error("unterminated string".into()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error("bad number".into()))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("expected value at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("bad number `{text}`")))
+}
+
+// ---------------------------------------------------------------- json!
+
+/// Builds a [`Value`] from a JSON literal. Supports the standard serde_json
+/// syntax subset used in this workspace: nested `{...}`/`[...]` literals,
+/// `null`/`true`/`false`, string-literal keys, trailing commas, and
+/// interpolated Rust expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Arr($crate::json_array!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => { $crate::Value::Obj($crate::json_object!([] $($tt)*)) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Array muncher: accumulates element `Value` expressions in `[...]`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Done.
+    ([ $($out:expr,)* ]) => { vec![ $($out),* ] };
+    // Next element is a container/keyword literal.
+    ([ $($out:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($out,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    ([ $($out:expr,)* ] true $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($out,)* $crate::Value::Bool(true), ] $($($rest)*)?)
+    };
+    ([ $($out:expr,)* ] false $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($out,)* $crate::Value::Bool(false), ] $($($rest)*)?)
+    };
+    ([ $($out:expr,)* ] [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($out,)* $crate::json!([ $($arr)* ]), ] $($($rest)*)?)
+    };
+    ([ $($out:expr,)* ] { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($out,)* $crate::json!({ $($obj)* }), ] $($($rest)*)?)
+    };
+    // General expression element: munch tts up to the next top-level comma.
+    ([ $($out:expr,)* ] $($rest:tt)+) => {
+        $crate::json_array_expr!([ $($out,)* ] () $($rest)+)
+    };
+}
+
+/// Accumulates expression tokens until a top-level comma or the end.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_expr {
+    ([ $($out:expr,)* ] ($($acc:tt)+)) => {
+        $crate::json_array!([ $($out,)* $crate::to_value(&($($acc)+)), ])
+    };
+    ([ $($out:expr,)* ] ($($acc:tt)+) , $($rest:tt)*) => {
+        $crate::json_array!([ $($out,)* $crate::to_value(&($($acc)+)), ] $($rest)*)
+    };
+    ([ $($out:expr,)* ] ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_array_expr!([ $($out,)* ] ($($acc)* $next) $($rest)*)
+    };
+}
+
+/// Object muncher: accumulates `(key, Value)` pair expressions in `{...}`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Done.
+    ([ $($out:expr,)* ]) => { vec![ $($out),* ] };
+    // `"key": <container or keyword literal>`
+    ([ $($out:expr,)* ] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_object!([ $($out,)* ($key.to_string(), $crate::Value::Null), ] $($($rest)*)?)
+    };
+    ([ $($out:expr,)* ] $key:literal : true $(, $($rest:tt)*)?) => {
+        $crate::json_object!([ $($out,)* ($key.to_string(), $crate::Value::Bool(true)), ] $($($rest)*)?)
+    };
+    ([ $($out:expr,)* ] $key:literal : false $(, $($rest:tt)*)?) => {
+        $crate::json_object!([ $($out,)* ($key.to_string(), $crate::Value::Bool(false)), ] $($($rest)*)?)
+    };
+    ([ $($out:expr,)* ] $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object!([ $($out,)* ($key.to_string(), $crate::json!([ $($arr)* ])), ] $($($rest)*)?)
+    };
+    ([ $($out:expr,)* ] $key:literal : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object!([ $($out,)* ($key.to_string(), $crate::json!({ $($obj)* })), ] $($($rest)*)?)
+    };
+    // `"key": <general expression>` — munch until the next top-level comma.
+    ([ $($out:expr,)* ] $key:literal : $($rest:tt)+) => {
+        $crate::json_object_expr!([ $($out,)* ] $key () $($rest)+)
+    };
+}
+
+/// Accumulates an object value's expression tokens until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_expr {
+    ([ $($out:expr,)* ] $key:literal ($($acc:tt)+)) => {
+        $crate::json_object!([ $($out,)* ($key.to_string(), $crate::to_value(&($($acc)+))), ])
+    };
+    ([ $($out:expr,)* ] $key:literal ($($acc:tt)+) , $($rest:tt)*) => {
+        $crate::json_object!([ $($out,)* ($key.to_string(), $crate::to_value(&($($acc)+))), ] $($rest)*)
+    };
+    ([ $($out:expr,)* ] $key:literal ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object_expr!([ $($out,)* ] $key ($($acc)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, "x", null, true], "b": {"c": -3}}"#).unwrap();
+        assert_eq!(v["a"][0], 1);
+        assert_eq!(v["a"][1], 2.5);
+        assert_eq!(v["a"][2], "x");
+        assert!(v["a"][3].is_null());
+        assert_eq!(v["b"]["c"], -3);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 3usize;
+        let v = json!({
+            "type": "FeatureCollection",
+            "count": n,
+            "nested": { "ok": true, "vals": [1.5, 2.5] },
+            "items": [null, {"x": 1}, [2, 3]],
+            "expr": format!("n={n}"),
+        });
+        assert_eq!(v["type"], "FeatureCollection");
+        assert_eq!(v["count"], 3);
+        assert_eq!(v["nested"]["vals"][1], 2.5);
+        assert_eq!(v["items"][1]["x"], 1);
+        assert_eq!(v["expr"], "n=3");
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Value::Str("a\"b\\c\nd".to_string());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+    }
+}
