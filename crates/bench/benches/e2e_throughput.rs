@@ -5,7 +5,11 @@
 //! Besides the criterion timings, the bench measures queries/sec for each
 //! mode directly (checking along the way that every mode returns results
 //! identical to sequential `Hris`) and writes the numbers to
-//! `BENCH_e2e.json` at the workspace root so the baseline is versioned.
+//! `BENCH_e2e.json` at the workspace root so the baseline is versioned. A
+//! fourth measured mode, `batch_observed`, is the batch engine with full
+//! instrumentation (metrics + tracing) switched on — its qps against plain
+//! `batch` bounds the observability overhead, and its phase histograms are
+//! reported as a per-query breakdown.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hris::{EngineConfig, ExecMode, Hris, HrisParams, QueryEngine, ScoredRoute};
@@ -54,6 +58,7 @@ fn bench(c: &mut Criterion) {
         },
     );
     let batch = QueryEngine::new(&hris);
+    let observed = QueryEngine::with_config(&hris, EngineConfig::observed());
 
     let run_seq = || -> Vec<Vec<ScoredRoute>> {
         queries
@@ -68,17 +73,39 @@ fn bench(c: &mut Criterion) {
             .collect()
     };
     let run_batch = || -> Vec<Vec<ScoredRoute>> { batch.infer_batch(&queries, K) };
+    let run_observed = || -> Vec<Vec<ScoredRoute>> { observed.infer_batch(&queries, K) };
 
-    // Correctness gate before any timing: all three modes must reproduce
-    // the sequential pipeline byte-for-byte.
+    // Correctness gate before any timing: every mode — instrumented or not —
+    // must reproduce the sequential pipeline byte-for-byte.
     assert_identical("sequential engine", &run_seq(), &baseline);
     assert_identical("pair-parallel engine", &run_pair(), &baseline);
     assert_identical("batch engine", &run_batch(), &baseline);
+    assert_identical("observed batch engine", &run_observed(), &baseline);
 
     let rounds = 3;
     let qps_seq = qps(queries.len(), rounds, run_seq);
     let qps_pair = qps(queries.len(), rounds, run_pair);
     let qps_batch = qps(queries.len(), rounds, run_batch);
+    let qps_observed = qps(queries.len(), rounds, run_observed);
+
+    // Per-phase seconds per query, from the observed engine's histograms.
+    let obs_snapshot = observed
+        .observability()
+        .expect("observed engine")
+        .snapshot();
+    let obs_queries = obs_snapshot
+        .counter("hris_engine_queries_total")
+        .unwrap_or(0)
+        .max(1) as f64;
+    let phase_breakdown: Vec<(&str, f64)> = ["candidates", "local", "global", "refine"]
+        .iter()
+        .map(|phase| {
+            let sum = obs_snapshot
+                .histogram_sum("hris_engine_phase_seconds", &[("phase", phase)])
+                .unwrap_or(0.0);
+            (*phase, sum / obs_queries)
+        })
+        .collect();
 
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let report = serde_json::json!({
@@ -94,10 +121,18 @@ fn bench(c: &mut Criterion) {
             "sequential": qps_seq,
             "pair_parallel": qps_pair,
             "batch": qps_batch,
+            "batch_observed": qps_observed,
         },
         "speedup_over_sequential": {
             "pair_parallel": qps_pair / qps_seq,
             "batch": qps_batch / qps_seq,
+        },
+        "observability_overhead": 1.0 - qps_observed / qps_batch,
+        "phase_seconds_per_query": {
+            "candidates": phase_breakdown[0].1,
+            "local": phase_breakdown[1].1,
+            "global": phase_breakdown[2].1,
+            "refine": phase_breakdown[3].1,
         },
         "outputs_identical_to_sequential": true,
     });
@@ -106,8 +141,15 @@ fn bench(c: &mut Criterion) {
         .expect("write BENCH_e2e.json");
     println!(
         "e2e qps ({threads} thread(s)): sequential {qps_seq:.2}, \
-         pair-parallel {qps_pair:.2}, batch {qps_batch:.2}"
+         pair-parallel {qps_pair:.2}, batch {qps_batch:.2}, \
+         batch+obs {qps_observed:.2} ({:.2}% overhead)",
+        100.0 * (1.0 - qps_observed / qps_batch)
     );
+    print!("phase seconds/query:");
+    for (phase, s) in &phase_breakdown {
+        print!(" {phase} {s:.5}");
+    }
+    println!();
 
     let mut g = c.benchmark_group("e2e_throughput");
     g.sample_size(10);

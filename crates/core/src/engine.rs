@@ -16,25 +16,38 @@
 //!   per-point candidate edges (keyed by the *exact bit pattern* of the
 //!   position), both shared by all pairs and all queries served by the
 //!   engine.
+//! * **Observability** — with [`ObsOptions::enabled`] the engine records
+//!   per-phase wall time, queue depth, worker occupancy, cache hit/miss
+//!   pairs and opt-in per-query [`TraceRecord`]s on an [`hris_obs`]
+//!   registry ([`EngineObs`]). Disabled (the default) the hot path performs
+//!   no clock reads and no atomic updates beyond the cache counters that
+//!   predate instrumentation.
 //!
-//! The load-bearing invariant: **scheduling and caching never change any
-//! result.** Pair workers only read shared state, caches are keyed exactly
-//! (no tolerance collisions), and cached values are stored verbatim — so
-//! sequential, pair-parallel and batch execution return byte-identical
-//! routes and scores. `tests/engine_determinism.rs` pins this down.
+//! The load-bearing invariant: **scheduling, caching and instrumentation
+//! never change any result.** Pair workers only read shared state, caches
+//! are keyed exactly (no tolerance collisions), and cached values are stored
+//! verbatim — so sequential, pair-parallel and batch execution return
+//! byte-identical routes and scores, with or without metrics enabled.
+//! `tests/engine_determinism.rs` and `tests/engine_observability.rs` pin
+//! this down.
 
 use crate::global::{k_gri_with, GlobalRoute};
 use crate::local::{LocalInferenceResult, LocalStats};
-use crate::params::{EngineConfig, ExecMode};
+use crate::params::{EngineConfig, ExecMode, ObsOptions};
 use crate::pipeline::{degenerate_local, infer_pair, DegenerateQuery, Hris, ScoredRoute};
+use hris_obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, PairedCounter, TraceRecord,
+    TraceRing, DEFAULT_TIME_BOUNDS,
+};
 use hris_roadnet::network::CandidateEdge;
-use hris_roadnet::shortest::{route_between_segments, route_between_segments_cached, SpCache};
+use hris_roadnet::shortest::{route_between_segments, SpCache};
 use hris_roadnet::{CostModel, Route, SegmentId};
 use hris_traj::Trajectory;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Exact-position key: the bit patterns of a point's coordinates. Two query
 /// points share a memo entry only when they are bit-identical, so the memo
@@ -42,6 +55,16 @@ use std::sync::{Arc, RwLock};
 type CandKey = (u64, u64);
 
 /// Hit/miss counters of the engine's two caches.
+///
+/// # Consistency model
+///
+/// Each cache's `(hits, misses)` pair is read from **one** atomic load of a
+/// packed [`PairedCounter`], so within a pair the numbers are mutually
+/// consistent even while a batch is in flight: `sp_hits + sp_misses` is
+/// exactly the number of shortest-path lookups issued before the snapshot,
+/// and likewise for the candidate memo. Across the two pairs (and relative
+/// to any registry metrics) no ordering is guaranteed — the two loads happen
+/// at slightly different instants.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineCacheStats {
     /// Shortest-path fallback lookups answered from the cache.
@@ -54,36 +77,280 @@ pub struct EngineCacheStats {
     pub candidate_misses: u64,
 }
 
+/// Per-query cache outcome tally, shared by the pair workers of one traced
+/// query (they may run on several threads under [`ExecMode::PairParallel`]).
+#[derive(Default)]
+struct CacheTally {
+    sp_hits: AtomicU64,
+    sp_misses: AtomicU64,
+    cand_hits: AtomicU64,
+    cand_misses: AtomicU64,
+}
+
+impl CacheTally {
+    fn bump(cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Phases 1–2 of one query plus the numbers the instrumentation wants.
+struct LocalRun {
+    locals: Vec<LocalInferenceResult>,
+    /// Candidate edges summed over all query points.
+    candidates_total: usize,
+    /// Wall seconds of the candidate-lookup loop (0 when untimed).
+    candidates_s: f64,
+    /// Wall seconds of the per-pair inference loop (0 when untimed).
+    local_s: f64,
+}
+
+/// The engine's live instrumentation: metric handles on a shared
+/// [`MetricsRegistry`] plus the per-query trace ring.
+///
+/// All metric names are prefixed `hris_engine_` and form a stable contract
+/// (see DESIGN.md §5d for the catalog). The registry may be shared with
+/// other components — handles are registered get-or-create.
+pub struct EngineObs {
+    registry: Arc<MetricsRegistry>,
+    queries: Counter,
+    batches: Counter,
+    slow_queries: Counter,
+    traces_dropped: Counter,
+    phase_candidates: Histogram,
+    phase_local: Histogram,
+    phase_global: Histogram,
+    phase_refine: Histogram,
+    query_seconds: Histogram,
+    batch_seconds: Histogram,
+    queue_depth: Gauge,
+    workers_busy: Gauge,
+    traces: TraceRing,
+    next_query_id: AtomicU64,
+    slow_threshold_s: f64,
+}
+
+impl EngineObs {
+    fn new(
+        registry: Arc<MetricsRegistry>,
+        opts: &ObsOptions,
+        sp_pair: Option<PairedCounter>,
+        cand_pair: PairedCounter,
+    ) -> Self {
+        let phase = |name: &str| {
+            registry.histogram_with_labels(
+                "hris_engine_phase_seconds",
+                "Wall seconds per pipeline phase, per query.",
+                &DEFAULT_TIME_BOUNDS,
+                &[("phase", name)],
+            )
+        };
+        // The cache pairs are registered even when a cache is disabled (a
+        // fresh all-zero pair), so the exported metric set does not depend
+        // on the cache configuration.
+        let _ = registry.register_paired(
+            "hris_engine_sp_cache",
+            "Shortest-path fallback cache lookups.",
+            sp_pair.unwrap_or_default(),
+        );
+        let _ = registry.register_paired(
+            "hris_engine_candidate_memo",
+            "Candidate-edge memo lookups.",
+            cand_pair,
+        );
+        EngineObs {
+            queries: registry.counter("hris_engine_queries_total", "Queries served."),
+            batches: registry.counter("hris_engine_batches_total", "Batches served."),
+            slow_queries: registry.counter(
+                "hris_engine_slow_queries_total",
+                "Queries slower than the configured slow-query threshold.",
+            ),
+            traces_dropped: registry.counter(
+                "hris_engine_traces_dropped_total",
+                "Trace records evicted from the ring buffer.",
+            ),
+            phase_candidates: phase("candidates"),
+            phase_local: phase("local"),
+            phase_global: phase("global"),
+            phase_refine: phase("refine"),
+            query_seconds: registry.histogram(
+                "hris_engine_query_seconds",
+                "End-to-end wall seconds per query.",
+                &DEFAULT_TIME_BOUNDS,
+            ),
+            batch_seconds: registry.histogram(
+                "hris_engine_batch_seconds",
+                "Wall seconds per infer_batch call.",
+                &DEFAULT_TIME_BOUNDS,
+            ),
+            queue_depth: registry.gauge(
+                "hris_engine_queue_depth",
+                "Queries of the current batch not yet picked up by a worker.",
+            ),
+            workers_busy: registry.gauge(
+                "hris_engine_workers_busy",
+                "Workers currently inside a query.",
+            ),
+            traces: TraceRing::new(opts.trace_capacity),
+            next_query_id: AtomicU64::new(0),
+            slow_threshold_s: opts.slow_query_threshold_s,
+            registry,
+        }
+    }
+
+    /// The registry all engine metrics live on.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Convenience for `registry().snapshot()`.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The retained per-query traces, oldest first.
+    #[must_use]
+    pub fn traces(&self) -> Vec<TraceRecord> {
+        self.traces.snapshot()
+    }
+
+    /// Removes and returns the retained traces, oldest first.
+    #[must_use]
+    pub fn drain_traces(&self) -> Vec<TraceRecord> {
+        self.traces.drain()
+    }
+
+    /// How many traces the ring has evicted so far.
+    #[must_use]
+    pub fn dropped_traces(&self) -> u64 {
+        self.traces.dropped()
+    }
+
+    /// The configured slow-query threshold, seconds.
+    #[must_use]
+    pub fn slow_query_threshold_s(&self) -> f64 {
+        self.slow_threshold_s
+    }
+
+    fn tracing(&self) -> bool {
+        self.traces.capacity() > 0
+    }
+
+    /// Records one finished query: aggregate metrics always, a trace record
+    /// when tracing is on.
+    #[allow(clippy::too_many_arguments)]
+    fn record_query(
+        &self,
+        query: &Trajectory,
+        run: &LocalRun,
+        global_s: f64,
+        refine_s: f64,
+        total_s: f64,
+        globals: &[GlobalRoute],
+        tally: Option<&CacheTally>,
+    ) {
+        self.queries.inc();
+        self.phase_candidates.observe(run.candidates_s);
+        self.phase_local.observe(run.local_s);
+        self.phase_global.observe(global_s);
+        self.phase_refine.observe(refine_s);
+        self.query_seconds.observe(total_s);
+        let slow = total_s > self.slow_threshold_s;
+        if slow {
+            self.slow_queries.inc();
+        }
+        let Some(tally) = tally else { return };
+        let rec = TraceRecord {
+            query_id: self.next_query_id.fetch_add(1, Ordering::Relaxed),
+            points: query.len(),
+            pairs: query.len().saturating_sub(1),
+            candidates: run.candidates_total,
+            routes: globals.len(),
+            top_log_score: globals.first().map(|g| g.log_score),
+            candidates_s: run.candidates_s,
+            local_s: run.local_s,
+            global_s,
+            refine_s,
+            total_s,
+            sp_hits: tally.sp_hits.load(Ordering::Relaxed),
+            sp_misses: tally.sp_misses.load(Ordering::Relaxed),
+            cand_hits: tally.cand_hits.load(Ordering::Relaxed),
+            cand_misses: tally.cand_misses.load(Ordering::Relaxed),
+            slow,
+        };
+        if self.traces.push(rec) {
+            self.traces_dropped.inc();
+        }
+    }
+}
+
 /// Throughput-oriented front end over a [`Hris`] instance.
 ///
-/// Cheap to construct; holds only cache state. All methods take `&self` and
-/// the engine is `Sync`, so one engine may serve many threads.
+/// Cheap to construct; holds only cache and instrumentation state. All
+/// methods take `&self` and the engine is `Sync`, so one engine may serve
+/// many threads.
 pub struct QueryEngine<'a> {
     hris: &'a Hris<'a>,
     cfg: EngineConfig,
     sp_cache: Option<SpCache>,
     cand_memo: Option<RwLock<HashMap<CandKey, Arc<Vec<CandidateEdge>>>>>,
-    cand_hits: AtomicU64,
-    cand_misses: AtomicU64,
+    cand_lookups: PairedCounter,
+    obs: Option<EngineObs>,
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Engine with the default configuration (pair-parallel, both caches).
+    /// Engine with the default configuration (pair-parallel, both caches,
+    /// instrumentation off).
     #[must_use]
     pub fn new(hris: &'a Hris<'a>) -> Self {
         QueryEngine::with_config(hris, EngineConfig::default())
     }
 
-    /// Engine with an explicit configuration.
+    /// Engine with an explicit configuration. When `cfg.obs.enabled`, the
+    /// engine instruments itself onto a fresh private registry (reachable
+    /// through [`QueryEngine::observability`]).
     #[must_use]
     pub fn with_config(hris: &'a Hris<'a>, cfg: EngineConfig) -> Self {
+        let registry = cfg.obs.enabled.then(|| Arc::new(MetricsRegistry::new()));
+        Self::build(hris, cfg, registry)
+    }
+
+    /// Engine instrumented onto a caller-owned registry (e.g. one shared
+    /// with other components or scraped by an exporter). Implies
+    /// `cfg.obs.enabled`.
+    #[must_use]
+    pub fn with_registry(
+        hris: &'a Hris<'a>,
+        mut cfg: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        cfg.obs.enabled = true;
+        Self::build(hris, cfg, Some(registry))
+    }
+
+    fn build(
+        hris: &'a Hris<'a>,
+        cfg: EngineConfig,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        let sp_cache = (cfg.sp_cache_capacity > 0).then(|| SpCache::new(cfg.sp_cache_capacity));
+        let cand_lookups = PairedCounter::new();
+        let obs = registry.map(|r| {
+            EngineObs::new(
+                r,
+                &cfg.obs,
+                sp_cache.as_ref().map(SpCache::lookup_counters),
+                cand_lookups.clone(),
+            )
+        });
         QueryEngine {
             hris,
-            sp_cache: (cfg.sp_cache_capacity > 0).then(|| SpCache::new(cfg.sp_cache_capacity)),
+            sp_cache,
             cand_memo: cfg.candidate_memo.then(|| RwLock::new(HashMap::new())),
             cfg,
-            cand_hits: AtomicU64::new(0),
-            cand_misses: AtomicU64::new(0),
+            cand_lookups,
+            obs,
         }
     }
 
@@ -99,14 +366,27 @@ impl<'a> QueryEngine<'a> {
         &self.cfg
     }
 
-    /// Current cache counters (cumulative since construction).
+    /// The engine's instrumentation, when enabled.
+    #[must_use]
+    pub fn observability(&self) -> Option<&EngineObs> {
+        self.obs.as_ref()
+    }
+
+    /// Current cache counters (cumulative since construction). Each
+    /// `(hits, misses)` pair is one consistent reading — see
+    /// [`EngineCacheStats`] for the exact guarantees.
     #[must_use]
     pub fn cache_stats(&self) -> EngineCacheStats {
+        let (sp_hits, sp_misses) = self
+            .sp_cache
+            .as_ref()
+            .map_or((0, 0), |c| c.lookup_counters().get());
+        let (candidate_hits, candidate_misses) = self.cand_lookups.get();
         EngineCacheStats {
-            sp_hits: self.sp_cache.as_ref().map_or(0, SpCache::hits),
-            sp_misses: self.sp_cache.as_ref().map_or(0, SpCache::misses),
-            candidate_hits: self.cand_hits.load(Ordering::Relaxed),
-            candidate_misses: self.cand_misses.load(Ordering::Relaxed),
+            sp_hits,
+            sp_misses,
+            candidate_hits,
+            candidate_misses,
         }
     }
 
@@ -165,25 +445,43 @@ impl<'a> QueryEngine<'a> {
         queries: &[Trajectory],
         k: usize,
     ) -> Vec<(Vec<GlobalRoute>, Vec<LocalStats>)> {
-        if self.cfg.batch_parallel && queries.len() > 1 {
+        let batch_timer = self.obs.as_ref().map(|obs| {
+            obs.batches.inc();
+            obs.queue_depth.set(queries.len() as i64);
+            Instant::now()
+        });
+        let run_one = |q: &Trajectory, mode: ExecMode| {
+            if let Some(obs) = &self.obs {
+                obs.queue_depth.dec();
+                obs.workers_busy.inc();
+            }
+            let out = self.infer_detailed_mode(q, k, mode);
+            if let Some(obs) = &self.obs {
+                obs.workers_busy.dec();
+            }
+            out
+        };
+        let result = if self.cfg.batch_parallel && queries.len() > 1 {
             // One level of fan-out only: queries go to the pool, each
             // query's pairs run sequentially inside their worker.
             queries
                 .par_iter()
-                .map(|q| self.infer_detailed_mode(q, k, ExecMode::Sequential))
+                .map(|q| run_one(q, ExecMode::Sequential))
                 .collect()
         } else {
-            queries
-                .iter()
-                .map(|q| self.infer_detailed_mode(q, k, self.cfg.mode))
-                .collect()
+            queries.iter().map(|q| run_one(q, self.cfg.mode)).collect()
+        };
+        if let (Some(obs), Some(t0)) = (&self.obs, batch_timer) {
+            obs.batch_seconds.observe(t0.elapsed().as_secs_f64());
         }
+        result
     }
 
     /// Phases 1–2 under the engine's scheduling and caches (phase 3 input).
     #[must_use]
     pub fn local_inference(&self, query: &Trajectory) -> Vec<LocalInferenceResult> {
-        self.local_inference_mode(query, self.cfg.mode)
+        self.local_inference_run(query, self.cfg.mode, None, false)
+            .locals
     }
 
     fn infer_detailed_mode(
@@ -193,36 +491,92 @@ impl<'a> QueryEngine<'a> {
         mode: ExecMode,
     ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
         let params = self.hris.params();
-        let locals = self.local_inference_mode(query, mode);
-        let stats = locals.iter().map(|l| l.stats.clone()).collect();
+        let Some(obs) = &self.obs else {
+            // Uninstrumented fast path: no clocks, no tallies.
+            let run = self.local_inference_run(query, mode, None, false);
+            let stats = run.locals.iter().map(|l| l.stats.clone()).collect();
+            let globals = k_gri_with(
+                self.hris.network(),
+                &run.locals,
+                k,
+                params.entropy_floor,
+                params.popularity_model,
+            );
+            return (globals, stats);
+        };
+
+        let t_query = Instant::now();
+        let tally = obs.tracing().then(CacheTally::default);
+        let run = self.local_inference_run(query, mode, tally.as_ref(), true);
+
+        let t_global = Instant::now();
         let globals = k_gri_with(
             self.hris.network(),
-            &locals,
+            &run.locals,
             k,
             params.entropy_floor,
             params.popularity_model,
         );
+        let global_s = t_global.elapsed().as_secs_f64();
+
+        let t_refine = Instant::now();
+        let stats: Vec<LocalStats> = run.locals.iter().map(|l| l.stats.clone()).collect();
+        let refine_s = t_refine.elapsed().as_secs_f64();
+
+        let total_s = t_query.elapsed().as_secs_f64();
+        obs.record_query(
+            query,
+            &run,
+            global_s,
+            refine_s,
+            total_s,
+            &globals,
+            tally.as_ref(),
+        );
         (globals, stats)
     }
 
-    fn local_inference_mode(
+    /// Phases 1–2 with optional wall-clock timing (`timed`) and optional
+    /// per-query cache attribution (`tally`). Untimed calls perform zero
+    /// clock reads.
+    fn local_inference_run(
         &self,
         query: &Trajectory,
         mode: ExecMode,
-    ) -> Vec<LocalInferenceResult> {
+        tally: Option<&CacheTally>,
+        timed: bool,
+    ) -> LocalRun {
         let net = self.hris.network();
         match degenerate_local(net, query) {
-            DegenerateQuery::Empty => return Vec::new(),
-            DegenerateQuery::Single(result) => return vec![result],
+            DegenerateQuery::Empty => {
+                return LocalRun {
+                    locals: Vec::new(),
+                    candidates_total: 0,
+                    candidates_s: 0.0,
+                    local_s: 0.0,
+                }
+            }
+            DegenerateQuery::Single(result) => {
+                return LocalRun {
+                    locals: vec![result],
+                    candidates_total: 0,
+                    candidates_s: 0.0,
+                    local_s: 0.0,
+                }
+            }
             DegenerateQuery::No => {}
         }
         // Candidates once per point (shared by the two adjoining pairs),
         // through the cross-query memo when enabled.
+        let t_cands = timed.then(Instant::now);
         let cands: Vec<Arc<Vec<CandidateEdge>>> = query
             .points
             .iter()
-            .map(|p| self.candidates(p.pos))
+            .map(|p| self.candidates(p.pos, tally))
             .collect();
+        let candidates_s = t_cands.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        let candidates_total = cands.iter().map(|c| c.len()).sum();
+
         let pair_indices: Vec<usize> = (0..query.len() - 1).collect();
         let work = |i: usize| {
             infer_pair(
@@ -233,19 +587,34 @@ impl<'a> QueryEngine<'a> {
                 query.points[i + 1],
                 &cands[i],
                 &cands[i + 1],
-                &|a, b| self.sp_fallback(a, b),
+                &|a, b| self.sp_fallback(a, b, tally),
             )
         };
-        match mode {
+        let t_local = timed.then(Instant::now);
+        let locals = match mode {
             ExecMode::Sequential => pair_indices.into_iter().map(work).collect(),
             ExecMode::PairParallel => pair_indices.par_iter().map(|&i| work(i)).collect(),
+        };
+        let local_s = t_local.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        LocalRun {
+            locals,
+            candidates_total,
+            candidates_s,
+            local_s,
         }
     }
 
     /// Candidate edges of a point, memoised by exact position.
-    fn candidates(&self, p: hris_geo::Point) -> Arc<Vec<CandidateEdge>> {
+    fn candidates(
+        &self,
+        p: hris_geo::Point,
+        tally: Option<&CacheTally>,
+    ) -> Arc<Vec<CandidateEdge>> {
         let Some(memo) = &self.cand_memo else {
-            self.cand_misses.fetch_add(1, Ordering::Relaxed);
+            self.cand_lookups.miss();
+            if let Some(t) = tally {
+                CacheTally::bump(&t.cand_misses);
+            }
             return Arc::new(crate::pipeline::query_candidates(
                 self.hris.network(),
                 self.hris.params(),
@@ -254,10 +623,16 @@ impl<'a> QueryEngine<'a> {
         };
         let key: CandKey = (p.x.to_bits(), p.y.to_bits());
         if let Some(hit) = memo.read().expect("candidate memo").get(&key) {
-            self.cand_hits.fetch_add(1, Ordering::Relaxed);
+            self.cand_lookups.hit();
+            if let Some(t) = tally {
+                CacheTally::bump(&t.cand_hits);
+            }
             return Arc::clone(hit);
         }
-        self.cand_misses.fetch_add(1, Ordering::Relaxed);
+        self.cand_lookups.miss();
+        if let Some(t) = tally {
+            CacheTally::bump(&t.cand_misses);
+        }
         let fresh = Arc::new(crate::pipeline::query_candidates(
             self.hris.network(),
             self.hris.params(),
@@ -273,12 +648,26 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Shortest-path fallback, through the shared cache when enabled.
-    fn sp_fallback(&self, a: SegmentId, b: SegmentId) -> Option<Route> {
+    /// Mirrors `route_between_segments_cached`, inlined so a traced query
+    /// can attribute the hit/miss to itself.
+    fn sp_fallback(&self, a: SegmentId, b: SegmentId, tally: Option<&CacheTally>) -> Option<Route> {
         let net = self.hris.network();
-        match &self.sp_cache {
-            Some(cache) => route_between_segments_cached(net, a, b, CostModel::Distance, cache),
-            None => route_between_segments(net, a, b, CostModel::Distance),
+        let Some(cache) = &self.sp_cache else {
+            return route_between_segments(net, a, b, CostModel::Distance);
+        };
+        let key = (a, b, CostModel::Distance);
+        if let Some(cached) = cache.get(&key) {
+            if let Some(t) = tally {
+                CacheTally::bump(&t.sp_hits);
+            }
+            return cached;
         }
+        if let Some(t) = tally {
+            CacheTally::bump(&t.sp_misses);
+        }
+        let fresh = route_between_segments(net, a, b, CostModel::Distance);
+        cache.insert(key, fresh.clone());
+        fresh
     }
 }
 
@@ -359,5 +748,24 @@ mod tests {
         let theirs = hris.infer_routes(&single, 3);
         assert_eq!(ours.len(), theirs.len());
         assert_eq!(ours[0].route, theirs[0].route);
+    }
+
+    #[test]
+    fn observability_off_by_default_and_on_when_asked() {
+        let (net, queries) = sparse_setup();
+        let hris = Hris::new(&net, TrajectoryArchive::empty(), HrisParams::default());
+        let plain = QueryEngine::new(&hris);
+        assert!(plain.observability().is_none());
+
+        let observed = QueryEngine::with_config(&hris, EngineConfig::observed());
+        let _ = observed.infer_batch(&queries, 2);
+        let obs = observed.observability().expect("instrumentation on");
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter("hris_engine_queries_total"),
+            Some(queries.len() as u64)
+        );
+        assert_eq!(snap.counter("hris_engine_batches_total"), Some(1));
+        assert_eq!(obs.traces().len(), queries.len());
     }
 }

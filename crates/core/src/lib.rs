@@ -43,12 +43,12 @@ pub mod params;
 pub mod pipeline;
 pub mod reference;
 
-pub use engine::{EngineCacheStats, QueryEngine};
+pub use engine::{EngineCacheStats, EngineObs, QueryEngine};
 pub use freespace::{infer_polyline, FreespaceParams};
 pub use global::{brute_force_top_k, brute_force_top_k_with, k_gri, k_gri_with, GlobalRoute};
 pub use local::{LocalInferenceResult, LocalRoute};
 pub use params::{
-    EngineConfig, ExecMode, HrisParams, HybridPolarity, LocalAlgorithm, PopularityModel,
+    EngineConfig, ExecMode, HrisParams, HybridPolarity, LocalAlgorithm, ObsOptions, PopularityModel,
 };
 pub use pipeline::{Hris, HrisMatcher, ScoredRoute};
 pub use reference::{search_references, RefKind, RefTrajectory, ReferenceSet};

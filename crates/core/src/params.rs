@@ -167,6 +167,48 @@ pub enum ExecMode {
     PairParallel,
 }
 
+/// Observability knobs of the [`QueryEngine`](crate::engine::QueryEngine).
+///
+/// Disabled (the default), the engine performs **zero** clock reads and zero
+/// metric updates on the hot path; enabled, it records per-phase wall times,
+/// queue/worker gauges and cache counters on a
+/// [`MetricsRegistry`](hris_obs::MetricsRegistry), plus an opt-in per-query
+/// trace ring. Like the rest of [`EngineConfig`], none of these options may
+/// change any inferred route — they only spend a little time on visibility.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsOptions {
+    /// Master switch for engine instrumentation.
+    pub enabled: bool,
+    /// How many per-query [`TraceRecord`](hris_obs::TraceRecord)s the engine
+    /// retains (oldest dropped first); `0` disables tracing while keeping
+    /// the aggregate metrics.
+    pub trace_capacity: usize,
+    /// Queries slower than this wall time (seconds) are flagged `slow` in
+    /// their trace and counted on `hris_engine_slow_queries_total`.
+    pub slow_query_threshold_s: f64,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            enabled: false,
+            trace_capacity: 256,
+            slow_query_threshold_s: 1.0,
+        }
+    }
+}
+
+impl ObsOptions {
+    /// Instrumentation on, with the default trace budget.
+    #[must_use]
+    pub fn enabled() -> Self {
+        ObsOptions {
+            enabled: true,
+            ..ObsOptions::default()
+        }
+    }
+}
+
 /// Tuning knobs of the [`QueryEngine`](crate::engine::QueryEngine); separate
 /// from [`HrisParams`] because none of them may change any inferred route —
 /// they only trade memory and threads for throughput.
@@ -182,6 +224,8 @@ pub struct EngineConfig {
     pub candidate_memo: bool,
     /// Fan `infer_batch` out across queries on the thread pool.
     pub batch_parallel: bool,
+    /// Runtime observability (off by default; zero overhead when off).
+    pub obs: ObsOptions,
 }
 
 impl Default for EngineConfig {
@@ -191,6 +235,7 @@ impl Default for EngineConfig {
             sp_cache_capacity: 8192,
             candidate_memo: true,
             batch_parallel: true,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -205,6 +250,16 @@ impl EngineConfig {
             sp_cache_capacity: 0,
             candidate_memo: false,
             batch_parallel: false,
+            obs: ObsOptions::default(),
+        }
+    }
+
+    /// The default configuration with instrumentation switched on.
+    #[must_use]
+    pub fn observed() -> Self {
+        EngineConfig {
+            obs: ObsOptions::enabled(),
+            ..EngineConfig::default()
         }
     }
 }

@@ -88,6 +88,95 @@ fn all_execution_modes_match_sequential_hris() {
     );
 }
 
+/// S1 — determinism under cache pressure: a shortest-path cache so small it
+/// evicts on nearly every insert, plus a candidate memo flooded by every
+/// distinct query position, must still return routes byte-identical to the
+/// cache-free sequential engine. Eviction changes only *when* work is
+/// recomputed, never what it computes.
+#[test]
+fn cache_pressure_does_not_change_results() {
+    let (_net, hris, queries) = scenario();
+    let k = 3;
+
+    let uncached = QueryEngine::with_config(&hris, EngineConfig::sequential());
+    let baseline: Vec<Vec<ScoredRoute>> = queries
+        .iter()
+        .map(|q| uncached.infer_routes(q, k))
+        .collect();
+
+    // Capacity 1: each of the cache's shards holds a single entry, so the
+    // workload thrashes it (every reuse across a different pair evicts).
+    let pressured = QueryEngine::with_config(
+        &hris,
+        EngineConfig {
+            sp_cache_capacity: 1,
+            ..EngineConfig::default()
+        },
+    );
+    // Two passes: the second runs against a memo already saturated with
+    // every position of the workload, so it is served almost entirely from
+    // cache — and must still match.
+    for pass in 0..2 {
+        let got = pressured.infer_batch(&queries, k);
+        for (i, (g, want)) in got.iter().zip(&baseline).enumerate() {
+            assert_same(&format!("pressured pass {pass} query {i}"), g, want);
+        }
+    }
+    let stats = pressured.cache_stats();
+    assert!(
+        stats.candidate_hits > 0,
+        "pass 2 must hit the saturated memo, got {stats:?}"
+    );
+
+    // The dense archive above rarely needs the shortest-path fallback, so
+    // pressure the SP cache separately: an empty archive routes *every* pair
+    // through it. Capacity 1 per shard → constant eviction; results must
+    // still match the cache-free engine.
+    let net2: &'static _ = Box::leak(Box::new(generator::generate(&NetworkConfig::small(5))));
+    let empty = Hris::new(
+        net2,
+        hris_traj::TrajectoryArchive::empty(),
+        HrisParams::default(),
+    );
+    let uncached2 = QueryEngine::with_config(&empty, EngineConfig::sequential());
+    let sp_pressured = QueryEngine::with_config(
+        &empty,
+        EngineConfig {
+            sp_cache_capacity: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let want2: Vec<Vec<ScoredRoute>> = queries
+        .iter()
+        .map(|q| uncached2.infer_routes(q, k))
+        .collect();
+    for pass in 0..2 {
+        let got = sp_pressured.infer_batch(&queries, k);
+        for (i, (g, w)) in got.iter().zip(&want2).enumerate() {
+            assert_same(&format!("sp-pressured pass {pass} query {i}"), g, w);
+        }
+    }
+    let stats2 = sp_pressured.cache_stats();
+    assert!(
+        stats2.sp_hits + stats2.sp_misses > 0,
+        "empty archive must exercise the SP fallback, got {stats2:?}"
+    );
+
+    // Same pressure with full instrumentation and tracing on: metrics must
+    // not move a byte either.
+    let observed = QueryEngine::with_config(
+        &hris,
+        EngineConfig {
+            sp_cache_capacity: 1,
+            ..EngineConfig::observed()
+        },
+    );
+    let got = observed.infer_batch(&queries, k);
+    for (i, (g, want)) in got.iter().zip(&baseline).enumerate() {
+        assert_same(&format!("observed pressured query {i}"), g, want);
+    }
+}
+
 #[test]
 fn detailed_outputs_match_across_modes() {
     let (_net, hris, queries) = scenario();

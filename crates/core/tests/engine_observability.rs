@@ -1,0 +1,209 @@
+//! Integration tests of the engine's observability layer: metric/trace
+//! accounting must be exact where the workload is deterministic (counts,
+//! cache tallies) and internally consistent where it is not (wall times).
+
+use hris::{EngineConfig, ExecMode, Hris, HrisParams, ObsOptions, QueryEngine};
+use hris_obs::MetricsRegistry;
+use hris_roadnet::{generator, NetworkConfig};
+use hris_traj::{resample_to_interval, SimConfig, Simulator, TrajId, Trajectory};
+use std::sync::Arc;
+
+fn scenario() -> (Hris<'static>, Vec<Trajectory>) {
+    let net: &'static _ = Box::leak(Box::new(generator::generate(&NetworkConfig::small(21))));
+    let mut sim = Simulator::new(
+        net,
+        SimConfig {
+            num_trips: 200,
+            num_od_patterns: 8,
+            min_trip_dist_m: 800.0,
+            seed: 7,
+            ..SimConfig::default()
+        },
+    );
+    let (archive, routes) = sim.generate_archive();
+    let mut queries = Vec::new();
+    for (i, r) in routes.iter().step_by(routes.len() / 3).take(3).enumerate() {
+        let pts = hris_traj::simulator::drive_route(net, r, 0.0, 20.0, 0.8).unwrap();
+        queries.push(resample_to_interval(
+            &Trajectory::new(TrajId(i as u32), pts),
+            240.0,
+        ));
+    }
+    (Hris::new(net, archive, HrisParams::default()), queries)
+}
+
+#[test]
+fn query_and_batch_counters_are_exact() {
+    let (hris, queries) = scenario();
+    let engine = QueryEngine::with_config(&hris, EngineConfig::observed());
+    let _ = engine.infer_batch(&queries, 2);
+    let _ = engine.infer_batch(&queries, 2);
+    let _ = engine.infer_routes(&queries[0], 2);
+
+    let snap = engine.observability().unwrap().snapshot();
+    let served = (2 * queries.len() + 1) as u64;
+    assert_eq!(snap.counter("hris_engine_queries_total"), Some(served));
+    assert_eq!(snap.counter("hris_engine_batches_total"), Some(2));
+    // Phase histograms saw every query exactly once each.
+    for phase in ["candidates", "local", "global", "refine"] {
+        let h = snap
+            .histogram("hris_engine_phase_seconds", &[("phase", phase)])
+            .unwrap_or_else(|| panic!("phase histogram `{phase}` missing"));
+        assert_eq!(h.count, served, "phase `{phase}` count");
+    }
+    let q = snap.histogram("hris_engine_query_seconds", &[]).unwrap();
+    assert_eq!(q.count, served);
+    // Gauges are back to idle after the batches drained.
+    assert_eq!(snap.gauge("hris_engine_queue_depth"), Some(0));
+    assert_eq!(snap.gauge("hris_engine_workers_busy"), Some(0));
+}
+
+#[test]
+fn traces_attribute_cache_traffic_exactly() {
+    let (hris, queries) = scenario();
+    let engine = QueryEngine::with_config(&hris, EngineConfig::observed());
+    let _ = engine.infer_batch(&queries, 2);
+
+    let obs = engine.observability().unwrap();
+    let traces = obs.traces();
+    assert_eq!(traces.len(), queries.len());
+    for (t, q) in traces.iter().zip(&queries) {
+        assert_eq!(t.points, q.len());
+        assert_eq!(t.pairs, q.len().saturating_sub(1));
+        assert!(t.total_s >= 0.0);
+        // Phase times never exceed the query total.
+        let phases = t.candidates_s + t.local_s + t.global_s + t.refine_s;
+        assert!(
+            phases <= t.total_s * 1.001,
+            "phases {phases} > total {}",
+            t.total_s
+        );
+        // One candidate lookup per query point.
+        assert_eq!(t.cand_hits + t.cand_misses, q.len() as u64);
+    }
+    // Query ids are the engine's own monotonic sequence.
+    let ids: Vec<u64> = traces.iter().map(|t| t.query_id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "duplicate query ids: {ids:?}");
+
+    // The per-query tallies sum exactly to the global cache counters.
+    let stats = engine.cache_stats();
+    let sp: u64 = traces.iter().map(|t| t.sp_hits + t.sp_misses).sum();
+    let cand: u64 = traces.iter().map(|t| t.cand_hits + t.cand_misses).sum();
+    assert_eq!(sp, stats.sp_hits + stats.sp_misses);
+    assert_eq!(cand, stats.candidate_hits + stats.candidate_misses);
+    // And the registry exports the same pairs.
+    let snap = obs.snapshot();
+    assert_eq!(
+        snap.counter("hris_engine_sp_cache_hits_total"),
+        Some(stats.sp_hits)
+    );
+    assert_eq!(
+        snap.counter("hris_engine_candidate_memo_misses_total"),
+        Some(stats.candidate_misses)
+    );
+}
+
+#[test]
+fn slow_query_threshold_flags_and_counts() {
+    let (hris, queries) = scenario();
+    // A zero threshold makes every real query "slow".
+    let cfg = EngineConfig {
+        obs: ObsOptions {
+            enabled: true,
+            slow_query_threshold_s: 0.0,
+            ..ObsOptions::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine = QueryEngine::with_config(&hris, cfg);
+    let _ = engine.infer_batch(&queries, 2);
+    let obs = engine.observability().unwrap();
+    assert!(obs.traces().iter().all(|t| t.slow));
+    assert_eq!(
+        obs.snapshot().counter("hris_engine_slow_queries_total"),
+        Some(queries.len() as u64)
+    );
+    assert_eq!(obs.slow_query_threshold_s(), 0.0);
+}
+
+#[test]
+fn trace_ring_evicts_oldest_and_counts_drops() {
+    let (hris, queries) = scenario();
+    let cfg = EngineConfig {
+        obs: ObsOptions {
+            enabled: true,
+            trace_capacity: 2,
+            ..ObsOptions::default()
+        },
+        mode: ExecMode::Sequential,
+        batch_parallel: false,
+        ..EngineConfig::default()
+    };
+    let engine = QueryEngine::with_config(&hris, cfg);
+    let _ = engine.infer_batch(&queries, 2); // 3 queries into a 2-slot ring
+    let obs = engine.observability().unwrap();
+    let traces = obs.traces();
+    assert_eq!(traces.len(), 2);
+    assert_eq!(obs.dropped_traces(), 1);
+    // Sequential batch → the two *newest* queries survive.
+    assert_eq!(traces[0].query_id, 1);
+    assert_eq!(traces[1].query_id, 2);
+    assert_eq!(
+        obs.snapshot().counter("hris_engine_traces_dropped_total"),
+        Some(1)
+    );
+    // Draining empties the ring but keeps the metrics.
+    assert_eq!(obs.drain_traces().len(), 2);
+    assert!(obs.traces().is_empty());
+    assert_eq!(
+        obs.snapshot().counter("hris_engine_queries_total"),
+        Some(queries.len() as u64)
+    );
+}
+
+#[test]
+fn zero_trace_capacity_keeps_aggregates_only() {
+    let (hris, queries) = scenario();
+    let cfg = EngineConfig {
+        obs: ObsOptions {
+            enabled: true,
+            trace_capacity: 0,
+            ..ObsOptions::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine = QueryEngine::with_config(&hris, cfg);
+    let _ = engine.infer_batch(&queries, 2);
+    let obs = engine.observability().unwrap();
+    assert!(obs.traces().is_empty());
+    assert_eq!(
+        obs.snapshot().counter("hris_engine_queries_total"),
+        Some(queries.len() as u64)
+    );
+}
+
+#[test]
+fn shared_registry_collects_engine_metrics() {
+    let (hris, queries) = scenario();
+    let registry = Arc::new(MetricsRegistry::new());
+    // A caller-owned metric lives alongside the engine's.
+    let own = registry.counter("my_harness_runs_total", "Harness runs.");
+    own.inc();
+    let engine = QueryEngine::with_registry(&hris, EngineConfig::default(), registry.clone());
+    assert!(engine.config().obs.enabled, "with_registry implies obs");
+    let _ = engine.infer_batch(&queries, 2);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("my_harness_runs_total"), Some(1));
+    assert_eq!(
+        snap.counter("hris_engine_queries_total"),
+        Some(queries.len() as u64)
+    );
+    // The exported text carries both families.
+    let text = snap.to_prometheus();
+    assert!(text.contains("my_harness_runs_total 1"));
+    assert!(text.contains("# TYPE hris_engine_phase_seconds histogram"));
+}

@@ -1,13 +1,16 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [FIGURE ...] [--full] [--seed N] [--out DIR]
+//! experiments [FIGURE ...] [--full] [--seed N] [--out DIR] [--metrics-out FILE]
 //!
 //! FIGURE: table2 fig8a fig8b fig9a fig9b fig10a fig10b fig11a fig11b
 //!         fig12a fig12b fig13a fig13b fig14a fig14b all   (default: all)
 //! --full : paper-scale scenario (~25 km city, thousands of trips);
 //!          default is the laptop-quick scenario.
 //! --out  : also write each figure's CSV into DIR.
+//! --metrics-out : run an instrumented pass of the base workload, print the
+//!          phase/cache summary, and write the full metrics + trace JSON
+//!          (registry snapshot and per-query TraceRecords) to FILE.
 //! ```
 //!
 //! Run with `cargo run --release -p hris-eval --bin experiments -- all`.
@@ -22,6 +25,7 @@ struct Args {
     full: bool,
     seed: u64,
     out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +33,7 @@ fn parse_args() -> Args {
     let mut full = false;
     let mut seed = 42u64;
     let mut out = None;
+    let mut metrics_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -40,6 +45,9 @@ fn parse_args() -> Args {
                     .expect("--seed needs a number");
             }
             "--out" => out = Some(it.next().expect("--out needs a directory")),
+            "--metrics-out" => {
+                metrics_out = Some(it.next().expect("--metrics-out needs a file path"));
+            }
             other => {
                 figures.insert(other.to_string());
             }
@@ -53,6 +61,7 @@ fn parse_args() -> Args {
         full,
         seed,
         out,
+        metrics_out,
     }
 }
 
@@ -85,7 +94,8 @@ fn main() {
         "freespace",
     ]
     .iter()
-    .any(|f| want(f));
+    .any(|f| want(f))
+        || args.metrics_out.is_some();
 
     let base: Option<Scenario> = if needs_base {
         let cfg = if args.full {
@@ -185,6 +195,25 @@ fn main() {
         let s = Scenario::build(cfg);
         eprintln!("  {} queries", s.queries.len());
         run(&mut outputs, || ex::fig8b(&s, &buckets));
+    }
+
+    // Instrumented pass: same base workload, observed engine, sequential so
+    // phase times attribute the wall time exactly.
+    if let Some(path) = &args.metrics_out {
+        let s = base
+            .as_ref()
+            .expect("metrics pass builds the base scenario");
+        let interval_s = 180.0;
+        eprintln!("running instrumented pass (interval {interval_s}s) ...");
+        let (outcome, report) =
+            hris_eval::evaluate_hris_observed(s, &hris::HrisParams::default(), interval_s, None);
+        println!("{}", report.summary());
+        println!(
+            "   accuracy {:.4}   mean query time {:.4}s",
+            outcome.mean_accuracy, outcome.mean_time_s
+        );
+        std::fs::write(path, report.to_json()).expect("write metrics json");
+        eprintln!("wrote {path}");
     }
 
     if let Some(dir) = &args.out {

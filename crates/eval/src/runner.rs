@@ -10,11 +10,16 @@
 
 use crate::metrics::accuracy_al;
 use crate::scenario::Scenario;
-use hris::{Hris, HrisParams, QueryEngine};
+use hris::{EngineConfig, ExecMode, Hris, HrisParams, ObsOptions, QueryEngine};
 use hris_mapmatch::MapMatcher;
+use hris_obs::{MetricsSnapshot, TraceRecord};
 use hris_traj::{resample_to_interval, Trajectory, TrajectoryArchive};
 use rayon::prelude::*;
+use std::fmt::Write as _;
 use std::time::Instant;
+
+/// The engine's four pipeline phases, in execution order.
+pub const PHASES: [&str; 4] = ["candidates", "local", "global", "refine"];
 
 /// Aggregated outcome of one evaluation sweep cell.
 #[derive(Debug, Clone, Copy, Default)]
@@ -97,6 +102,173 @@ pub fn evaluate_hris(
         })
         .collect();
     aggregate(&results)
+}
+
+/// Observability artifacts of one instrumented evaluation run: the final
+/// registry snapshot, the retained per-query traces, and the measured batch
+/// wall time the phase sums should account for.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Registry state at the end of the run.
+    pub snapshot: MetricsSnapshot,
+    /// Per-query traces, oldest first (ring-bounded).
+    pub traces: Vec<TraceRecord>,
+    /// Traces evicted from the ring during the run.
+    pub traces_dropped: u64,
+    /// Wall seconds of the whole batch, measured outside the engine.
+    pub wall_s: f64,
+}
+
+impl ObsReport {
+    /// Summed wall seconds recorded for one pipeline phase (see [`PHASES`]).
+    #[must_use]
+    pub fn phase_sum(&self, phase: &str) -> f64 {
+        self.snapshot
+            .histogram_sum("hris_engine_phase_seconds", &[("phase", phase)])
+            .unwrap_or(0.0)
+    }
+
+    /// `(phase, summed seconds)` for all four phases, in execution order.
+    #[must_use]
+    pub fn phase_sums(&self) -> Vec<(&'static str, f64)> {
+        PHASES.iter().map(|p| (*p, self.phase_sum(p))).collect()
+    }
+
+    /// Human-readable end-of-run summary: phase budget against wall time,
+    /// cache hit rates, slow queries and trace-ring pressure.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Observability — phase budget ==");
+        let mut phase_total = 0.0;
+        for (phase, s) in self.phase_sums() {
+            phase_total += s;
+            let pct = if self.wall_s > 0.0 {
+                100.0 * s / self.wall_s
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "{phase:>12} {s:>12.4}s {pct:>6.1}%");
+        }
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12.4}s {:>6.1}%  (wall {:.4}s)",
+            "phases",
+            phase_total,
+            if self.wall_s > 0.0 {
+                100.0 * phase_total / self.wall_s
+            } else {
+                0.0
+            },
+            self.wall_s
+        );
+        let rate = |base: &str| -> String {
+            let hits = self
+                .snapshot
+                .counter(&format!("{base}_hits_total"))
+                .unwrap_or(0);
+            let misses = self
+                .snapshot
+                .counter(&format!("{base}_misses_total"))
+                .unwrap_or(0);
+            let total = hits + misses;
+            if total == 0 {
+                format!("{hits}/{total}")
+            } else {
+                format!(
+                    "{hits}/{total} ({:.1}%)",
+                    100.0 * hits as f64 / total as f64
+                )
+            }
+        };
+        let _ = writeln!(
+            out,
+            "   sp cache hits {}   candidate memo hits {}",
+            rate("hris_engine_sp_cache"),
+            rate("hris_engine_candidate_memo")
+        );
+        let _ = writeln!(
+            out,
+            "   queries {}   slow {}   traces kept {} dropped {}",
+            self.snapshot
+                .counter("hris_engine_queries_total")
+                .unwrap_or(0),
+            self.snapshot
+                .counter("hris_engine_slow_queries_total")
+                .unwrap_or(0),
+            self.traces.len(),
+            self.traces_dropped
+        );
+        out
+    }
+
+    /// The whole report as one JSON document:
+    /// `{"wall_s": ..., "registry": {"metrics": [...]}, "traces": [...]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let traces: Vec<String> = self.traces.iter().map(TraceRecord::to_json).collect();
+        format!(
+            "{{\"wall_s\":{},\"traces_dropped\":{},\"registry\":{},\"traces\":[{}]}}",
+            self.wall_s,
+            self.traces_dropped,
+            self.snapshot.to_json(),
+            traces.join(",")
+        )
+    }
+}
+
+/// [`evaluate_hris`] with engine instrumentation: runs the same workload on
+/// an observed engine and returns the usual outcome plus an [`ObsReport`].
+///
+/// The instrumented engine runs queries sequentially (`batch_parallel` off,
+/// [`ExecMode::Sequential`]) so the per-phase wall times sum to the batch
+/// wall time on any host — the report is an attribution profile, not a
+/// throughput benchmark. Results are byte-identical either way.
+#[must_use]
+pub fn evaluate_hris_observed(
+    scenario: &Scenario,
+    params: &HrisParams,
+    interval_s: f64,
+    archive_override: Option<&TrajectoryArchive>,
+) -> (EvalOutcome, ObsReport) {
+    let archive = archive_override.unwrap_or(&scenario.archive);
+    let hris = Hris::new(&scenario.net, archive.clone(), params.clone());
+    let cfg = EngineConfig {
+        mode: ExecMode::Sequential,
+        batch_parallel: false,
+        obs: ObsOptions::enabled(),
+        ..EngineConfig::default()
+    };
+    let engine = QueryEngine::with_config(&hris, cfg);
+    let queries = resampled(scenario, interval_s);
+
+    let t0 = Instant::now();
+    let detailed = engine.infer_batch_detailed(&queries, params.k3.max(1));
+    let wall_s = t0.elapsed().as_secs_f64();
+    let per_query_s = wall_s / queries.len().max(1) as f64;
+
+    let results: Vec<(f64, f64, f64, f64)> = detailed
+        .into_iter()
+        .zip(&scenario.queries)
+        .map(|((globals, stats), q)| {
+            let acc = globals
+                .first()
+                .map(|g| accuracy_al(&q.truth, &g.route, &scenario.net))
+                .unwrap_or(0.0);
+            let density = mean(stats.iter().map(|s| s.density).filter(|d| d.is_finite()));
+            let knn = stats.iter().map(|s| s.knn_searches).sum::<usize>() as f64;
+            (acc, per_query_s, density, knn)
+        })
+        .collect();
+
+    let obs = engine.observability().expect("instrumented engine");
+    let report = ObsReport {
+        snapshot: obs.snapshot(),
+        traces: obs.traces(),
+        traces_dropped: obs.dropped_traces(),
+        wall_s,
+    };
+    (aggregate(&results), report)
 }
 
 /// Per-query top-k accuracies for Figure 14a: returns `(avg, max)` accuracy
@@ -196,6 +368,44 @@ mod tests {
         let (avg, max) = evaluate_hris_topk(&s, &HrisParams::default(), 180.0, 3);
         assert!(max >= avg - 1e-9);
         assert!((0.0..=1.0).contains(&max));
+    }
+
+    #[test]
+    fn observed_evaluation_matches_plain_and_accounts_wall_time() {
+        let s = scenario();
+        let params = HrisParams::default();
+        let plain = evaluate_hris(&s, &params, 180.0, None);
+        let (out, report) = evaluate_hris_observed(&s, &params, 180.0, None);
+        // Instrumentation must not move accuracy at all.
+        assert!(
+            (out.mean_accuracy - plain.mean_accuracy).abs() < 1e-12,
+            "observed accuracy {} vs plain {}",
+            out.mean_accuracy,
+            plain.mean_accuracy
+        );
+        assert_eq!(report.traces.len(), 3);
+        assert_eq!(
+            report.snapshot.counter("hris_engine_queries_total"),
+            Some(3)
+        );
+        // Sequential run: the four phases account for (nearly) all the wall.
+        let phase_total: f64 = report.phase_sums().iter().map(|(_, s)| s).sum();
+        assert!(
+            phase_total <= report.wall_s * 1.001,
+            "phases {phase_total} exceed wall {}",
+            report.wall_s
+        );
+        assert!(
+            phase_total >= report.wall_s * 0.9,
+            "phases {phase_total} account for <90% of wall {}",
+            report.wall_s
+        );
+        // The JSON report is machine-readable.
+        let parsed: serde_json::Value =
+            serde_json::from_str(&report.to_json()).expect("ObsReport::to_json parses");
+        assert!(parsed["wall_s"].as_f64().unwrap() > 0.0);
+        assert_eq!(parsed["traces"].as_array().unwrap().len(), 3);
+        assert!(report.summary().contains("phase budget"));
     }
 
     #[test]

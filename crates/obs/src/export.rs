@@ -1,0 +1,280 @@
+//! Snapshot rendering: Prometheus text exposition format and JSON.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{SnapshotEntry, SnapshotValue};
+
+/// A point-in-time copy of a whole [`MetricsRegistry`](crate::MetricsRegistry),
+/// sorted by `(name, labels)`. All exports are deterministic functions of the
+/// snapshot, so the metric names and label sets form a stable contract
+/// (pinned by the golden-export test).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The exported metrics.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl MetricsSnapshot {
+    /// The entry with this exact name and label set.
+    #[must_use]
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SnapshotEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+    }
+
+    /// Value of the first counter named `name` (any label set).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match &e.value {
+                SnapshotValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Value of the first gauge named `name` (any label set).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| match &e.value {
+                SnapshotValue::Gauge(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// The histogram with this exact name and label set.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.get(name, labels).and_then(|e| match &e.value {
+            SnapshotValue::Histogram(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Sum of the histogram with this exact name and label set.
+    #[must_use]
+    pub fn histogram_sum(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.histogram(name, labels).map(|h| h.sum)
+    }
+
+    /// Prometheus text exposition format: one `# HELP`/`# TYPE` header per
+    /// metric family, histograms expanded into cumulative `_bucket` series
+    /// plus `_sum` and `_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for e in &self.entries {
+            if last_name != Some(e.name.as_str()) {
+                let kind = match &e.value {
+                    SnapshotValue::Counter(_) => "counter",
+                    SnapshotValue::Gauge(_) => "gauge",
+                    SnapshotValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!(
+                    "# HELP {} {}\n# TYPE {} {kind}\n",
+                    e.name,
+                    escape_help(&e.help),
+                    e.name
+                ));
+                last_name = Some(e.name.as_str());
+            }
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {v}\n", e.name, label_block(&e.labels, None)));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {v}\n", e.name, label_block(&e.labels, None)));
+                }
+                SnapshotValue::Histogram(h) => {
+                    let cum = h.cumulative();
+                    for (i, c) in cum.iter().enumerate() {
+                        let le = match h.bounds.get(i) {
+                            Some(b) => prom_f64(*b),
+                            None => "+Inf".to_string(),
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {c}\n",
+                            e.name,
+                            label_block(&e.labels, Some(&le))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        e.name,
+                        label_block(&e.labels, None),
+                        prom_f64(h.sum)
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        e.name,
+                        label_block(&e.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// The snapshot as one JSON document:
+    /// `{"metrics": [{"name", "type", "labels", ...value fields}]}`.
+    /// Histograms carry their bounds and *non-cumulative* bucket counts plus
+    /// the `+Inf` overflow count, so the registry state round-trips exactly.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":{}",
+                e.name,
+                labels_json(&e.labels)
+            ));
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!(",\"type\":\"counter\",\"value\":{v}}}"));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!(",\"type\":\"gauge\",\"value\":{v}}}"));
+                }
+                SnapshotValue::Histogram(h) => {
+                    out.push_str(",\"type\":\"histogram\",\"buckets\":[");
+                    for (j, b) in h.bounds.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!(
+                            "{{\"le\":{},\"count\":{}}}",
+                            fmt_f64(*b),
+                            h.counts[j]
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "],\"inf_count\":{},\"sum\":{},\"count\":{}}}",
+                        h.counts[h.bounds.len()],
+                        fmt_f64(h.sum),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn labels_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    let mut want: Vec<(&str, &str)> = want.to_vec();
+    want.sort_unstable();
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(&want)
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+/// `{a="1",b="2"}` (optionally with a trailing `le`), or `""` when empty.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn labels_json(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":\"{v}\""))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// JSON-safe float text (`null` for non-finite; registration rules make
+/// these unreachable for bounds, but sums of user observations may see NaN).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Prometheus float text (`+Inf` / `-Inf` / `NaN` spellings).
+fn prom_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MetricsRegistry, PairedCounter};
+
+    fn demo() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("req_total", "Requests.").add(3);
+        r.gauge("depth", "Depth.").set(-2);
+        let h = r.histogram_with_labels("lat_seconds", "Latency.", &[0.1, 1.0], &[("phase", "a")]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(2.0);
+        let p = r.register_paired("cache", "Cache.", PairedCounter::new());
+        p.hit();
+        p.miss();
+        r
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let text = demo().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total 3"));
+        assert!(text.contains("depth -2"));
+        assert!(text.contains("lat_seconds_bucket{phase=\"a\",le=\"0.1\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{phase=\"a\",le=\"1\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{phase=\"a\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count{phase=\"a\"} 3"));
+        assert!(text.contains("cache_hits_total 1"));
+        assert!(text.contains("cache_misses_total 1"));
+        // One header per family.
+        assert_eq!(text.matches("# TYPE lat_seconds histogram").count(), 1);
+    }
+
+    #[test]
+    fn json_shape_and_accessors() {
+        let s = demo().snapshot();
+        let j = s.to_json();
+        assert!(j.contains("\"name\":\"req_total\""));
+        assert!(j.contains("\"inf_count\":1"));
+        assert_eq!(s.counter("req_total"), Some(3));
+        assert_eq!(s.gauge("depth"), Some(-2));
+        let h = s.histogram("lat_seconds", &[("phase", "a")]).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(
+            s.histogram_sum("lat_seconds", &[("phase", "a")]),
+            Some(h.sum)
+        );
+        assert!(s.get("lat_seconds", &[]).is_none());
+    }
+}

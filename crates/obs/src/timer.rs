@@ -1,0 +1,81 @@
+//! RAII wall-clock phase timers.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// Times one phase: started by [`Histogram::start_timer`], it records the
+/// elapsed wall time (seconds) into the histogram when dropped — so a phase
+/// is timed correctly even on early return. Costs exactly two clock reads.
+#[must_use = "a dropped-immediately timer records ~0s"]
+#[derive(Debug)]
+pub struct PhaseTimer<'h> {
+    hist: &'h Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl Histogram {
+    /// Starts an RAII timer recording into this histogram.
+    pub fn start_timer(&self) -> PhaseTimer<'_> {
+        PhaseTimer {
+            hist: self,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+}
+
+impl PhaseTimer<'_> {
+    /// Stops the timer now, records the observation, and returns the
+    /// elapsed seconds (instead of waiting for the drop).
+    pub fn stop(mut self) -> f64 {
+        let dt = self.start.elapsed().as_secs_f64();
+        self.armed = false;
+        self.hist.observe(dt);
+        dt
+    }
+
+    /// Discards the timer without recording anything.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.observe(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Histogram::new(&[10.0]);
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn stop_returns_elapsed_and_records() {
+        let h = Histogram::new(&[10.0]);
+        let t = h.start_timer();
+        let dt = t.stop();
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Histogram::new(&[10.0]);
+        h.start_timer().cancel();
+        assert_eq!(h.count(), 0);
+    }
+}

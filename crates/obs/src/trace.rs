@@ -1,0 +1,222 @@
+//! Per-query trace records and their bounded ring buffer.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Everything worth knowing about one served query: where its wall time
+/// went, how much work each phase did, and how the shared caches treated it.
+///
+/// Phase names follow the engine's decomposition of the paper's pipeline:
+/// `candidates` (candidate-edge lookup per query point), `local` (reference
+/// search + local route inference per consecutive pair), `global` (K-GRI
+/// scoring), `refine` (result assembly / instrumentation collection).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceRecord {
+    /// Engine-assigned sequence number (monotonic per engine).
+    pub query_id: u64,
+    /// Query points.
+    pub points: usize,
+    /// Consecutive point pairs inferred (`points - 1` for real queries).
+    pub pairs: usize,
+    /// Total candidate edges across all query points.
+    pub candidates: usize,
+    /// Global routes returned.
+    pub routes: usize,
+    /// Log-score of the top-1 route, when any route was returned.
+    pub top_log_score: Option<f64>,
+    /// Wall seconds spent in candidate lookup.
+    pub candidates_s: f64,
+    /// Wall seconds spent in per-pair local inference.
+    pub local_s: f64,
+    /// Wall seconds spent in K-GRI global scoring.
+    pub global_s: f64,
+    /// Wall seconds spent assembling results.
+    pub refine_s: f64,
+    /// Wall seconds for the whole query (≥ the four phases' sum).
+    pub total_s: f64,
+    /// Shortest-path cache hits charged to this query.
+    pub sp_hits: u64,
+    /// Shortest-path cache misses charged to this query.
+    pub sp_misses: u64,
+    /// Candidate-memo hits charged to this query.
+    pub cand_hits: u64,
+    /// Candidate-memo misses charged to this query.
+    pub cand_misses: u64,
+    /// True when `total_s` exceeded the engine's slow-query threshold.
+    pub slow: bool,
+}
+
+impl TraceRecord {
+    /// This record as one JSON object (compact, stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let score = match self.top_log_score {
+            Some(s) if s.is_finite() => crate::export::fmt_f64(s),
+            _ => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"query_id\":{},\"points\":{},\"pairs\":{},\"candidates\":{},",
+                "\"routes\":{},\"top_log_score\":{},",
+                "\"candidates_s\":{},\"local_s\":{},\"global_s\":{},\"refine_s\":{},",
+                "\"total_s\":{},\"sp_hits\":{},\"sp_misses\":{},",
+                "\"cand_hits\":{},\"cand_misses\":{},\"slow\":{}}}"
+            ),
+            self.query_id,
+            self.points,
+            self.pairs,
+            self.candidates,
+            self.routes,
+            score,
+            crate::export::fmt_f64(self.candidates_s),
+            crate::export::fmt_f64(self.local_s),
+            crate::export::fmt_f64(self.global_s),
+            crate::export::fmt_f64(self.refine_s),
+            crate::export::fmt_f64(self.total_s),
+            self.sp_hits,
+            self.sp_misses,
+            self.cand_hits,
+            self.cand_misses,
+            self.slow,
+        )
+    }
+}
+
+/// A bounded ring of the most recent [`TraceRecord`]s: pushing past the
+/// capacity drops the oldest record and counts it.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    buf: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring keeping at most `capacity` records (0 keeps none: every push
+    /// is counted as dropped, which lets callers leave tracing "on" with a
+    /// zero-retention budget).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a record; returns `true` when an old record (or, at zero
+    /// capacity, this record) was dropped to make room.
+    pub fn push(&self, rec: TraceRecord) -> bool {
+        let mut inner = self.inner.lock().expect("trace ring");
+        if self.capacity == 0 {
+            inner.dropped += 1;
+            return true;
+        }
+        let evict = inner.buf.len() == self.capacity;
+        if evict {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(rec);
+        evict
+    }
+
+    /// Copies out the retained records, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.inner
+            .lock()
+            .expect("trace ring")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the retained records, oldest first.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        self.inner
+            .lock()
+            .expect("trace ring")
+            .buf
+            .drain(..)
+            .collect()
+    }
+
+    /// How many records have been dropped since construction.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace ring").dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64) -> TraceRecord {
+        TraceRecord {
+            query_id: id,
+            ..TraceRecord::default()
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_and_counts_drops() {
+        let ring = TraceRing::new(2);
+        assert!(!ring.push(rec(1)));
+        assert!(!ring.push(rec(2)));
+        assert!(ring.push(rec(3)));
+        let ids: Vec<u64> = ring.snapshot().iter().map(|r| r.query_id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let ring = TraceRing::new(0);
+        assert!(ring.push(rec(1)));
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_drop_count() {
+        let ring = TraceRing::new(4);
+        let _ = ring.push(rec(1));
+        let _ = ring.push(rec(2));
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = TraceRecord {
+            query_id: 7,
+            points: 5,
+            pairs: 4,
+            top_log_score: Some(-1.5),
+            total_s: 0.25,
+            slow: true,
+            ..TraceRecord::default()
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"query_id\":7"));
+        assert!(j.contains("\"top_log_score\":-1.5"));
+        assert!(j.contains("\"slow\":true"));
+        let none = TraceRecord::default().to_json();
+        assert!(none.contains("\"top_log_score\":null"));
+    }
+}

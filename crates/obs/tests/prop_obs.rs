@@ -1,0 +1,184 @@
+//! Property tests of `hris-obs`: histogram bucket algebra, counter
+//! monotonicity under concurrent increments, and exporter round-trips
+//! against an independent JSON parser.
+
+use hris_obs::{Histogram, MetricsRegistry, PairedCounter};
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+/// Strictly increasing finite bounds, 0–6 of them.
+fn bounds() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1_000.0..1_000.0f64, 0..6).prop_map(|mut v| {
+        v.sort_by(f64::total_cmp);
+        v.dedup();
+        v
+    })
+}
+
+/// Observation values, including edge magnitudes the buckets must classify.
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-2_000.0..2_000.0f64, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucket totals, `le` placement, sum and cumulative form all follow
+    /// from first principles for any bounds and any finite workload.
+    #[test]
+    fn histogram_bucket_invariants(bounds in bounds(), values in values()) {
+        let h = Histogram::new(&bounds);
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.counts.len(), bounds.len() + 1);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.counts.iter().sum::<u64>(), values.len() as u64);
+
+        // Each bucket's count equals the oracle: values in (prev, bound].
+        for (i, b) in bounds.iter().enumerate() {
+            let lo = if i == 0 { f64::NEG_INFINITY } else { bounds[i - 1] };
+            let want = values.iter().filter(|&&v| v > lo && v <= *b).count() as u64;
+            prop_assert_eq!(s.counts[i], want, "bucket le={}", b);
+        }
+        let overflow = values
+            .iter()
+            .filter(|&&v| bounds.last().is_none_or(|&b| v > b))
+            .count() as u64;
+        prop_assert_eq!(s.counts[bounds.len()], overflow);
+
+        // Sum matches within float tolerance (CAS-accumulated vs ordered).
+        let want_sum: f64 = values.iter().sum();
+        prop_assert!(
+            (s.sum - want_sum).abs() <= 1e-9 * (1.0 + want_sum.abs()),
+            "sum {} vs {}", s.sum, want_sum
+        );
+
+        // Cumulative form is monotone and ends at the total count.
+        let cum = s.cumulative();
+        prop_assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*cum.last().unwrap(), s.count);
+    }
+
+    /// Counters never lose increments under parallel contention, and a
+    /// paired counter's single-load snapshot is exact afterwards.
+    #[test]
+    fn counters_are_exact_under_parallel_increments(
+        adds in prop::collection::vec(0u64..100, 1..50),
+        hits in 0usize..500,
+        misses in 0usize..500,
+    ) {
+        let r = MetricsRegistry::new();
+        let c = r.counter("par_total", "Parallel adds.");
+        let _: Vec<()> = adds.par_iter().map(|&n| c.add(n)).collect();
+        prop_assert_eq!(c.get(), adds.iter().sum::<u64>());
+
+        let p = PairedCounter::new();
+        let events: Vec<bool> = (0..hits)
+            .map(|_| true)
+            .chain((0..misses).map(|_| false))
+            .collect();
+        let _: Vec<()> = events
+            .par_iter()
+            .map(|&is_hit| if is_hit { p.hit() } else { p.miss() })
+            .collect();
+        prop_assert_eq!(p.get(), (hits as u64, misses as u64));
+    }
+
+    /// A histogram observed from many threads at once drops nothing.
+    #[test]
+    fn histogram_is_exact_under_parallel_observation(
+        values in prop::collection::vec(-100.0..100.0f64, 1..300),
+    ) {
+        let h = Histogram::new(&[-50.0, 0.0, 50.0]);
+        let _: Vec<()> = values.par_iter().map(|&v| h.observe(v)).collect();
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.counts.iter().sum::<u64>(), s.count);
+        let want_sum: f64 = values.iter().sum();
+        prop_assert!((s.sum - want_sum).abs() <= 1e-6 * (1.0 + want_sum.abs()));
+    }
+
+    /// The JSON export parses back (with an independent parser) to exactly
+    /// the registry state: names, values, buckets, sums and counts.
+    #[test]
+    fn json_export_round_trips(
+        counter_v in 0u64..1_000_000,
+        gauge_v in -1_000_000i64..1_000_000,
+        hits in 0u64..1_000,
+        misses in 0u64..1_000,
+        values in prop::collection::vec(-100.0..100.0f64, 0..50),
+    ) {
+        let r = MetricsRegistry::new();
+        r.counter("c_total", "C.").add(counter_v);
+        r.gauge("g", "G.").set(gauge_v);
+        let h = r.histogram_with_labels("h_seconds", "H.", &[-10.0, 0.0, 10.0], &[("phase", "x")]);
+        for &v in &values {
+            h.observe(v);
+        }
+        let p = r.register_paired("cache", "P.", PairedCounter::new());
+        for _ in 0..hits { p.hit(); }
+        for _ in 0..misses { p.miss(); }
+
+        let snap = r.snapshot();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&snap.to_json()).expect("export is valid JSON");
+        let metrics = parsed["metrics"].as_array().expect("metrics array");
+
+        let find = |name: &str| -> &serde_json::Value {
+            metrics
+                .iter()
+                .find(|m| m["name"].as_str() == Some(name))
+                .unwrap_or_else(|| panic!("metric `{name}` missing from export"))
+        };
+        prop_assert_eq!(find("c_total")["value"].as_u64(), Some(counter_v));
+        prop_assert_eq!(find("g")["value"].as_i64(), Some(gauge_v));
+        prop_assert_eq!(find("cache_hits_total")["value"].as_u64(), Some(hits));
+        prop_assert_eq!(find("cache_misses_total")["value"].as_u64(), Some(misses));
+
+        let hj = find("h_seconds");
+        prop_assert_eq!(hj["labels"]["phase"].as_str(), Some("x"));
+        let hs = snap.histogram("h_seconds", &[("phase", "x")]).unwrap();
+        let buckets = hj["buckets"].as_array().unwrap();
+        prop_assert_eq!(buckets.len(), hs.bounds.len());
+        for (b, (bound, count)) in buckets.iter().zip(hs.bounds.iter().zip(&hs.counts)) {
+            prop_assert_eq!(b["le"].as_f64(), Some(*bound));
+            prop_assert_eq!(b["count"].as_u64(), Some(*count));
+        }
+        prop_assert_eq!(hj["inf_count"].as_u64(), Some(hs.counts[hs.bounds.len()]));
+        prop_assert_eq!(hj["count"].as_u64(), Some(hs.count));
+        let sum = hj["sum"].as_f64().expect("finite sum");
+        prop_assert!((sum - hs.sum).abs() <= 1e-9 * (1.0 + hs.sum.abs()));
+    }
+
+    /// The Prometheus text export is structurally sound for arbitrary
+    /// histogram content: one header per family, cumulative buckets, and a
+    /// final `+Inf` bucket equal to `_count`.
+    #[test]
+    fn prometheus_export_is_structurally_sound(values in values()) {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("hist", "H.", &[-1.0, 1.0]);
+        for &v in &values {
+            h.observe(v);
+        }
+        let text = r.snapshot().to_prometheus();
+        prop_assert_eq!(text.matches("# TYPE hist histogram").count(), 1);
+        let bucket_of = |le: &str| -> u64 {
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&format!("hist_bucket{{le=\"{le}\"}}")))
+                .unwrap_or_else(|| panic!("missing le={le} bucket"));
+            line.rsplit(' ').next().unwrap().parse().unwrap()
+        };
+        let (b1, b2, binf) = (bucket_of("-1"), bucket_of("1"), bucket_of("+Inf"));
+        prop_assert!(b1 <= b2 && b2 <= binf, "buckets not cumulative: {b1} {b2} {binf}");
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("hist_count"))
+            .unwrap();
+        let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+        prop_assert_eq!(binf, count);
+        prop_assert_eq!(count, values.len() as u64);
+    }
+}

@@ -332,10 +332,15 @@ const SP_SHARDS: usize = 16;
 /// Dijkstra sweeps the whole component before giving up. Results are stored
 /// verbatim, so a cached lookup is indistinguishable from a fresh
 /// computation — callers may mix cached and uncached calls freely.
+///
+/// Hit/miss accounting lives in one [`hris_obs::PairedCounter`], so a
+/// `(hits, misses)` reading is always mutually consistent: `hits + misses`
+/// is exactly the number of lookups issued before the read, even while
+/// parallel workers keep counting (previously two independent relaxed
+/// atomics could report totals that never coexisted).
 pub struct SpCache {
     shards: Vec<std::sync::Mutex<lru::LruCache<SpKey, Option<Route>>>>,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
+    lookups: hris_obs::PairedCounter,
 }
 
 impl SpCache {
@@ -349,8 +354,7 @@ impl SpCache {
             shards: (0..SP_SHARDS)
                 .map(|_| std::sync::Mutex::new(lru::LruCache::new(per_shard)))
                 .collect(),
-            hits: std::sync::atomic::AtomicU64::new(0),
-            misses: std::sync::atomic::AtomicU64::new(0),
+            lookups: hris_obs::PairedCounter::new(),
         }
     }
 
@@ -365,7 +369,6 @@ impl SpCache {
     /// negative). Counts toward the hit/miss statistics.
     #[must_use]
     pub fn get(&self, key: &SpKey) -> Option<Option<Route>> {
-        use std::sync::atomic::Ordering;
         let found = self
             .shard(key)
             .lock()
@@ -374,11 +377,11 @@ impl SpCache {
             .cloned();
         match found {
             Some(v) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.lookups.hit();
                 Some(v)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.lookups.miss();
                 None
             }
         }
@@ -393,16 +396,27 @@ impl SpCache {
             .put(key, value);
     }
 
-    /// Number of lookups answered from the cache so far.
+    /// Number of lookups answered from the cache so far (thin view over
+    /// [`SpCache::lookup_counters`]).
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+        self.lookups.hits()
     }
 
-    /// Number of lookups that fell through to a real search so far.
+    /// Number of lookups that fell through to a real search so far (thin
+    /// view over [`SpCache::lookup_counters`]).
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+        self.lookups.misses()
+    }
+
+    /// The shared hit/miss pair itself — clone it to register the cache's
+    /// live counters on a metrics registry, or call
+    /// [`get`](hris_obs::PairedCounter::get) for one consistent
+    /// `(hits, misses)` reading.
+    #[must_use]
+    pub fn lookup_counters(&self) -> hris_obs::PairedCounter {
+        self.lookups.clone()
     }
 
     /// Number of entries currently cached across all shards.
@@ -685,6 +699,21 @@ mod tests {
             cache.len()
         );
         assert!(cache.misses() > 16);
+    }
+
+    #[test]
+    fn sp_cache_counters_snapshot_consistently() {
+        let net = grid();
+        let cache = SpCache::new(64);
+        let r = net.out_segments(NodeId(0))[0];
+        let s = net.in_segments(NodeId(8))[0];
+        for _ in 0..5 {
+            let _ = route_between_segments_cached(&net, r, s, CostModel::Distance, &cache);
+        }
+        // One consistent reading: hits + misses == lookups issued, exactly.
+        let (hits, misses) = cache.lookup_counters().get();
+        assert_eq!((hits, misses), (4, 1));
+        assert_eq!((cache.hits(), cache.misses()), (4, 1));
     }
 
     #[test]
