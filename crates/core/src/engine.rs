@@ -34,7 +34,9 @@
 use crate::global::{k_gri_with, GlobalRoute};
 use crate::local::{LocalInferenceResult, LocalStats};
 use crate::params::{EngineConfig, ExecMode, ObsOptions};
-use crate::pipeline::{degenerate_local, infer_pair, DegenerateQuery, Hris, ScoredRoute};
+use crate::pipeline::{
+    degenerate_local, infer_pair, infer_pair_chain, DegenerateQuery, Hris, ScoredRoute,
+};
 use hris_obs::{
     Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, PairedCounter, TraceRecord,
     TraceRing, DEFAULT_TIME_BOUNDS,
@@ -42,12 +44,150 @@ use hris_obs::{
 use hris_roadnet::network::CandidateEdge;
 use hris_roadnet::shortest::{route_between_segments, SpCache};
 use hris_roadnet::{CostModel, Route, SegmentId};
-use hris_traj::Trajectory;
+use hris_traj::{sanitize_points, PointRepairs, Trajectory};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
+
+/// Why the engine refused to answer a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The query had no observations at all.
+    EmptyQuery,
+    /// Sanitization removed every observation (all points were garbage).
+    NoUsablePoints,
+}
+
+/// Per-query disposition of the engine's validation/degradation layer.
+///
+/// The ladder, from best to worst:
+/// * [`QueryOutcome::Ok`] — the input satisfied the engine's contract and
+///   took the normal pipeline unchanged (byte-identical to a validation-off
+///   engine).
+/// * [`QueryOutcome::Repaired`] — the input violated the contract but
+///   sanitization fixed it (dropped garbage points, re-sorted timestamps,
+///   removed duplicate records); the repaired query then answered normally.
+/// * [`QueryOutcome::Degraded`] — repaired as above, *and* at least one
+///   point pair needed the degradation chain (forced TGI → forced NNI →
+///   shortest path) to produce a route. The answer is a best effort.
+/// * [`QueryOutcome::Rejected`] — nothing usable remained; the result is
+///   empty and [`RejectReason`] says why.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryOutcome {
+    /// Valid input, normal pipeline.
+    Ok,
+    /// Input repaired, then answered through the normal pipeline.
+    Repaired {
+        /// What sanitization did.
+        repairs: PointRepairs,
+    },
+    /// Input repaired and answered only via the fallback chain.
+    Degraded {
+        /// What sanitization did.
+        repairs: PointRepairs,
+        /// Point pairs that needed a fallback beyond the primary algorithm.
+        pairs_fell_back: usize,
+    },
+    /// No answer; the result is empty.
+    Rejected {
+        /// Why the query could not be answered.
+        reason: RejectReason,
+    },
+}
+
+impl QueryOutcome {
+    /// Stable lower-case label (metrics, reports).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryOutcome::Ok => "ok",
+            QueryOutcome::Repaired { .. } => "repaired",
+            QueryOutcome::Degraded { .. } => "degraded",
+            QueryOutcome::Rejected { .. } => "rejected",
+        }
+    }
+
+    /// `true` for [`QueryOutcome::Ok`].
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, QueryOutcome::Ok)
+    }
+}
+
+// The derive stand-in handles unit-only enums; QueryOutcome carries payloads,
+// so its JSON form — a tagged object `{"outcome": <label>, ...payload}` — is
+// written out by hand.
+impl Serialize for QueryOutcome {
+    fn to_json_value(&self) -> serde::Value {
+        let mut obj = vec![(
+            "outcome".to_string(),
+            serde::Value::Str(self.label().to_string()),
+        )];
+        match self {
+            QueryOutcome::Ok => {}
+            QueryOutcome::Repaired { repairs } => {
+                obj.push(("repairs".to_string(), repairs.to_json_value()));
+            }
+            QueryOutcome::Degraded {
+                repairs,
+                pairs_fell_back,
+            } => {
+                obj.push(("repairs".to_string(), repairs.to_json_value()));
+                obj.push((
+                    "pairs_fell_back".to_string(),
+                    serde::Value::Int(*pairs_fell_back as i64),
+                ));
+            }
+            QueryOutcome::Rejected { reason } => {
+                obj.push(("reason".to_string(), reason.to_json_value()));
+            }
+        }
+        serde::Value::Obj(obj)
+    }
+}
+
+impl Deserialize for QueryOutcome {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let tag = v
+            .get("outcome")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| serde::DeError::msg("QueryOutcome: missing `outcome` tag"))?;
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError::msg(format!("QueryOutcome: missing `{name}`")))
+        };
+        match tag {
+            "ok" => Ok(QueryOutcome::Ok),
+            "repaired" => Ok(QueryOutcome::Repaired {
+                repairs: PointRepairs::from_json_value(field("repairs")?)?,
+            }),
+            "degraded" => Ok(QueryOutcome::Degraded {
+                repairs: PointRepairs::from_json_value(field("repairs")?)?,
+                pairs_fell_back: usize::from_json_value(field("pairs_fell_back")?)?,
+            }),
+            "rejected" => Ok(QueryOutcome::Rejected {
+                reason: RejectReason::from_json_value(field("reason")?)?,
+            }),
+            other => Err(serde::DeError::msg(format!(
+                "QueryOutcome: unknown tag `{other}`"
+            ))),
+        }
+    }
+}
+
+/// One query's answer plus its [`QueryOutcome`].
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Top-K global routes (empty when rejected or nothing was inferable).
+    pub globals: Vec<GlobalRoute>,
+    /// Per-pair local statistics.
+    pub stats: Vec<LocalStats>,
+    /// How the validation/degradation layer handled the query.
+    pub outcome: QueryOutcome,
+}
 
 /// Exact-position key: the bit patterns of a point's coordinates. Two query
 /// points share a memo entry only when they are bit-identical, so the memo
@@ -116,6 +256,10 @@ pub struct EngineObs {
     batches: Counter,
     slow_queries: Counter,
     traces_dropped: Counter,
+    repaired: Counter,
+    degraded: Counter,
+    rejected: Counter,
+    points_dropped: Counter,
     phase_candidates: Histogram,
     phase_local: Histogram,
     phase_global: Histogram,
@@ -167,6 +311,22 @@ impl EngineObs {
             traces_dropped: registry.counter(
                 "hris_engine_traces_dropped_total",
                 "Trace records evicted from the ring buffer.",
+            ),
+            repaired: registry.counter(
+                "hris_engine_repaired_total",
+                "Queries whose input needed sanitization before answering.",
+            ),
+            degraded: registry.counter(
+                "hris_engine_degraded_total",
+                "Repaired queries that also needed the degradation chain.",
+            ),
+            rejected: registry.counter(
+                "hris_engine_rejected_total",
+                "Queries rejected because no usable input remained.",
+            ),
+            points_dropped: registry.counter(
+                "hris_engine_points_dropped_total",
+                "Query points discarded by input sanitization.",
             ),
             phase_candidates: phase("candidates"),
             phase_local: phase("local"),
@@ -281,6 +441,30 @@ impl EngineObs {
         };
         if self.traces.push(rec) {
             self.traces_dropped.inc();
+        }
+    }
+
+    /// Records a non-clean [`QueryOutcome`]. Clean queries are counted by
+    /// [`EngineObs::record_query`] on the normal pipeline path; the repair
+    /// and reject paths bypass that path, so this bumps `queries` for them.
+    fn record_outcome(&self, outcome: &QueryOutcome) {
+        match outcome {
+            QueryOutcome::Ok => {}
+            QueryOutcome::Repaired { repairs } => {
+                self.queries.inc();
+                self.repaired.inc();
+                self.points_dropped.add(repairs.points_dropped() as u64);
+            }
+            QueryOutcome::Degraded { repairs, .. } => {
+                self.queries.inc();
+                self.repaired.inc();
+                self.degraded.inc();
+                self.points_dropped.add(repairs.points_dropped() as u64);
+            }
+            QueryOutcome::Rejected { .. } => {
+                self.queries.inc();
+                self.rejected.inc();
+            }
         }
     }
 }
@@ -409,14 +593,24 @@ impl<'a> QueryEngine<'a> {
         self.infer_routes(query, 1).into_iter().next()
     }
 
-    /// Full inference with per-pair instrumentation.
+    /// Full inference with per-pair instrumentation. Keeps the historical
+    /// tuple shape; [`QueryEngine::infer_query`] additionally reports the
+    /// [`QueryOutcome`].
     #[must_use]
     pub fn infer_routes_detailed(
         &self,
         query: &Trajectory,
         k: usize,
     ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
-        self.infer_detailed_mode(query, k, self.cfg.mode)
+        let r = self.infer_query_mode(query, k, self.cfg.mode);
+        (r.globals, r.stats)
+    }
+
+    /// One query through the validation screen: answer plus its
+    /// [`QueryOutcome`]. Never panics on malformed input.
+    #[must_use]
+    pub fn infer_query(&self, query: &Trajectory, k: usize) -> QueryResult {
+        self.infer_query_mode(query, k, self.cfg.mode)
     }
 
     /// Top-`k` routes for every query of a batch, sharing both caches and —
@@ -425,8 +619,8 @@ impl<'a> QueryEngine<'a> {
     pub fn infer_batch(&self, queries: &[Trajectory], k: usize) -> Vec<Vec<ScoredRoute>> {
         self.infer_batch_detailed(queries, k)
             .into_iter()
-            .map(|(globals, _)| {
-                globals
+            .map(|r| {
+                r.globals
                     .into_iter()
                     .map(|g| ScoredRoute {
                         route: g.route,
@@ -437,14 +631,10 @@ impl<'a> QueryEngine<'a> {
             .collect()
     }
 
-    /// [`QueryEngine::infer_batch`] with per-pair instrumentation, for the
-    /// evaluation harness.
+    /// [`QueryEngine::infer_batch`] with per-pair instrumentation and a
+    /// per-query [`QueryOutcome`], for the evaluation harness.
     #[must_use]
-    pub fn infer_batch_detailed(
-        &self,
-        queries: &[Trajectory],
-        k: usize,
-    ) -> Vec<(Vec<GlobalRoute>, Vec<LocalStats>)> {
+    pub fn infer_batch_detailed(&self, queries: &[Trajectory], k: usize) -> Vec<QueryResult> {
         let batch_timer = self.obs.as_ref().map(|obs| {
             obs.batches.inc();
             obs.queue_depth.set(queries.len() as i64);
@@ -455,7 +645,7 @@ impl<'a> QueryEngine<'a> {
                 obs.queue_depth.dec();
                 obs.workers_busy.inc();
             }
-            let out = self.infer_detailed_mode(q, k, mode);
+            let out = self.infer_query_mode(q, k, mode);
             if let Some(obs) = &self.obs {
                 obs.workers_busy.dec();
             }
@@ -482,6 +672,148 @@ impl<'a> QueryEngine<'a> {
     pub fn local_inference(&self, query: &Trajectory) -> Vec<LocalInferenceResult> {
         self.local_inference_run(query, self.cfg.mode, None, false)
             .locals
+    }
+
+    /// The validation screen. Clean queries (the overwhelming majority)
+    /// take *exactly* the pre-validation code path — byte-identical results,
+    /// pinned by `tests/engine_robustness.rs`. Dirty queries are repaired
+    /// (sanitized, re-sorted, deduplicated) and answered through the
+    /// degradation chain; unusable queries are rejected instead of panicking.
+    fn infer_query_mode(&self, query: &Trajectory, k: usize, mode: ExecMode) -> QueryResult {
+        if !self.cfg.validation.enabled {
+            let (globals, stats) = self.infer_detailed_mode(query, k, mode);
+            return QueryResult {
+                globals,
+                stats,
+                outcome: QueryOutcome::Ok,
+            };
+        }
+        if query.is_empty() {
+            // Same observable behaviour as the unvalidated engine (empty
+            // output), but reported as a rejection so callers can tell an
+            // empty answer from an empty question.
+            return self.reject(RejectReason::EmptyQuery);
+        }
+        if self.query_is_valid(query) {
+            let (globals, stats) = self.infer_detailed_mode(query, k, mode);
+            return QueryResult {
+                globals,
+                stats,
+                outcome: QueryOutcome::Ok,
+            };
+        }
+        let mut pts = query.points.clone();
+        let repairs = sanitize_points(&mut pts, &self.cfg.validation.limits);
+        if pts.is_empty() {
+            return self.reject(RejectReason::NoUsablePoints);
+        }
+        // Sanitization guarantees finite, ordered points, so the validating
+        // constructor cannot panic here.
+        let repaired = Trajectory::new(query.id, pts);
+        let (globals, stats, pairs_fell_back) = self.infer_repaired(&repaired, k, mode);
+        let outcome = if pairs_fell_back > 0 {
+            QueryOutcome::Degraded {
+                repairs,
+                pairs_fell_back,
+            }
+        } else {
+            QueryOutcome::Repaired { repairs }
+        };
+        if let Some(obs) = &self.obs {
+            obs.record_outcome(&outcome);
+        }
+        QueryResult {
+            globals,
+            stats,
+            outcome,
+        }
+    }
+
+    fn reject(&self, reason: RejectReason) -> QueryResult {
+        let outcome = QueryOutcome::Rejected { reason };
+        if let Some(obs) = &self.obs {
+            obs.record_outcome(&outcome);
+        }
+        QueryResult {
+            globals: Vec::new(),
+            stats: Vec::new(),
+            outcome,
+        }
+    }
+
+    /// The engine's input contract: finite coordinates and timestamps,
+    /// magnitudes within [`ValidationOptions::limits`], timestamps
+    /// non-decreasing. Duplicate timestamps and large (but in-range) jumps
+    /// are *valid* — they are data, not corruption.
+    ///
+    /// [`ValidationOptions::limits`]: crate::params::ValidationOptions
+    fn query_is_valid(&self, query: &Trajectory) -> bool {
+        let lim = &self.cfg.validation.limits;
+        query.validate().is_ok()
+            && query.points.iter().all(|p| {
+                p.pos.x.abs() <= lim.max_abs_coord_m
+                    && p.pos.y.abs() <= lim.max_abs_coord_m
+                    && p.t.abs() <= lim.max_abs_time_s
+            })
+    }
+
+    /// Phases 1–3 for a repaired query. Unlike the clean path this runs each
+    /// pair through [`infer_pair_chain`] — primary algorithm, then (when
+    /// [`ValidationOptions::algorithm_fallback`] is set) forced TGI and NNI,
+    /// then the shortest-path fallback — and reports how many pairs needed a
+    /// fallback.
+    ///
+    /// [`ValidationOptions::algorithm_fallback`]: crate::params::ValidationOptions
+    fn infer_repaired(
+        &self,
+        query: &Trajectory,
+        k: usize,
+        mode: ExecMode,
+    ) -> (Vec<GlobalRoute>, Vec<LocalStats>, usize) {
+        let net = self.hris.network();
+        let params = self.hris.params();
+        let finish = |locals: Vec<LocalInferenceResult>, fell_back: usize| {
+            let stats = locals.iter().map(|l| l.stats.clone()).collect();
+            let globals = k_gri_with(
+                net,
+                &locals,
+                k,
+                params.entropy_floor,
+                params.popularity_model,
+            );
+            (globals, stats, fell_back)
+        };
+        match degenerate_local(net, query) {
+            DegenerateQuery::Empty => return finish(Vec::new(), 0),
+            DegenerateQuery::Single(result) => return finish(vec![result], 0),
+            DegenerateQuery::No => {}
+        }
+        let cands: Vec<Arc<Vec<CandidateEdge>>> = query
+            .points
+            .iter()
+            .map(|p| self.candidates(p.pos, None))
+            .collect();
+        let pair_indices: Vec<usize> = (0..query.len() - 1).collect();
+        let work = |i: usize| {
+            infer_pair_chain(
+                net,
+                self.hris.archive(),
+                params,
+                query.points[i],
+                query.points[i + 1],
+                &cands[i],
+                &cands[i + 1],
+                &|a, b| self.sp_fallback(a, b, None),
+                self.cfg.validation.algorithm_fallback,
+            )
+        };
+        let results: Vec<(LocalInferenceResult, bool)> = match mode {
+            ExecMode::Sequential => pair_indices.into_iter().map(work).collect(),
+            ExecMode::PairParallel => pair_indices.par_iter().map(|&i| work(i)).collect(),
+        };
+        let fell_back = results.iter().filter(|(_, fb)| *fb).count();
+        let locals = results.into_iter().map(|(l, _)| l).collect();
+        finish(locals, fell_back)
     }
 
     fn infer_detailed_mode(

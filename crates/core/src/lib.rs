@@ -43,12 +43,15 @@ pub mod params;
 pub mod pipeline;
 pub mod reference;
 
-pub use engine::{EngineCacheStats, EngineObs, QueryEngine};
+pub use engine::{
+    EngineCacheStats, EngineObs, QueryEngine, QueryOutcome, QueryResult, RejectReason,
+};
 pub use freespace::{infer_polyline, FreespaceParams};
 pub use global::{brute_force_top_k, brute_force_top_k_with, k_gri, k_gri_with, GlobalRoute};
 pub use local::{LocalInferenceResult, LocalRoute};
 pub use params::{
-    EngineConfig, ExecMode, HrisParams, HybridPolarity, LocalAlgorithm, ObsOptions, PopularityModel,
+    EngineConfig, ExecMode, HrisParams, HybridPolarity, LocalAlgorithm, ObsOptions,
+    PopularityModel, ValidationOptions,
 };
 pub use pipeline::{Hris, HrisMatcher, ScoredRoute};
 pub use reference::{search_references, RefKind, RefTrajectory, ReferenceSet};

@@ -1,5 +1,6 @@
 //! HRIS parameters (Table II of the paper).
 
+use hris_traj::SanitizeLimits;
 use serde::{Deserialize, Serialize};
 
 /// Which local-inference algorithm to run.
@@ -209,9 +210,40 @@ impl ObsOptions {
     }
 }
 
+/// Input-validation and graceful-degradation knobs of the
+/// [`QueryEngine`](crate::engine::QueryEngine).
+///
+/// Validation is a *screen*, not a rewrite: a query that satisfies the
+/// engine's input contract (finite, in-range, time-ordered points) takes
+/// exactly the unvalidated code path and returns byte-identical results —
+/// pinned by `tests/engine_robustness.rs`. Only contract-violating queries
+/// enter the repair/degradation path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationOptions {
+    /// Master switch. Off, the engine trusts its inputs like the plain
+    /// [`Hris`](crate::Hris) pipeline does (hostile inputs may misbehave).
+    pub enabled: bool,
+    /// Magnitude limits separating "far away" from "corrupt".
+    pub limits: SanitizeLimits,
+    /// On the repair path, retry a pair whose local inference came up empty
+    /// with TGI then NNI explicitly before the shortest-path fallback.
+    pub algorithm_fallback: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions {
+            enabled: true,
+            limits: SanitizeLimits::default(),
+            algorithm_fallback: true,
+        }
+    }
+}
+
 /// Tuning knobs of the [`QueryEngine`](crate::engine::QueryEngine); separate
-/// from [`HrisParams`] because none of them may change any inferred route —
-/// they only trade memory and threads for throughput.
+/// from [`HrisParams`] because none of them may change any inferred route
+/// *for valid inputs* — they only trade memory and threads for throughput,
+/// plus the dirty-input screen of [`ValidationOptions`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Per-query pair scheduling.
@@ -226,6 +258,9 @@ pub struct EngineConfig {
     pub batch_parallel: bool,
     /// Runtime observability (off by default; zero overhead when off).
     pub obs: ObsOptions,
+    /// Input validation and degraded-mode handling (on by default; clean
+    /// inputs are unaffected byte for byte).
+    pub validation: ValidationOptions,
 }
 
 impl Default for EngineConfig {
@@ -236,6 +271,7 @@ impl Default for EngineConfig {
             candidate_memo: true,
             batch_parallel: true,
             obs: ObsOptions::default(),
+            validation: ValidationOptions::default(),
         }
     }
 }
@@ -251,6 +287,7 @@ impl EngineConfig {
             candidate_memo: false,
             batch_parallel: false,
             obs: ObsOptions::default(),
+            validation: ValidationOptions::default(),
         }
     }
 
@@ -259,6 +296,19 @@ impl EngineConfig {
     pub fn observed() -> Self {
         EngineConfig {
             obs: ObsOptions::enabled(),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The default configuration with input validation switched off
+    /// (trust-the-caller mode; the pre-robustness contract).
+    #[must_use]
+    pub fn unvalidated() -> Self {
+        EngineConfig {
+            validation: ValidationOptions {
+                enabled: false,
+                ..ValidationOptions::default()
+            },
             ..EngineConfig::default()
         }
     }

@@ -258,6 +258,75 @@ pub(crate) fn infer_pair(
     result
 }
 
+/// [`infer_pair`] with the full degradation chain for repaired queries:
+/// when the configured local algorithm yields nothing, retry the pair with
+/// TGI forced, then NNI forced, then the shortest-path fallback. Returns
+/// whether any step beyond the primary inference was needed.
+///
+/// Only the engine's *repair path* calls this — valid queries keep the
+/// plain [`infer_pair`] behaviour so their outputs cannot move a byte.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn infer_pair_chain(
+    net: &RoadNetwork,
+    archive: &TrajectoryArchive,
+    params: &HrisParams,
+    qi: GpsPoint,
+    qj: GpsPoint,
+    qi_cands: &[CandidateEdge],
+    qj_cands: &[CandidateEdge],
+    sp_fallback: &dyn Fn(SegmentId, SegmentId) -> Option<Route>,
+    algorithm_fallback: bool,
+) -> (LocalInferenceResult, bool) {
+    let dt = (qj.t - qi.t).max(1.0);
+    let ref_cfg = crate::reference::RefSearchConfig {
+        phi: params.phi_m,
+        splice_eps: params.splice_eps_m,
+        splice_when_simple_below: params.splice_when_simple_below,
+        max_refs: params.max_refs_per_pair,
+        temporal: params.temporal_tolerance_s.map(|tol| (qi.t, tol)),
+    };
+    let refs = search_references(archive, qi.pos, qj.pos, dt, net.max_speed(), &ref_cfg);
+    let usable = !refs.is_empty() && !qi_cands.is_empty() && !qj_cands.is_empty();
+
+    let mut result = if usable {
+        infer_local_routes(net, refs.clone(), qi_cands, qj_cands, params)
+    } else {
+        LocalInferenceResult {
+            routes: Vec::new(),
+            edge_index: RefEdgeIndex::default(),
+            refs: refs.clone(),
+            stats: LocalStats::default(),
+        }
+    };
+
+    let mut fell_back = false;
+    if result.routes.is_empty() && usable && algorithm_fallback {
+        for alg in [
+            crate::params::LocalAlgorithm::Tgi,
+            crate::params::LocalAlgorithm::Nni,
+        ] {
+            let mut forced = params.clone();
+            forced.local_algorithm = alg;
+            let retry = infer_local_routes(net, refs.clone(), qi_cands, qj_cands, &forced);
+            if !retry.routes.is_empty() {
+                result = retry;
+                fell_back = true;
+                break;
+            }
+        }
+    }
+
+    if result.routes.is_empty() {
+        if let (Some(a), Some(b)) = (qi_cands.first(), qj_cands.first()) {
+            if let Some(r) = sp_fallback(a.segment, b.segment) {
+                result.routes.push(r);
+                fell_back = true;
+            }
+        }
+    }
+    (result, fell_back)
+}
+
 fn fallback_result(route: Route) -> LocalInferenceResult {
     LocalInferenceResult {
         routes: vec![route],

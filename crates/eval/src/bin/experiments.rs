@@ -212,7 +212,17 @@ fn main() {
             "   accuracy {:.4}   mean query time {:.4}s",
             outcome.mean_accuracy, outcome.mean_time_s
         );
-        std::fs::write(path, report.to_json()).expect("write metrics json");
+        eprintln!("running robustness pass (100-case fault corpus) ...");
+        let rob = hris_eval::evaluate_robustness(s, &hris::HrisParams::default(), args.seed, 100);
+        println!("{}", rob.summary());
+        // Same top-level keys as before, plus the robustness block.
+        let obs_json = report.to_json();
+        let combined = format!(
+            "{},\"robustness\":{}}}",
+            obs_json.trim_end_matches('}'),
+            rob.to_json()
+        );
+        std::fs::write(path, combined).expect("write metrics json");
         eprintln!("wrote {path}");
     }
 

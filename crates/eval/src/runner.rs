@@ -91,13 +91,14 @@ pub fn evaluate_hris(
     let results: Vec<(f64, f64, f64, f64)> = detailed
         .into_iter()
         .zip(&scenario.queries)
-        .map(|((globals, stats), q)| {
-            let acc = globals
+        .map(|(r, q)| {
+            let acc = r
+                .globals
                 .first()
                 .map(|g| accuracy_al(&q.truth, &g.route, &scenario.net))
                 .unwrap_or(0.0);
-            let density = mean(stats.iter().map(|s| s.density).filter(|d| d.is_finite()));
-            let knn = stats.iter().map(|s| s.knn_searches).sum::<usize>() as f64;
+            let density = mean(r.stats.iter().map(|s| s.density).filter(|d| d.is_finite()));
+            let knn = r.stats.iter().map(|s| s.knn_searches).sum::<usize>() as f64;
             (acc, per_query_s, density, knn)
         })
         .collect();
@@ -250,13 +251,14 @@ pub fn evaluate_hris_observed(
     let results: Vec<(f64, f64, f64, f64)> = detailed
         .into_iter()
         .zip(&scenario.queries)
-        .map(|((globals, stats), q)| {
-            let acc = globals
+        .map(|(r, q)| {
+            let acc = r
+                .globals
                 .first()
                 .map(|g| accuracy_al(&q.truth, &g.route, &scenario.net))
                 .unwrap_or(0.0);
-            let density = mean(stats.iter().map(|s| s.density).filter(|d| d.is_finite()));
-            let knn = stats.iter().map(|s| s.knn_searches).sum::<usize>() as f64;
+            let density = mean(r.stats.iter().map(|s| s.density).filter(|d| d.is_finite()));
+            let knn = r.stats.iter().map(|s| s.knn_searches).sum::<usize>() as f64;
             (acc, per_query_s, density, knn)
         })
         .collect();

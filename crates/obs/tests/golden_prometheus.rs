@@ -28,6 +28,39 @@ fn scripted_registry() -> MetricsRegistry {
     )
     .add(1);
 
+    // Robustness counters: engine repair/degradation ladder plus the
+    // tolerant loader's quarantine accounting.
+    r.counter(
+        "hris_engine_repaired_total",
+        "Queries whose input needed sanitization before answering.",
+    )
+    .add(3);
+    r.counter(
+        "hris_engine_degraded_total",
+        "Repaired queries that also needed the degradation chain.",
+    )
+    .add(1);
+    r.counter(
+        "hris_engine_rejected_total",
+        "Queries rejected because no usable input remained.",
+    )
+    .add(2);
+    r.counter(
+        "hris_engine_points_dropped_total",
+        "Query points discarded by input sanitization.",
+    )
+    .add(4);
+    r.counter(
+        "hris_records_quarantined_total",
+        "Archive trajectories dropped entirely by tolerant loading.",
+    )
+    .add(2);
+    r.counter(
+        "hris_points_quarantined_total",
+        "Archive points dropped by tolerant-loading repair rules.",
+    )
+    .add(9);
+
     let g = r.gauge(
         "hris_engine_queue_depth",
         "Queries of the current batch not yet picked up by a worker.",

@@ -96,6 +96,33 @@ proptest! {
     }
 
     #[test]
+    fn incremental_knn_distance_sequence_equals_bruteforce(
+        pts in prop::collection::vec(point(), 1..250),
+        q in point(),
+    ) {
+        // Differential: the incremental best-first iterator against a
+        // brute-force sort of every point's distance. Ties may order
+        // differently between the two, so the *distance sequences* must be
+        // equal element-wise — a stronger check than sortedness alone.
+        let tree = RTree::bulk_load(pts.clone());
+        let inc: Vec<f64> = tree.nearest_iter(q, |p, c| p.dist(c)).map(|n| n.dist).collect();
+        let mut brute: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
+        brute.sort_by(f64::total_cmp);
+        prop_assert_eq!(inc.len(), brute.len());
+        for (i, (a, b)) in inc.iter().zip(&brute).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "rank {i}: incremental {a} vs brute {b}");
+        }
+        // And every k-prefix of nearest() agrees with the iterator.
+        for k in [1, 2, pts.len() / 2, pts.len()] {
+            let nn = tree.nearest(q, k, |p, c| p.dist(c));
+            prop_assert_eq!(nn.len(), k.min(pts.len()));
+            for (n, want) in nn.iter().zip(&inc) {
+                prop_assert!((n.dist - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
     fn remove_where_equals_retain_oracle(
         pts in prop::collection::vec(point(), 0..300),
         a in point(),

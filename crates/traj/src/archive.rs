@@ -6,10 +6,12 @@
 //! and offers binary/JSON persistence so large simulated archives can be
 //! generated once and reused across experiments.
 
-use crate::types::{GpsPoint, TrajId, Trajectory};
+use crate::types::{sanitize_points, GpsPoint, PointRepairs, SanitizeLimits, TrajId, Trajectory};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hris_geo::{BBox, Point};
+use hris_obs::MetricsRegistry;
 use hris_rtree::{RTree, Spatial};
+use serde::{Deserialize, Serialize};
 
 /// One archived observation: position + time + provenance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,17 +130,7 @@ impl TrajectoryArchive {
     /// R-tree is rebuilt on load (bulk load is cheap relative to I/O).
     #[must_use]
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(8 + self.num_points * 24);
-        buf.put_u32_le(self.trajectories.len() as u32);
-        for t in &self.trajectories {
-            buf.put_u32_le(t.points.len() as u32);
-            for p in &t.points {
-                buf.put_f64_le(p.pos.x);
-                buf.put_f64_le(p.pos.y);
-                buf.put_f64_le(p.t);
-            }
-        }
-        buf.freeze()
+        encode_trips(&self.trajectories)
     }
 
     /// Serialises the trajectories as pretty JSON (interchange/debugging;
@@ -196,6 +188,253 @@ impl TrajectoryArchive {
         }
         Some(TrajectoryArchive::new(out))
     }
+
+    // ------------------------------------------------------ tolerant loading
+
+    /// Restores an archive from [`TrajectoryArchive::to_bytes`] output,
+    /// repairing what it can and quarantining what it cannot — this loader
+    /// never fails. A truncated blob yields every record that parsed before
+    /// the cut (`report.truncated` set); dirty records are repaired or
+    /// quarantined per [`TolerantLoadOptions`].
+    #[must_use]
+    pub fn from_bytes_tolerant(mut data: Bytes, opts: &TolerantLoadOptions) -> (Self, LoadReport) {
+        let mut report = LoadReport::default();
+        let mut raw = Vec::new();
+        if data.remaining() < 4 {
+            report.truncated = true;
+            return Self::build_tolerant(raw, opts, report);
+        }
+        let trips = data.get_u32_le() as usize;
+        for _ in 0..trips {
+            if data.remaining() < 4 {
+                report.truncated = true;
+                break;
+            }
+            let n = data.get_u32_le() as usize;
+            if data.remaining() < n * 24 {
+                // Salvage the whole records that did arrive.
+                let whole = data.remaining() / 24;
+                let mut pts = Vec::with_capacity(whole);
+                for _ in 0..whole {
+                    let x = data.get_f64_le();
+                    let y = data.get_f64_le();
+                    let t = data.get_f64_le();
+                    pts.push(GpsPoint::new(Point::new(x, y), t));
+                }
+                raw.push(pts);
+                report.truncated = true;
+                break;
+            }
+            let mut pts = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = data.get_f64_le();
+                let y = data.get_f64_le();
+                let t = data.get_f64_le();
+                pts.push(GpsPoint::new(Point::new(x, y), t));
+            }
+            raw.push(pts);
+        }
+        Self::build_tolerant(raw, opts, report)
+    }
+
+    /// Restores an archive from [`TrajectoryArchive::to_json`] output,
+    /// repairing/quarantining dirty records — never fails. JSON that does
+    /// not parse at all yields an empty archive with `report.malformed` set.
+    #[must_use]
+    pub fn from_json_tolerant(text: &str, opts: &TolerantLoadOptions) -> (Self, LoadReport) {
+        let mut report = LoadReport::default();
+        let raw = match serde_json::from_str::<Vec<Trajectory>>(text) {
+            Ok(trips) => trips.into_iter().map(|t| t.points).collect(),
+            Err(_) => {
+                report.malformed = true;
+                Vec::new()
+            }
+        };
+        Self::build_tolerant(raw, opts, report)
+    }
+
+    /// Shared repair/quarantine pass over raw per-trip point sequences.
+    fn build_tolerant(
+        raw: Vec<Vec<GpsPoint>>,
+        opts: &TolerantLoadOptions,
+        mut report: LoadReport,
+    ) -> (TrajectoryArchive, LoadReport) {
+        let mut kept = Vec::new();
+        for mut pts in raw {
+            let r = sanitize_points(&mut pts, &opts.limits);
+            let teleports = strip_teleports(&mut pts, opts.max_speed_mps);
+            if r.sorted {
+                report.trajectories_resorted += 1;
+            }
+            report.repairs.merge(&r);
+            report.teleports_removed += teleports;
+            report.points_quarantined += r.points_dropped() + teleports;
+            if pts.is_empty() {
+                report.trajectories_quarantined += 1;
+                continue;
+            }
+            report.points_loaded += pts.len();
+            // Sanitization restored time order, so the checked constructor
+            // cannot panic here.
+            kept.push(Trajectory::new(TrajId(kept.len() as u32), pts));
+        }
+        report.trajectories_loaded = kept.len();
+        (TrajectoryArchive::new(kept), report)
+    }
+}
+
+/// Serialises trips in the [`TrajectoryArchive::to_bytes`] layout without
+/// building an archive (and thus without indexing — corrupted trips with
+/// NaN coordinates must be encodable for fault-injection tests).
+#[must_use]
+pub fn encode_trips(trips: &[Trajectory]) -> Bytes {
+    let n: usize = trips.iter().map(Trajectory::len).sum();
+    let mut buf = BytesMut::with_capacity(8 + n * 24);
+    buf.put_u32_le(trips.len() as u32);
+    for t in trips {
+        buf.put_u32_le(t.points.len() as u32);
+        for p in &t.points {
+            buf.put_f64_le(p.pos.x);
+            buf.put_f64_le(p.pos.y);
+            buf.put_f64_le(p.t);
+        }
+    }
+    buf.freeze()
+}
+
+/// Repair limits for tolerant archive loading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TolerantLoadOptions {
+    /// Magnitude limits for coordinates/timestamps.
+    pub limits: SanitizeLimits,
+    /// Maximum plausible speed between consecutive observations, m/s.
+    /// Hops implying more are GPS teleports; the offending point is dropped.
+    /// 150 m/s (540 km/h) clears any road vehicle by a wide margin.
+    pub max_speed_mps: f64,
+}
+
+impl Default for TolerantLoadOptions {
+    fn default() -> Self {
+        TolerantLoadOptions {
+            limits: SanitizeLimits::default(),
+            max_speed_mps: 150.0,
+        }
+    }
+}
+
+/// What tolerant loading did: per-archive repair/quarantine accounting.
+/// Serialises to JSON for operator visibility (golden-pinned schema).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Trajectories stored after repair.
+    pub trajectories_loaded: usize,
+    /// Trajectories dropped entirely (no usable points remained).
+    pub trajectories_quarantined: usize,
+    /// Points stored after repair.
+    pub points_loaded: usize,
+    /// Points dropped across all repair rules (non-finite, out-of-range,
+    /// duplicate records, teleports).
+    pub points_quarantined: usize,
+    /// Points dropped by the speed filter specifically.
+    pub teleports_removed: usize,
+    /// Trajectories whose timestamps had to be re-sorted.
+    pub trajectories_resorted: usize,
+    /// Archive-wide [`sanitize_points`] totals.
+    pub repairs: PointRepairs,
+    /// Binary stream ended mid-record; everything before the cut was kept.
+    pub truncated: bool,
+    /// Input did not parse at all; nothing was loaded.
+    pub malformed: bool,
+}
+
+impl LoadReport {
+    /// `true` when the load needed no repairs or quarantine at all.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.trajectories_quarantined == 0
+            && self.points_quarantined == 0
+            && self.trajectories_resorted == 0
+            && !self.truncated
+            && !self.malformed
+    }
+
+    /// The report as pretty JSON (schema pinned by a golden test).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("LoadReport serialises")
+    }
+
+    /// Publishes the quarantine counters onto a metrics registry
+    /// (`hris_records_quarantined_total` and friends; counters are
+    /// registered even when zero so dashboards always see the family).
+    pub fn record_on(&self, registry: &MetricsRegistry) {
+        registry
+            .counter(
+                "hris_records_quarantined_total",
+                "Archive trajectories dropped entirely by tolerant loading.",
+            )
+            .add(self.trajectories_quarantined as u64);
+        registry
+            .counter(
+                "hris_points_quarantined_total",
+                "Archive points dropped by tolerant-loading repair rules.",
+            )
+            .add(self.points_quarantined as u64);
+        registry
+            .counter(
+                "hris_archive_trajectories_loaded_total",
+                "Archive trajectories stored after tolerant loading.",
+            )
+            .add(self.trajectories_loaded as u64);
+        registry
+            .counter(
+                "hris_archive_loads_truncated_total",
+                "Tolerant loads that hit a truncated input stream.",
+            )
+            .add(u64::from(self.truncated));
+    }
+}
+
+/// Drops observations whose implied speed from the previously kept point
+/// exceeds `max_speed_mps` (teleport spikes). Anchored greedily at the first
+/// point; if that anchor itself is the outlier (more than half the trip
+/// would be dropped), the scan retries anchored at the second point and
+/// keeps the better outcome. Duplicate timestamps use the same `dt ≥ 1 s`
+/// floor as local inference, so same-second observations a few metres apart
+/// survive. Returns the number of points removed.
+fn strip_teleports(pts: &mut Vec<GpsPoint>, max_speed_mps: f64) -> usize {
+    fn greedy(pts: &[GpsPoint], max_speed_mps: f64) -> Vec<GpsPoint> {
+        let mut kept: Vec<GpsPoint> = Vec::with_capacity(pts.len());
+        for p in pts {
+            match kept.last() {
+                Some(prev) => {
+                    let dt = (p.t - prev.t).max(1.0);
+                    if prev.dist(p) / dt <= max_speed_mps {
+                        kept.push(*p);
+                    }
+                }
+                None => kept.push(*p),
+            }
+        }
+        kept
+    }
+    if pts.len() < 2 {
+        return 0;
+    }
+    let first = greedy(pts, max_speed_mps);
+    let kept = if first.len() * 2 < pts.len() {
+        let retry = greedy(&pts[1..], max_speed_mps);
+        if retry.len() > first.len() {
+            retry
+        } else {
+            first
+        }
+    } else {
+        first
+    };
+    let removed = pts.len() - kept.len();
+    *pts = kept;
+    removed
 }
 
 #[cfg(test)]
@@ -302,5 +541,182 @@ mod tests {
         for w in dists.windows(2) {
             assert!(w[0] <= w[1]);
         }
+    }
+
+    // ------------------------------------------------- tolerant loading
+
+    fn opts() -> TolerantLoadOptions {
+        TolerantLoadOptions::default()
+    }
+
+    #[test]
+    fn tolerant_load_of_clean_blob_is_lossless() {
+        let a = archive();
+        let (b, report) = TrajectoryArchive::from_bytes_tolerant(a.to_bytes(), &opts());
+        assert!(report.clean(), "clean blob produced repairs: {report:?}");
+        assert_eq!(report.trajectories_loaded, a.num_trajectories());
+        assert_eq!(report.points_loaded, a.num_points());
+        for (x, y) in a.trajectories().iter().zip(b.trajectories()) {
+            assert_eq!(x.points, y.points);
+        }
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_repaired_not_rejected() {
+        let dirty = Trajectory::from_unchecked(
+            TrajId(0),
+            vec![
+                GpsPoint::new(Point::new(0.0, 0.0), 20.0),
+                GpsPoint::new(Point::new(100.0, 0.0), 10.0),
+            ],
+        );
+        let blob = encode_trips(&[dirty]);
+        assert!(TrajectoryArchive::from_bytes(blob.clone()).is_none());
+        let (a, report) = TrajectoryArchive::from_bytes_tolerant(blob, &opts());
+        assert_eq!(report.trajectories_resorted, 1);
+        assert_eq!(report.trajectories_loaded, 1);
+        assert_eq!(report.trajectories_quarantined, 0);
+        let times: Vec<f64> = a.trajectories()[0].points.iter().map(|p| p.t).collect();
+        assert_eq!(times, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn nan_and_out_of_range_points_are_quarantined() {
+        let dirty = Trajectory::from_unchecked(
+            TrajId(0),
+            vec![
+                GpsPoint::new(Point::new(0.0, 0.0), 0.0),
+                GpsPoint::new(Point::new(f64::NAN, 0.0), 10.0),
+                GpsPoint::new(Point::new(5.0e8, 0.0), 20.0),
+                GpsPoint::new(Point::new(100.0, 0.0), 30.0),
+            ],
+        );
+        let (a, report) = TrajectoryArchive::from_bytes_tolerant(encode_trips(&[dirty]), &opts());
+        assert_eq!(report.repairs.dropped_non_finite, 1);
+        assert_eq!(report.repairs.dropped_out_of_range, 1);
+        assert_eq!(report.points_quarantined, 2);
+        assert_eq!(report.points_loaded, 2);
+        assert_eq!(a.trajectories()[0].points.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_records_are_deduped() {
+        let p = GpsPoint::new(Point::new(0.0, 0.0), 5.0);
+        let dirty = Trajectory::from_unchecked(
+            TrajId(0),
+            vec![p, p, GpsPoint::new(Point::new(50.0, 0.0), 10.0)],
+        );
+        let (a, report) = TrajectoryArchive::from_bytes_tolerant(encode_trips(&[dirty]), &opts());
+        assert_eq!(report.repairs.deduped, 1);
+        assert_eq!(a.trajectories()[0].points.len(), 2);
+    }
+
+    #[test]
+    fn teleport_spike_is_removed() {
+        let dirty = Trajectory::from_unchecked(
+            TrajId(0),
+            vec![
+                GpsPoint::new(Point::new(0.0, 0.0), 0.0),
+                GpsPoint::new(Point::new(200_000.0, 0.0), 30.0), // 6.6 km/s spike
+                GpsPoint::new(Point::new(200.0, 0.0), 60.0),
+            ],
+        );
+        let (a, report) = TrajectoryArchive::from_bytes_tolerant(encode_trips(&[dirty]), &opts());
+        assert_eq!(report.teleports_removed, 1);
+        assert_eq!(a.trajectories()[0].points.len(), 2);
+        // A teleported *first* point is the outlier, not the anchor: the
+        // retry pass keeps the rest of the trip.
+        let head_bad = Trajectory::from_unchecked(
+            TrajId(0),
+            vec![
+                GpsPoint::new(Point::new(300_000.0, 0.0), 0.0),
+                GpsPoint::new(Point::new(0.0, 0.0), 30.0),
+                GpsPoint::new(Point::new(100.0, 0.0), 60.0),
+                GpsPoint::new(Point::new(200.0, 0.0), 90.0),
+            ],
+        );
+        let (a, report) =
+            TrajectoryArchive::from_bytes_tolerant(encode_trips(&[head_bad]), &opts());
+        assert_eq!(report.teleports_removed, 1);
+        assert_eq!(a.trajectories()[0].points.len(), 3);
+        assert_eq!(a.trajectories()[0].points[0].pos.x, 0.0);
+    }
+
+    #[test]
+    fn empty_trip_is_quarantined_single_point_kept() {
+        let empty = Trajectory::from_unchecked(TrajId(0), vec![]);
+        let single = Trajectory::from_unchecked(TrajId(1), vec![GpsPoint::new(Point::ORIGIN, 0.0)]);
+        let (a, report) =
+            TrajectoryArchive::from_bytes_tolerant(encode_trips(&[empty, single]), &opts());
+        assert_eq!(report.trajectories_quarantined, 1);
+        assert_eq!(report.trajectories_loaded, 1);
+        assert_eq!(a.num_trajectories(), 1);
+        assert_eq!(a.trajectories()[0].points.len(), 1);
+    }
+
+    #[test]
+    fn all_nan_trip_is_quarantined_entirely() {
+        let garbage = Trajectory::from_unchecked(
+            TrajId(0),
+            vec![
+                GpsPoint::new(Point::new(f64::NAN, f64::NAN), f64::NAN),
+                GpsPoint::new(Point::new(f64::NAN, 0.0), 1.0),
+            ],
+        );
+        let (a, report) = TrajectoryArchive::from_bytes_tolerant(encode_trips(&[garbage]), &opts());
+        assert_eq!(report.trajectories_quarantined, 1);
+        assert_eq!(a.num_trajectories(), 0);
+    }
+
+    #[test]
+    fn truncated_blob_salvages_prefix() {
+        let a = archive();
+        let blob = a.to_bytes();
+        // Cut mid-record of the second trip: trip 0 (2 points) survives,
+        // trip 1 keeps only its whole records before the cut.
+        let cut = blob.slice(0..blob.len() - 7);
+        assert!(TrajectoryArchive::from_bytes(cut.clone()).is_none());
+        let (b, report) = TrajectoryArchive::from_bytes_tolerant(cut, &opts());
+        assert!(report.truncated);
+        assert_eq!(b.num_trajectories(), 2);
+        assert_eq!(b.trajectories()[0].points, a.trajectories()[0].points);
+        assert_eq!(b.trajectories()[1].points.len(), 2); // third record lost
+        let (c, report) = TrajectoryArchive::from_bytes_tolerant(Bytes::new(), &opts());
+        assert!(report.truncated);
+        assert_eq!(c.num_trajectories(), 0);
+    }
+
+    #[test]
+    fn malformed_json_yields_empty_archive_with_flag() {
+        let (a, report) = TrajectoryArchive::from_json_tolerant("not json", &opts());
+        assert!(report.malformed);
+        assert_eq!(a.num_trajectories(), 0);
+        // Parseable JSON with disorder is repaired, not refused.
+        let json = r#"[{"id":0,"points":[{"pos":{"x":0.0,"y":0.0},"t":10.0},{"pos":{"x":1.0,"y":0.0},"t":5.0}]}]"#;
+        assert!(TrajectoryArchive::from_json(json).is_none());
+        let (b, report) = TrajectoryArchive::from_json_tolerant(json, &opts());
+        assert!(!report.malformed);
+        assert_eq!(report.trajectories_resorted, 1);
+        assert_eq!(b.num_trajectories(), 1);
+    }
+
+    #[test]
+    fn load_report_records_counters_even_at_zero() {
+        let registry = MetricsRegistry::new();
+        LoadReport::default().record_on(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("hris_records_quarantined_total"), Some(0));
+        assert_eq!(snap.counter("hris_points_quarantined_total"), Some(0));
+        let report = LoadReport {
+            trajectories_quarantined: 3,
+            points_quarantined: 17,
+            truncated: true,
+            ..LoadReport::default()
+        };
+        report.record_on(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("hris_records_quarantined_total"), Some(3));
+        assert_eq!(snap.counter("hris_points_quarantined_total"), Some(17));
+        assert_eq!(snap.counter("hris_archive_loads_truncated_total"), Some(1));
     }
 }

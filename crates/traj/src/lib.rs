@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod faults;
 pub mod geojson;
 pub mod resample;
 pub mod similarity;
@@ -18,9 +19,12 @@ pub mod simulator;
 pub mod staypoint;
 pub mod types;
 
-pub use archive::{ArchivePoint, TrajectoryArchive};
+pub use archive::{encode_trips, ArchivePoint, LoadReport, TolerantLoadOptions, TrajectoryArchive};
+pub use faults::{fault_corpus, FaultInjector, FaultKind};
 pub use resample::{add_gps_noise, resample_to_interval};
 pub use similarity::{dtw, edr, lcss};
 pub use simulator::{SimConfig, Simulator, TripRecord};
 pub use staypoint::{detect_stay_points, partition_trips, StayPoint, StayPointConfig};
-pub use types::{GpsPoint, TrajId, Trajectory};
+pub use types::{
+    sanitize_points, GpsPoint, PointRepairs, SanitizeLimits, TrajId, Trajectory, TrajectoryError,
+};

@@ -30,9 +30,11 @@ pub fn resample_to_interval(traj: &Trajectory, interval_s: f64) -> Trajectory {
         }
     }
     // Ensure the final observation survives so the query reaches the
-    // destination.
+    // destination. Compare the whole point, not just the timestamp: with a
+    // duplicated final timestamp at a different position the destination
+    // would otherwise be silently dropped.
     let last = *traj.points.last().expect("len > 2");
-    if kept.last().map(|p| p.t) != Some(last.t) {
+    if kept.last() != Some(&last) {
         kept.push(last);
     }
     Trajectory::new(traj.id, kept)
@@ -169,5 +171,35 @@ mod tests {
         }
         assert!((sx / n as f64).abs() < 0.1);
         assert!((sy / n as f64).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_and_single_point_are_cloned() {
+        let e = Trajectory::new(TrajId(0), vec![]);
+        assert!(resample_to_interval(&e, 60.0).is_empty());
+        let s = Trajectory::new(TrajId(0), vec![GpsPoint::new(Point::ORIGIN, 7.0)]);
+        let r = resample_to_interval(&s, 60.0);
+        assert_eq!(r.points, s.points);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(add_gps_noise(&e, 5.0, &mut rng).is_empty());
+        assert_eq!(add_gps_noise(&s, 5.0, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_timestamps_survive_resampling_in_order() {
+        // Equal timestamps are valid (non-decreasing); resampling must not
+        // panic in `Trajectory::new` and must keep the final observation.
+        let t = Trajectory::new(
+            TrajId(0),
+            vec![
+                GpsPoint::new(Point::new(0.0, 0.0), 0.0),
+                GpsPoint::new(Point::new(10.0, 0.0), 0.0),
+                GpsPoint::new(Point::new(20.0, 0.0), 120.0),
+                GpsPoint::new(Point::new(30.0, 0.0), 120.0),
+            ],
+        );
+        let r = resample_to_interval(&t, 60.0);
+        assert!(r.is_time_ordered());
+        assert_eq!(r.points.last().unwrap().pos.x, 30.0);
     }
 }

@@ -223,4 +223,41 @@ mod tests {
         assert!(dtw(&a, &b) / a.len() as f64 <= 150.0, "per-point DTW small");
         assert!(edr(&a, &b, 150.0) <= 2);
     }
+
+    #[test]
+    fn empty_inputs_have_defined_values() {
+        let e = Trajectory::new(TrajId(0), vec![]);
+        let l = line(3, 0.0);
+        assert_eq!(dtw(&e, &l), f64::INFINITY);
+        assert_eq!(dtw(&e, &e), f64::INFINITY);
+        assert_eq!(lcss(&e, &l, 10.0), 0.0);
+        assert_eq!(edr(&e, &l, 10.0), l.len());
+        assert_eq!(edr(&l, &e, 10.0), l.len());
+        assert_eq!(edr(&e, &e, 10.0), 0);
+    }
+
+    #[test]
+    fn single_point_inputs() {
+        let s = traj(&[(0.0, 0.0)]);
+        assert_eq!(dtw(&s, &s), 0.0);
+        assert_eq!(lcss(&s, &s, 1.0), 1.0);
+        assert_eq!(edr(&s, &s, 1.0), 0);
+        let l = line(4, 0.0);
+        assert!(dtw(&s, &l).is_finite());
+        assert!(lcss(&s, &l, 1.0) > 0.0);
+        assert!(edr(&s, &l, 1.0) <= l.len());
+    }
+
+    #[test]
+    fn duplicate_timestamps_do_not_affect_similarity() {
+        // Similarity is purely spatial; duplicated timestamps must not
+        // change any measure.
+        let a = line(5, 0.0);
+        let mut dup_pts = a.points.clone();
+        dup_pts[2].t = dup_pts[1].t;
+        let dup = Trajectory::new(TrajId(0), dup_pts);
+        assert_eq!(dtw(&a, &dup), dtw(&a, &a));
+        assert_eq!(lcss(&a, &dup, 1.0), lcss(&a, &a, 1.0));
+        assert_eq!(edr(&a, &dup, 1.0), edr(&a, &a, 1.0));
+    }
 }

@@ -256,4 +256,31 @@ mod tests {
         assert!(detect_stay_points(&t, &cfg()).is_empty());
         assert!(partition_trips(&t, &cfg()).is_empty());
     }
+
+    #[test]
+    fn single_point_input() {
+        let t = Trajectory::new(TrajId(0), vec![GpsPoint::new(Point::ORIGIN, 5.0)]);
+        assert!(detect_stay_points(&t, &cfg()).is_empty());
+        // One point can never satisfy min_trip_points ≥ 2.
+        assert!(partition_trips(&t, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_timestamps_do_not_break_detection() {
+        // A dwell whose observations all share one timestamp: the greedy
+        // scan must terminate, and dwell duration 0 must not emit a stay.
+        let p = Point::new(10.0, 10.0);
+        let t = Trajectory::new(
+            TrajId(0),
+            vec![
+                GpsPoint::new(p, 100.0),
+                GpsPoint::new(p, 100.0),
+                GpsPoint::new(p, 100.0),
+            ],
+        );
+        assert!(detect_stay_points(&t, &cfg()).is_empty());
+        let trips = partition_trips(&t, &cfg());
+        assert_eq!(trips.len(), 1);
+        assert_eq!(trips[0].len(), 3);
+    }
 }

@@ -50,8 +50,45 @@ impl GpsPoint {
     }
 }
 
+/// Why a trajectory failed validation ([`Trajectory::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// A coordinate or timestamp is NaN or infinite.
+    NonFinite {
+        /// Index of the first offending observation.
+        index: usize,
+    },
+    /// Timestamps are not in non-decreasing order.
+    TimeDisorder {
+        /// Index of the first observation earlier than its predecessor.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::NonFinite { index } => {
+                write!(f, "non-finite coordinate or timestamp at point {index}")
+            }
+            TrajectoryError::TimeDisorder { index } => {
+                write!(f, "timestamp at point {index} precedes its predecessor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
 /// A GPS trajectory: a time-ordered sequence of observations
 /// (`p₁ → p₂ → … → pₙ`, Definition 1).
+///
+/// The fields are public for read access across the workspace, but every
+/// ingest path (constructors, archive loaders, deserialised data) is expected
+/// to go through [`Trajectory::new`] / [`Trajectory::try_new`] or to re-check
+/// with [`Trajectory::validate`]. Deliberately malformed instances — fault
+/// injection, tolerant loading — use [`Trajectory::from_unchecked`] so the
+/// bypass is explicit at the call site.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Trajectory {
     /// Identifier (assigned when stored in an archive; 0 for ad-hoc data).
@@ -72,6 +109,46 @@ impl Trajectory {
             "trajectory points must be time-ordered"
         );
         Trajectory { id, points }
+    }
+
+    /// Fallible construction: rejects non-finite values and time disorder
+    /// instead of panicking. Empty and single-point trajectories are valid.
+    pub fn try_new(id: TrajId, points: Vec<GpsPoint>) -> Result<Self, TrajectoryError> {
+        let t = Trajectory { id, points };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// A trajectory from raw points with **no** validation.
+    ///
+    /// For fault injectors and tolerant loaders that must represent dirty
+    /// data as it arrived. Anything built this way must not be fed to the
+    /// clean-input pipeline without a [`Trajectory::validate`] /
+    /// sanitization pass.
+    #[must_use]
+    pub fn from_unchecked(id: TrajId, points: Vec<GpsPoint>) -> Self {
+        Trajectory { id, points }
+    }
+
+    /// Checks the invariants [`Trajectory::new`] asserts plus finiteness
+    /// (serde `Deserialize` and direct struct literals bypass `new`, so
+    /// ingest paths re-validate with this).
+    pub fn validate(&self) -> Result<(), TrajectoryError> {
+        for (i, p) in self.points.iter().enumerate() {
+            if !(p.pos.x.is_finite() && p.pos.y.is_finite() && p.t.is_finite()) {
+                return Err(TrajectoryError::NonFinite { index: i });
+            }
+        }
+        if let Some(i) = (1..self.points.len()).find(|&i| self.points[i].t < self.points[i - 1].t) {
+            return Err(TrajectoryError::TimeDisorder { index: i });
+        }
+        Ok(())
+    }
+
+    /// `true` when timestamps are in non-decreasing order.
+    #[must_use]
+    pub fn is_time_ordered(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].t <= w[1].t)
     }
 
     /// Number of observations.
@@ -153,6 +230,101 @@ impl Trajectory {
     }
 }
 
+/// What [`sanitize_points`] did to a point sequence. All-zero/false means the
+/// input was already clean under the given limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PointRepairs {
+    /// Points dropped for NaN/infinite coordinates or timestamps.
+    pub dropped_non_finite: usize,
+    /// Points dropped for exceeding the coordinate/time magnitude limits.
+    pub dropped_out_of_range: usize,
+    /// Whether the surviving points had to be re-sorted by time.
+    pub sorted: bool,
+    /// Points dropped as exact duplicate timestamps of their predecessor
+    /// at the same position (keep-first).
+    pub deduped: usize,
+}
+
+impl PointRepairs {
+    /// `true` when any repair fired.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.dropped_non_finite > 0
+            || self.dropped_out_of_range > 0
+            || self.sorted
+            || self.deduped > 0
+    }
+
+    /// Total points removed (drops + dedupes).
+    #[must_use]
+    pub fn points_dropped(&self) -> usize {
+        self.dropped_non_finite + self.dropped_out_of_range + self.deduped
+    }
+
+    /// Accumulates another report (for per-archive totals).
+    pub fn merge(&mut self, other: &PointRepairs) {
+        self.dropped_non_finite += other.dropped_non_finite;
+        self.dropped_out_of_range += other.dropped_out_of_range;
+        self.sorted |= other.sorted;
+        self.deduped += other.deduped;
+    }
+}
+
+/// Magnitude limits for [`sanitize_points`]. Coordinates live in a local
+/// planar frame (metres), so anything beyond a few thousand kilometres is a
+/// corrupt record, not a far-away trip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SanitizeLimits {
+    /// Maximum |x| / |y| in metres.
+    pub max_abs_coord_m: f64,
+    /// Maximum |t| in seconds.
+    pub max_abs_time_s: f64,
+}
+
+impl Default for SanitizeLimits {
+    fn default() -> Self {
+        SanitizeLimits {
+            max_abs_coord_m: 1.0e7,
+            max_abs_time_s: 1.0e12,
+        }
+    }
+}
+
+/// Repairs a raw point sequence in place: drops non-finite and out-of-range
+/// observations, stable-sorts the rest by time, and removes exact duplicates
+/// (same timestamp *and* position as the kept predecessor — duplicated
+/// records, not genuine same-second observations from a different spot).
+///
+/// Deterministic: the same input always yields the same output and report.
+/// Clean inputs are returned untouched (the sort is skipped entirely unless
+/// order was violated), so callers can gate on [`PointRepairs::any`].
+pub fn sanitize_points(points: &mut Vec<GpsPoint>, limits: &SanitizeLimits) -> PointRepairs {
+    let mut repairs = PointRepairs::default();
+    let before = points.len();
+    points.retain(|p| p.pos.x.is_finite() && p.pos.y.is_finite() && p.t.is_finite());
+    repairs.dropped_non_finite = before - points.len();
+
+    let before = points.len();
+    points.retain(|p| {
+        p.pos.x.abs() <= limits.max_abs_coord_m
+            && p.pos.y.abs() <= limits.max_abs_coord_m
+            && p.t.abs() <= limits.max_abs_time_s
+    });
+    repairs.dropped_out_of_range = before - points.len();
+
+    if !points.windows(2).all(|w| w[0].t <= w[1].t) {
+        // All values finite by now, so total_cmp == partial order on reals;
+        // stable sort keeps arrival order among equal timestamps.
+        points.sort_by(|a, b| a.t.total_cmp(&b.t));
+        repairs.sorted = true;
+    }
+
+    let before = points.len();
+    points.dedup_by(|next, kept| next.t == kept.t && next.pos == kept.pos);
+    repairs.deduped = before - points.len();
+    repairs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +395,99 @@ mod tests {
         let b = traj().bbox();
         assert_eq!(b.min, Point::new(0.0, 0.0));
         assert_eq!(b.max, Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn try_new_rejects_what_new_panics_on() {
+        let bad = vec![
+            GpsPoint::new(Point::ORIGIN, 10.0),
+            GpsPoint::new(Point::ORIGIN, 5.0),
+        ];
+        assert_eq!(
+            Trajectory::try_new(TrajId(0), bad.clone()),
+            Err(TrajectoryError::TimeDisorder { index: 1 })
+        );
+        // from_unchecked represents the same data without panicking…
+        let dirty = Trajectory::from_unchecked(TrajId(0), bad);
+        assert!(!dirty.is_time_ordered());
+        // …and validate reports the same error serde-deserialised data would.
+        assert!(dirty.validate().is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite() {
+        let nan = vec![GpsPoint::new(Point::new(f64::NAN, 0.0), 0.0)];
+        assert_eq!(
+            Trajectory::try_new(TrajId(0), nan),
+            Err(TrajectoryError::NonFinite { index: 0 })
+        );
+        let inf_t = vec![GpsPoint::new(Point::ORIGIN, f64::INFINITY)];
+        assert!(Trajectory::try_new(TrajId(0), inf_t).is_err());
+    }
+
+    #[test]
+    fn try_new_accepts_degenerate_and_duplicate_timestamps() {
+        assert!(Trajectory::try_new(TrajId(0), vec![]).is_ok());
+        assert!(Trajectory::try_new(TrajId(0), vec![GpsPoint::new(Point::ORIGIN, 1.0)]).is_ok());
+        // Non-decreasing allows equal timestamps — the existing contract.
+        let dup = vec![
+            GpsPoint::new(Point::new(0.0, 0.0), 5.0),
+            GpsPoint::new(Point::new(10.0, 0.0), 5.0),
+        ];
+        assert!(Trajectory::try_new(TrajId(0), dup).is_ok());
+    }
+
+    #[test]
+    fn deserialised_disorder_is_caught_by_validate() {
+        // serde's derive bypasses `new`; ingest must re-validate.
+        let json = r#"{"id":0,"points":[{"pos":{"x":0.0,"y":0.0},"t":9.0},{"pos":{"x":1.0,"y":0.0},"t":3.0}]}"#;
+        let t: Trajectory = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            t.validate(),
+            Err(TrajectoryError::TimeDisorder { index: 1 })
+        );
+    }
+
+    #[test]
+    fn sanitize_clean_input_is_untouched() {
+        let mut pts = traj().points;
+        let orig = pts.clone();
+        let r = sanitize_points(&mut pts, &SanitizeLimits::default());
+        assert!(!r.any());
+        assert_eq!(r.points_dropped(), 0);
+        assert_eq!(pts, orig);
+    }
+
+    #[test]
+    fn sanitize_drops_sorts_and_dedupes() {
+        let mut pts = vec![
+            GpsPoint::new(Point::new(0.0, 0.0), 10.0),
+            GpsPoint::new(Point::new(f64::NAN, 0.0), 11.0), // non-finite coord
+            GpsPoint::new(Point::new(50.0, 0.0), 5.0),      // out of order
+            GpsPoint::new(Point::new(50.0, 0.0), 5.0),      // exact duplicate
+            GpsPoint::new(Point::new(1.0e9, 0.0), 12.0),    // off the planet
+            GpsPoint::new(Point::new(60.0, 0.0), f64::INFINITY), // non-finite t
+        ];
+        let r = sanitize_points(&mut pts, &SanitizeLimits::default());
+        assert_eq!(r.dropped_non_finite, 2);
+        assert_eq!(r.dropped_out_of_range, 1);
+        assert!(r.sorted);
+        assert_eq!(r.deduped, 1);
+        assert_eq!(r.points_dropped(), 4);
+        let times: Vec<f64> = pts.iter().map(|p| p.t).collect();
+        assert_eq!(times, vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn sanitize_keeps_same_time_different_position() {
+        // Equal timestamps at distinct positions are valid data, not
+        // duplicates — they must survive (keep both, stable order).
+        let mut pts = vec![
+            GpsPoint::new(Point::new(0.0, 0.0), 5.0),
+            GpsPoint::new(Point::new(10.0, 0.0), 5.0),
+        ];
+        let r = sanitize_points(&mut pts, &SanitizeLimits::default());
+        assert!(!r.any());
+        assert_eq!(pts.len(), 2);
     }
 }

@@ -1,0 +1,77 @@
+//! Golden snapshot of the quarantine [`LoadReport`] JSON.
+//!
+//! The corrupted archive below is produced by the seeded fault injector, so
+//! the tolerant loader's repair/quarantine accounting — and the report's
+//! JSON schema — are byte-deterministic. Any change to a repair rule or to
+//! the report's serialisation shows up as a one-line diff here.
+//!
+//! To regenerate after an *intentional* change:
+//! `BLESS=1 cargo test -p hris-traj --test golden_load_report` and commit
+//! the rewritten `golden_load_report.json`.
+
+use hris_geo::Point;
+use hris_traj::{
+    encode_trips, fault_corpus, FaultInjector, GpsPoint, LoadReport, TolerantLoadOptions, TrajId,
+    Trajectory, TrajectoryArchive,
+};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_load_report.json");
+
+/// A fixed fleet of clean trips for the injector to corrupt.
+fn base_trips() -> Vec<Trajectory> {
+    (0..4)
+        .map(|k| {
+            Trajectory::new(
+                TrajId(k),
+                (0..10)
+                    .map(|i| {
+                        GpsPoint::new(
+                            Point::new(i as f64 * 250.0, k as f64 * 400.0),
+                            i as f64 * 30.0,
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The scripted dirty load: every fault kind, plus blob truncation.
+fn dirty_load() -> LoadReport {
+    let corrupted: Vec<Trajectory> = fault_corpus(2024, &base_trips(), 16)
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect();
+    let blob = encode_trips(&corrupted);
+    let cut = FaultInjector::new(77).truncate_blob(&blob);
+    let (_, report) = TrajectoryArchive::from_bytes_tolerant(cut, &TolerantLoadOptions::default());
+    report
+}
+
+#[test]
+fn load_report_json_matches_golden() {
+    let got = dirty_load().to_json();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with BLESS=1 to generate it");
+    assert!(
+        got == want,
+        "LoadReport JSON drifted from golden.\n--- got ---\n{got}\n--- want ---\n{want}"
+    );
+}
+
+#[test]
+fn dirty_load_is_deterministic() {
+    // The golden test is only meaningful if two runs of the script agree.
+    assert_eq!(dirty_load(), dirty_load());
+}
+
+#[test]
+fn report_json_round_trips() {
+    let report = dirty_load();
+    let back: LoadReport = serde_json::from_str(&report.to_json()).unwrap();
+    assert_eq!(back, report);
+}
