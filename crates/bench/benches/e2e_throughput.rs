@@ -10,10 +10,16 @@
 //! instrumentation (metrics + tracing) switched on — its qps against plain
 //! `batch` bounds the observability overhead, and its phase histograms are
 //! reported as a per-query breakdown.
+//!
+//! An `ingest_throughput` section measures the live path: the back half of
+//! the archive streams through an [`ArchiveWriter`] (publishing an epoch per
+//! chunk) while a live [`EngineHandle`] serves query batches concurrently.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hris::{EngineConfig, ExecMode, Hris, HrisParams, QueryEngine, ScoredRoute};
+use hris::prelude::*;
 use hris_bench::{bench_scenario, resampled_queries};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 const K: usize = 2;
@@ -41,6 +47,72 @@ fn qps<F: FnMut() -> Vec<Vec<ScoredRoute>>>(n_queries: usize, rounds: usize, mut
     (n_queries * rounds) as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// Numbers from the ingest-while-querying run.
+struct IngestNumbers {
+    trajectories_per_sec: f64,
+    points_per_sec: f64,
+    epochs_published: usize,
+    concurrent_batch_qps: f64,
+}
+
+/// Streams the back half of the archive through an [`ArchiveWriter`] (one
+/// publish per chunk) while a live [`EngineHandle`] answers query batches
+/// on another thread, and measures both sides' throughput.
+fn measure_ingest(
+    s: &hris_eval::scenario::Scenario,
+    queries: &[hris_traj::Trajectory],
+) -> IngestNumbers {
+    const CHUNK: usize = 25;
+    let (seed_archive, stream) = s.ingestion_split(0.5);
+    let mut writer = ArchiveWriter::new(seed_archive);
+    let live = Arc::new(EngineHandle::live(
+        Arc::new(s.net.clone()),
+        writer.reader(),
+        HrisParams::default(),
+        EngineConfig::default(),
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let query_thread = {
+        let live = Arc::clone(&live);
+        let stop = Arc::clone(&stop);
+        let queries = queries.to_vec();
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut answered = 0usize;
+            while !stop.load(Ordering::Acquire) || answered == 0 {
+                answered += black_box(live.infer_batch(&queries, K)).len();
+            }
+            answered as f64 / t0.elapsed().as_secs_f64()
+        })
+    };
+
+    let stream_points: usize = stream.iter().map(|t| t.len()).sum();
+    let t0 = Instant::now();
+    let mut epochs = 0usize;
+    for chunk in stream.chunks(CHUNK) {
+        writer.append_batch(chunk.to_vec());
+        writer.publish();
+        epochs += 1;
+    }
+    let ingest_s = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    let concurrent_batch_qps = query_thread.join().expect("query thread");
+
+    // The stream is clean simulator output: nothing may be quarantined, and
+    // the final epoch must hold the whole archive.
+    assert_eq!(writer.report().trajectories_quarantined, 0);
+    let last = writer.snapshot();
+    assert_eq!(last.num_trajectories(), s.archive.num_trajectories());
+
+    IngestNumbers {
+        trajectories_per_sec: stream.len() as f64 / ingest_s,
+        points_per_sec: stream_points as f64 / ingest_s,
+        epochs_published: epochs,
+        concurrent_batch_qps,
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let s = bench_scenario();
     let queries = resampled_queries(&s, 180.0);
@@ -58,7 +130,13 @@ fn bench(c: &mut Criterion) {
         },
     );
     let batch = QueryEngine::new(&hris);
-    let observed = QueryEngine::with_config(&hris, EngineConfig::observed());
+    let observed = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder()
+            .observability(true)
+            .build()
+            .expect("static engine configuration"),
+    );
 
     let run_seq = || -> Vec<Vec<ScoredRoute>> {
         queries
@@ -107,6 +185,8 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
 
+    let ingest = measure_ingest(&s, &queries);
+
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let report = serde_json::json!({
         "bench": "e2e_throughput",
@@ -128,6 +208,12 @@ fn bench(c: &mut Criterion) {
             "batch": qps_batch / qps_seq,
         },
         "observability_overhead": 1.0 - qps_observed / qps_batch,
+        "ingest_throughput": {
+            "trajectories_per_sec": ingest.trajectories_per_sec,
+            "points_per_sec": ingest.points_per_sec,
+            "epochs_published": ingest.epochs_published,
+            "concurrent_batch_qps": ingest.concurrent_batch_qps,
+        },
         "phase_seconds_per_query": {
             "candidates": phase_breakdown[0].1,
             "local": phase_breakdown[1].1,
@@ -150,6 +236,14 @@ fn bench(c: &mut Criterion) {
         print!(" {phase} {s:.5}");
     }
     println!();
+    println!(
+        "ingest: {:.1} traj/s ({:.0} points/s) over {} epochs, \
+         {:.2} qps served concurrently",
+        ingest.trajectories_per_sec,
+        ingest.points_per_sec,
+        ingest.epochs_published,
+        ingest.concurrent_batch_qps
+    );
 
     let mut g = c.benchmark_group("e2e_throughput");
     g.sample_size(10);

@@ -33,7 +33,7 @@
 
 use crate::global::{k_gri_with, GlobalRoute};
 use crate::local::{LocalInferenceResult, LocalStats};
-use crate::params::{EngineConfig, ExecMode, ObsOptions};
+use crate::params::{EngineConfig, ExecMode, HrisParams, ObsOptions};
 use crate::pipeline::{
     degenerate_local, infer_pair, infer_pair_chain, DegenerateQuery, Hris, ScoredRoute,
 };
@@ -43,8 +43,8 @@ use hris_obs::{
 };
 use hris_roadnet::network::CandidateEdge;
 use hris_roadnet::shortest::{route_between_segments, SpCache};
-use hris_roadnet::{CostModel, Route, SegmentId};
-use hris_traj::{sanitize_points, PointRepairs, Trajectory};
+use hris_roadnet::{CostModel, RoadNetwork, Route, SegmentId};
+use hris_traj::{sanitize_points, PointRepairs, Trajectory, TrajectoryArchive};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -220,7 +220,7 @@ pub struct EngineCacheStats {
 /// Per-query cache outcome tally, shared by the pair workers of one traced
 /// query (they may run on several threads under [`ExecMode::PairParallel`]).
 #[derive(Default)]
-struct CacheTally {
+pub(crate) struct CacheTally {
     sp_hits: AtomicU64,
     sp_misses: AtomicU64,
     cand_hits: AtomicU64,
@@ -234,8 +234,8 @@ impl CacheTally {
 }
 
 /// Phases 1–2 of one query plus the numbers the instrumentation wants.
-struct LocalRun {
-    locals: Vec<LocalInferenceResult>,
+pub(crate) struct LocalRun {
+    pub(crate) locals: Vec<LocalInferenceResult>,
     /// Candidate edges summed over all query points.
     candidates_total: usize,
     /// Wall seconds of the candidate-lookup loop (0 when untimed).
@@ -469,13 +469,28 @@ impl EngineObs {
     }
 }
 
-/// Throughput-oriented front end over a [`Hris`] instance.
+/// The immutable data one query is answered against: road network,
+/// archive and parameters. `Copy`, so pair workers capture it by value.
 ///
-/// Cheap to construct; holds only cache and instrumentation state. All
-/// methods take `&self` and the engine is `Sync`, so one engine may serve
-/// many threads.
-pub struct QueryEngine<'a> {
-    hris: &'a Hris<'a>,
+/// The borrowed [`QueryEngine`] builds one from its [`Hris`]; the owned
+/// [`EngineHandle`](crate::handle::EngineHandle) builds one per query from
+/// whichever [`ArchiveSnapshot`](hris_traj::ArchiveSnapshot) epoch it is on.
+#[derive(Clone, Copy)]
+pub(crate) struct EngineCtx<'e> {
+    pub(crate) net: &'e RoadNetwork,
+    pub(crate) archive: &'e TrajectoryArchive,
+    pub(crate) params: &'e HrisParams,
+}
+
+/// The engine's cache, configuration and instrumentation state, shared by
+/// the borrowed [`QueryEngine`] and the owned
+/// [`EngineHandle`](crate::handle::EngineHandle) front ends.
+///
+/// Every inference method takes an [`EngineCtx`] naming the data to serve
+/// against instead of borrowing it at construction, which is what lets the
+/// handle re-point at a new archive epoch without rebuilding its caches'
+/// hit/miss history.
+pub(crate) struct EngineCore {
     cfg: EngineConfig,
     sp_cache: Option<SpCache>,
     cand_memo: Option<RwLock<HashMap<CandKey, Arc<Vec<CandidateEdge>>>>>,
@@ -483,41 +498,8 @@ pub struct QueryEngine<'a> {
     obs: Option<EngineObs>,
 }
 
-impl<'a> QueryEngine<'a> {
-    /// Engine with the default configuration (pair-parallel, both caches,
-    /// instrumentation off).
-    #[must_use]
-    pub fn new(hris: &'a Hris<'a>) -> Self {
-        QueryEngine::with_config(hris, EngineConfig::default())
-    }
-
-    /// Engine with an explicit configuration. When `cfg.obs.enabled`, the
-    /// engine instruments itself onto a fresh private registry (reachable
-    /// through [`QueryEngine::observability`]).
-    #[must_use]
-    pub fn with_config(hris: &'a Hris<'a>, cfg: EngineConfig) -> Self {
-        let registry = cfg.obs.enabled.then(|| Arc::new(MetricsRegistry::new()));
-        Self::build(hris, cfg, registry)
-    }
-
-    /// Engine instrumented onto a caller-owned registry (e.g. one shared
-    /// with other components or scraped by an exporter). Implies
-    /// `cfg.obs.enabled`.
-    #[must_use]
-    pub fn with_registry(
-        hris: &'a Hris<'a>,
-        mut cfg: EngineConfig,
-        registry: Arc<MetricsRegistry>,
-    ) -> Self {
-        cfg.obs.enabled = true;
-        Self::build(hris, cfg, Some(registry))
-    }
-
-    fn build(
-        hris: &'a Hris<'a>,
-        cfg: EngineConfig,
-        registry: Option<Arc<MetricsRegistry>>,
-    ) -> Self {
+impl EngineCore {
+    pub(crate) fn build(cfg: EngineConfig, registry: Option<Arc<MetricsRegistry>>) -> Self {
         let sp_cache = (cfg.sp_cache_capacity > 0).then(|| SpCache::new(cfg.sp_cache_capacity));
         let cand_lookups = PairedCounter::new();
         let obs = registry.map(|r| {
@@ -528,8 +510,7 @@ impl<'a> QueryEngine<'a> {
                 cand_lookups.clone(),
             )
         });
-        QueryEngine {
-            hris,
+        EngineCore {
             sp_cache,
             cand_memo: cfg.candidate_memo.then(|| RwLock::new(HashMap::new())),
             cfg,
@@ -538,29 +519,15 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
-    /// The wrapped system.
-    #[must_use]
-    pub fn hris(&self) -> &Hris<'a> {
-        self.hris
-    }
-
-    /// The active configuration.
-    #[must_use]
-    pub fn config(&self) -> &EngineConfig {
+    pub(crate) fn config(&self) -> &EngineConfig {
         &self.cfg
     }
 
-    /// The engine's instrumentation, when enabled.
-    #[must_use]
-    pub fn observability(&self) -> Option<&EngineObs> {
+    pub(crate) fn observability(&self) -> Option<&EngineObs> {
         self.obs.as_ref()
     }
 
-    /// Current cache counters (cumulative since construction). Each
-    /// `(hits, misses)` pair is one consistent reading — see
-    /// [`EngineCacheStats`] for the exact guarantees.
-    #[must_use]
-    pub fn cache_stats(&self) -> EngineCacheStats {
+    pub(crate) fn cache_stats(&self) -> EngineCacheStats {
         let (sp_hits, sp_misses) = self
             .sp_cache
             .as_ref()
@@ -574,67 +541,33 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
-    /// Top-`k` routes of one query (same contract as [`Hris::infer_routes`]).
-    #[must_use]
-    pub fn infer_routes(&self, query: &Trajectory, k: usize) -> Vec<ScoredRoute> {
-        self.infer_routes_detailed(query, k)
-            .0
-            .into_iter()
-            .map(|g| ScoredRoute {
-                route: g.route,
-                log_score: g.log_score,
-            })
-            .collect()
+    /// Drops every cached entry from both caches, keeping their cumulative
+    /// hit/miss counters. The owned handle calls this when it adopts a new
+    /// archive epoch.
+    ///
+    /// Strictly speaking both caches are epoch-proof by construction — the
+    /// shortest-path cache keys on `(segment, segment, cost model)` over the
+    /// immutable road network and the candidate memo keys on exact query
+    /// coordinates against that same network, so neither ever holds
+    /// archive-derived data. Invalidating anyway keeps the contract simple
+    /// ("a new epoch starts with cold caches") and future-proofs the day a
+    /// cache does become archive-dependent.
+    pub(crate) fn invalidate_caches(&self) {
+        if let Some(cache) = &self.sp_cache {
+            cache.clear();
+        }
+        if let Some(memo) = &self.cand_memo {
+            memo.write().expect("candidate memo").clear();
+        }
     }
 
-    /// The most likely single route.
-    #[must_use]
-    pub fn infer_top1(&self, query: &Trajectory) -> Option<ScoredRoute> {
-        self.infer_routes(query, 1).into_iter().next()
-    }
-
-    /// Full inference with per-pair instrumentation. Keeps the historical
-    /// tuple shape; [`QueryEngine::infer_query`] additionally reports the
-    /// [`QueryOutcome`].
-    #[must_use]
-    pub fn infer_routes_detailed(
+    /// [`QueryEngine::infer_batch_detailed`] with the data named explicitly.
+    pub(crate) fn infer_batch_detailed(
         &self,
-        query: &Trajectory,
+        ctx: EngineCtx<'_>,
+        queries: &[Trajectory],
         k: usize,
-    ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
-        let r = self.infer_query_mode(query, k, self.cfg.mode);
-        (r.globals, r.stats)
-    }
-
-    /// One query through the validation screen: answer plus its
-    /// [`QueryOutcome`]. Never panics on malformed input.
-    #[must_use]
-    pub fn infer_query(&self, query: &Trajectory, k: usize) -> QueryResult {
-        self.infer_query_mode(query, k, self.cfg.mode)
-    }
-
-    /// Top-`k` routes for every query of a batch, sharing both caches and —
-    /// when `batch_parallel` is set — spreading queries across the pool.
-    #[must_use]
-    pub fn infer_batch(&self, queries: &[Trajectory], k: usize) -> Vec<Vec<ScoredRoute>> {
-        self.infer_batch_detailed(queries, k)
-            .into_iter()
-            .map(|r| {
-                r.globals
-                    .into_iter()
-                    .map(|g| ScoredRoute {
-                        route: g.route,
-                        log_score: g.log_score,
-                    })
-                    .collect()
-            })
-            .collect()
-    }
-
-    /// [`QueryEngine::infer_batch`] with per-pair instrumentation and a
-    /// per-query [`QueryOutcome`], for the evaluation harness.
-    #[must_use]
-    pub fn infer_batch_detailed(&self, queries: &[Trajectory], k: usize) -> Vec<QueryResult> {
+    ) -> Vec<QueryResult> {
         let batch_timer = self.obs.as_ref().map(|obs| {
             obs.batches.inc();
             obs.queue_depth.set(queries.len() as i64);
@@ -645,7 +578,7 @@ impl<'a> QueryEngine<'a> {
                 obs.queue_depth.dec();
                 obs.workers_busy.inc();
             }
-            let out = self.infer_query_mode(q, k, mode);
+            let out = self.infer_query_mode(ctx, q, k, mode);
             if let Some(obs) = &self.obs {
                 obs.workers_busy.dec();
             }
@@ -667,21 +600,20 @@ impl<'a> QueryEngine<'a> {
         result
     }
 
-    /// Phases 1–2 under the engine's scheduling and caches (phase 3 input).
-    #[must_use]
-    pub fn local_inference(&self, query: &Trajectory) -> Vec<LocalInferenceResult> {
-        self.local_inference_run(query, self.cfg.mode, None, false)
-            .locals
-    }
-
     /// The validation screen. Clean queries (the overwhelming majority)
     /// take *exactly* the pre-validation code path — byte-identical results,
     /// pinned by `tests/engine_robustness.rs`. Dirty queries are repaired
     /// (sanitized, re-sorted, deduplicated) and answered through the
     /// degradation chain; unusable queries are rejected instead of panicking.
-    fn infer_query_mode(&self, query: &Trajectory, k: usize, mode: ExecMode) -> QueryResult {
+    pub(crate) fn infer_query_mode(
+        &self,
+        ctx: EngineCtx<'_>,
+        query: &Trajectory,
+        k: usize,
+        mode: ExecMode,
+    ) -> QueryResult {
         if !self.cfg.validation.enabled {
-            let (globals, stats) = self.infer_detailed_mode(query, k, mode);
+            let (globals, stats) = self.infer_detailed_mode(ctx, query, k, mode);
             return QueryResult {
                 globals,
                 stats,
@@ -695,7 +627,7 @@ impl<'a> QueryEngine<'a> {
             return self.reject(RejectReason::EmptyQuery);
         }
         if self.query_is_valid(query) {
-            let (globals, stats) = self.infer_detailed_mode(query, k, mode);
+            let (globals, stats) = self.infer_detailed_mode(ctx, query, k, mode);
             return QueryResult {
                 globals,
                 stats,
@@ -710,7 +642,7 @@ impl<'a> QueryEngine<'a> {
         // Sanitization guarantees finite, ordered points, so the validating
         // constructor cannot panic here.
         let repaired = Trajectory::new(query.id, pts);
-        let (globals, stats, pairs_fell_back) = self.infer_repaired(&repaired, k, mode);
+        let (globals, stats, pairs_fell_back) = self.infer_repaired(ctx, &repaired, k, mode);
         let outcome = if pairs_fell_back > 0 {
             QueryOutcome::Degraded {
                 repairs,
@@ -766,12 +698,12 @@ impl<'a> QueryEngine<'a> {
     /// [`ValidationOptions::algorithm_fallback`]: crate::params::ValidationOptions
     fn infer_repaired(
         &self,
+        ctx: EngineCtx<'_>,
         query: &Trajectory,
         k: usize,
         mode: ExecMode,
     ) -> (Vec<GlobalRoute>, Vec<LocalStats>, usize) {
-        let net = self.hris.network();
-        let params = self.hris.params();
+        let EngineCtx { net, params, .. } = ctx;
         let finish = |locals: Vec<LocalInferenceResult>, fell_back: usize| {
             let stats = locals.iter().map(|l| l.stats.clone()).collect();
             let globals = k_gri_with(
@@ -791,19 +723,19 @@ impl<'a> QueryEngine<'a> {
         let cands: Vec<Arc<Vec<CandidateEdge>>> = query
             .points
             .iter()
-            .map(|p| self.candidates(p.pos, None))
+            .map(|p| self.candidates(ctx, p.pos, None))
             .collect();
         let pair_indices: Vec<usize> = (0..query.len() - 1).collect();
         let work = |i: usize| {
             infer_pair_chain(
                 net,
-                self.hris.archive(),
+                ctx.archive,
                 params,
                 query.points[i],
                 query.points[i + 1],
                 &cands[i],
                 &cands[i + 1],
-                &|a, b| self.sp_fallback(a, b, None),
+                &|a, b| self.sp_fallback(net, a, b, None),
                 self.cfg.validation.algorithm_fallback,
             )
         };
@@ -818,17 +750,18 @@ impl<'a> QueryEngine<'a> {
 
     fn infer_detailed_mode(
         &self,
+        ctx: EngineCtx<'_>,
         query: &Trajectory,
         k: usize,
         mode: ExecMode,
     ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
-        let params = self.hris.params();
+        let params = ctx.params;
         let Some(obs) = &self.obs else {
             // Uninstrumented fast path: no clocks, no tallies.
-            let run = self.local_inference_run(query, mode, None, false);
+            let run = self.local_inference_run(ctx, query, mode, None, false);
             let stats = run.locals.iter().map(|l| l.stats.clone()).collect();
             let globals = k_gri_with(
-                self.hris.network(),
+                ctx.net,
                 &run.locals,
                 k,
                 params.entropy_floor,
@@ -839,11 +772,11 @@ impl<'a> QueryEngine<'a> {
 
         let t_query = Instant::now();
         let tally = obs.tracing().then(CacheTally::default);
-        let run = self.local_inference_run(query, mode, tally.as_ref(), true);
+        let run = self.local_inference_run(ctx, query, mode, tally.as_ref(), true);
 
         let t_global = Instant::now();
         let globals = k_gri_with(
-            self.hris.network(),
+            ctx.net,
             &run.locals,
             k,
             params.entropy_floor,
@@ -871,14 +804,15 @@ impl<'a> QueryEngine<'a> {
     /// Phases 1–2 with optional wall-clock timing (`timed`) and optional
     /// per-query cache attribution (`tally`). Untimed calls perform zero
     /// clock reads.
-    fn local_inference_run(
+    pub(crate) fn local_inference_run(
         &self,
+        ctx: EngineCtx<'_>,
         query: &Trajectory,
         mode: ExecMode,
         tally: Option<&CacheTally>,
         timed: bool,
     ) -> LocalRun {
-        let net = self.hris.network();
+        let net = ctx.net;
         match degenerate_local(net, query) {
             DegenerateQuery::Empty => {
                 return LocalRun {
@@ -904,7 +838,7 @@ impl<'a> QueryEngine<'a> {
         let cands: Vec<Arc<Vec<CandidateEdge>>> = query
             .points
             .iter()
-            .map(|p| self.candidates(p.pos, tally))
+            .map(|p| self.candidates(ctx, p.pos, tally))
             .collect();
         let candidates_s = t_cands.map_or(0.0, |t| t.elapsed().as_secs_f64());
         let candidates_total = cands.iter().map(|c| c.len()).sum();
@@ -913,13 +847,13 @@ impl<'a> QueryEngine<'a> {
         let work = |i: usize| {
             infer_pair(
                 net,
-                self.hris.archive(),
-                self.hris.params(),
+                ctx.archive,
+                ctx.params,
                 query.points[i],
                 query.points[i + 1],
                 &cands[i],
                 &cands[i + 1],
-                &|a, b| self.sp_fallback(a, b, tally),
+                &|a, b| self.sp_fallback(net, a, b, tally),
             )
         };
         let t_local = timed.then(Instant::now);
@@ -939,6 +873,7 @@ impl<'a> QueryEngine<'a> {
     /// Candidate edges of a point, memoised by exact position.
     fn candidates(
         &self,
+        ctx: EngineCtx<'_>,
         p: hris_geo::Point,
         tally: Option<&CacheTally>,
     ) -> Arc<Vec<CandidateEdge>> {
@@ -947,11 +882,7 @@ impl<'a> QueryEngine<'a> {
             if let Some(t) = tally {
                 CacheTally::bump(&t.cand_misses);
             }
-            return Arc::new(crate::pipeline::query_candidates(
-                self.hris.network(),
-                self.hris.params(),
-                p,
-            ));
+            return Arc::new(crate::pipeline::query_candidates(ctx.net, ctx.params, p));
         };
         let key: CandKey = (p.x.to_bits(), p.y.to_bits());
         if let Some(hit) = memo.read().expect("candidate memo").get(&key) {
@@ -965,11 +896,7 @@ impl<'a> QueryEngine<'a> {
         if let Some(t) = tally {
             CacheTally::bump(&t.cand_misses);
         }
-        let fresh = Arc::new(crate::pipeline::query_candidates(
-            self.hris.network(),
-            self.hris.params(),
-            p,
-        ));
+        let fresh = Arc::new(crate::pipeline::query_candidates(ctx.net, ctx.params, p));
         // A racing writer may have inserted the same key meanwhile; both
         // computed the same value, so either entry is correct.
         memo.write()
@@ -982,8 +909,13 @@ impl<'a> QueryEngine<'a> {
     /// Shortest-path fallback, through the shared cache when enabled.
     /// Mirrors `route_between_segments_cached`, inlined so a traced query
     /// can attribute the hit/miss to itself.
-    fn sp_fallback(&self, a: SegmentId, b: SegmentId, tally: Option<&CacheTally>) -> Option<Route> {
-        let net = self.hris.network();
+    fn sp_fallback(
+        &self,
+        net: &RoadNetwork,
+        a: SegmentId,
+        b: SegmentId,
+        tally: Option<&CacheTally>,
+    ) -> Option<Route> {
         let Some(cache) = &self.sp_cache else {
             return route_between_segments(net, a, b, CostModel::Distance);
         };
@@ -1000,6 +932,183 @@ impl<'a> QueryEngine<'a> {
         let fresh = route_between_segments(net, a, b, CostModel::Distance);
         cache.insert(key, fresh.clone());
         fresh
+    }
+}
+
+/// Throughput-oriented front end over a borrowed [`Hris`] instance.
+///
+/// Cheap to construct; holds only cache and instrumentation state. All
+/// methods take `&self` and the engine is `Sync`, so one engine may serve
+/// many threads. Because it borrows its `Hris` (and through it the road
+/// network) for its whole lifetime, a `QueryEngine` cannot outlive its data
+/// or follow a live archive — for owned, `'static` serving (async runtimes,
+/// spawned threads, live ingestion) use
+/// [`EngineHandle`](crate::handle::EngineHandle) instead.
+///
+/// # Which entrypoint should I call?
+///
+/// [`QueryEngine::infer_query`] is the canonical single-query path and
+/// [`QueryEngine::infer_batch_detailed`] the canonical batch path — every
+/// other inference method is a thin wrapper that discards part of their
+/// output. New code should call the canonical ones; the wrappers exist for
+/// callers that want the narrower historical shapes.
+pub struct QueryEngine<'a> {
+    hris: &'a Hris<'a>,
+    core: EngineCore,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Engine with the default configuration (pair-parallel, both caches,
+    /// instrumentation off).
+    #[must_use]
+    pub fn new(hris: &'a Hris<'a>) -> Self {
+        QueryEngine::with_config(hris, EngineConfig::default())
+    }
+
+    /// Engine with an explicit configuration. When `cfg.obs.enabled`, the
+    /// engine instruments itself onto a fresh private registry (reachable
+    /// through [`QueryEngine::observability`]).
+    #[must_use]
+    pub fn with_config(hris: &'a Hris<'a>, cfg: EngineConfig) -> Self {
+        let registry = cfg.obs.enabled.then(|| Arc::new(MetricsRegistry::new()));
+        QueryEngine {
+            hris,
+            core: EngineCore::build(cfg, registry),
+        }
+    }
+
+    /// Engine instrumented onto a caller-owned registry (e.g. one shared
+    /// with other components or scraped by an exporter). Implies
+    /// `cfg.obs.enabled`.
+    #[must_use]
+    pub fn with_registry(
+        hris: &'a Hris<'a>,
+        mut cfg: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        cfg.obs.enabled = true;
+        QueryEngine {
+            hris,
+            core: EngineCore::build(cfg, Some(registry)),
+        }
+    }
+
+    fn ctx(&self) -> EngineCtx<'_> {
+        EngineCtx {
+            net: self.hris.network(),
+            archive: self.hris.archive(),
+            params: self.hris.params(),
+        }
+    }
+
+    /// The wrapped system.
+    #[must_use]
+    pub fn hris(&self) -> &Hris<'a> {
+        self.hris
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        self.core.config()
+    }
+
+    /// The engine's instrumentation, when enabled.
+    #[must_use]
+    pub fn observability(&self) -> Option<&EngineObs> {
+        self.core.observability()
+    }
+
+    /// Current cache counters (cumulative since construction). Each
+    /// `(hits, misses)` pair is one consistent reading — see
+    /// [`EngineCacheStats`] for the exact guarantees.
+    #[must_use]
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        self.core.cache_stats()
+    }
+
+    /// One query through the validation screen: answer plus its
+    /// [`QueryOutcome`]. Never panics on malformed input.
+    ///
+    /// **This is the canonical single-query entrypoint** — the other
+    /// single-query methods are wrappers that discard part of its output.
+    #[must_use]
+    pub fn infer_query(&self, query: &Trajectory, k: usize) -> QueryResult {
+        self.core
+            .infer_query_mode(self.ctx(), query, k, self.config().mode)
+    }
+
+    /// Top-`k` routes of one query (same contract as [`Hris::infer_routes`]).
+    /// Thin wrapper over [`QueryEngine::infer_query`] that drops the
+    /// [`QueryOutcome`] and per-pair statistics.
+    #[must_use]
+    pub fn infer_routes(&self, query: &Trajectory, k: usize) -> Vec<ScoredRoute> {
+        self.infer_query(query, k)
+            .globals
+            .into_iter()
+            .map(|g| ScoredRoute {
+                route: g.route,
+                log_score: g.log_score,
+            })
+            .collect()
+    }
+
+    /// The most likely single route. Thin wrapper over
+    /// [`QueryEngine::infer_query`] with `k = 1`.
+    #[must_use]
+    pub fn infer_top1(&self, query: &Trajectory) -> Option<ScoredRoute> {
+        self.infer_routes(query, 1).into_iter().next()
+    }
+
+    /// Full inference with per-pair instrumentation, in the historical
+    /// tuple shape. Thin wrapper over [`QueryEngine::infer_query`] that
+    /// drops the [`QueryOutcome`].
+    #[must_use]
+    pub fn infer_routes_detailed(
+        &self,
+        query: &Trajectory,
+        k: usize,
+    ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
+        let r = self.infer_query(query, k);
+        (r.globals, r.stats)
+    }
+
+    /// Every query of a batch through the validation screen, sharing both
+    /// caches and — when `batch_parallel` is set — spreading queries across
+    /// the pool.
+    ///
+    /// **This is the canonical batch entrypoint**;
+    /// [`QueryEngine::infer_batch`] wraps it.
+    #[must_use]
+    pub fn infer_batch_detailed(&self, queries: &[Trajectory], k: usize) -> Vec<QueryResult> {
+        self.core.infer_batch_detailed(self.ctx(), queries, k)
+    }
+
+    /// Top-`k` routes for every query of a batch. Thin wrapper over
+    /// [`QueryEngine::infer_batch_detailed`] that keeps only the scored
+    /// routes.
+    #[must_use]
+    pub fn infer_batch(&self, queries: &[Trajectory], k: usize) -> Vec<Vec<ScoredRoute>> {
+        self.infer_batch_detailed(queries, k)
+            .into_iter()
+            .map(|r| {
+                r.globals
+                    .into_iter()
+                    .map(|g| ScoredRoute {
+                        route: g.route,
+                        log_score: g.log_score,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Phases 1–2 under the engine's scheduling and caches (phase 3 input).
+    #[must_use]
+    pub fn local_inference(&self, query: &Trajectory) -> Vec<LocalInferenceResult> {
+        self.core
+            .local_inference_run(self.ctx(), query, self.config().mode, None, false)
+            .locals
     }
 }
 
@@ -1089,7 +1198,10 @@ mod tests {
         let plain = QueryEngine::new(&hris);
         assert!(plain.observability().is_none());
 
-        let observed = QueryEngine::with_config(&hris, EngineConfig::observed());
+        let observed = QueryEngine::with_config(
+            &hris,
+            EngineConfig::builder().observability(true).build().unwrap(),
+        );
         let _ = observed.infer_batch(&queries, 2);
         let obs = observed.observability().expect("instrumentation on");
         let snap = obs.snapshot();

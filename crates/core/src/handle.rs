@@ -1,0 +1,428 @@
+//! Owned, lifetime-free serving handle over epoch-versioned archives.
+//!
+//! [`Hris`](crate::Hris)/[`QueryEngine`](crate::QueryEngine) borrow their
+//! road network (and, transitively, their archive) for their whole
+//! lifetime, which is the right shape for experiments but the wrong one for
+//! a service: a borrowed engine cannot be moved into a spawned thread, an
+//! async task, or a shard map, and it can never follow a live archive. The
+//! [`EngineHandle`] here is the owned counterpart — `Arc<RoadNetwork>` plus
+//! an archive *source* (a pinned [`ArchiveSnapshot`] or a live
+//! [`SnapshotReader`]) — so it is `Send + Sync + 'static` and clone-free to
+//! share behind an `Arc`.
+//!
+//! # Epochs and caches
+//!
+//! A handle on a live source re-reads the published snapshot at each query
+//! (one `RwLock` read + `Arc` clone). When it observes a new epoch it
+//! invalidates the engine caches once, then serves the query against the
+//! new snapshot. Queries already in flight keep the `Arc` of the snapshot
+//! they started with — ingestion never changes an answer mid-query, and a
+//! batch is answered entirely against the single epoch it started on.
+
+use crate::engine::{EngineCacheStats, EngineCore, EngineCtx, EngineObs, QueryResult};
+use crate::global::GlobalRoute;
+use crate::local::{LocalInferenceResult, LocalStats};
+use crate::params::{EngineConfig, HrisParams};
+use crate::pipeline::ScoredRoute;
+use hris_obs::MetricsRegistry;
+use hris_roadnet::RoadNetwork;
+use hris_traj::{ArchiveSnapshot, SnapshotReader, TrajectoryArchive};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a handle gets its archive from.
+enum ArchiveSource {
+    /// One pinned epoch; the handle never changes data underneath you.
+    Fixed(Arc<ArchiveSnapshot>),
+    /// Follow an [`ArchiveWriter`](hris_traj::ArchiveWriter)'s published
+    /// epochs.
+    Live(SnapshotReader),
+}
+
+/// An owned HRIS serving handle: `Send + Sync + 'static`.
+///
+/// Construction takes `Arc<RoadNetwork>` plus either a plain archive
+/// (pinned as a one-off snapshot), an existing [`ArchiveSnapshot`], or a
+/// [`SnapshotReader`] to serve live ingestion. All query methods take
+/// `&self`; wrap the handle in an `Arc` to share it across threads or
+/// tasks.
+///
+/// # Which entrypoint should I call?
+///
+/// As on [`QueryEngine`](crate::QueryEngine): [`EngineHandle::infer_query`]
+/// is the canonical single-query path, [`EngineHandle::infer_batch_detailed`]
+/// the canonical batch path; everything else is a thin wrapper that
+/// discards part of their output.
+pub struct EngineHandle {
+    net: Arc<RoadNetwork>,
+    params: HrisParams,
+    source: ArchiveSource,
+    core: EngineCore,
+    /// Epoch of the snapshot the caches were last (in)validated for.
+    cached_epoch: AtomicU64,
+}
+
+impl EngineHandle {
+    /// Handle over a fixed archive with the default configuration. The
+    /// archive is pinned as epoch 0 of a standalone snapshot.
+    #[must_use]
+    pub fn new(net: Arc<RoadNetwork>, archive: TrajectoryArchive, params: HrisParams) -> Self {
+        EngineHandle::with_config(net, archive, params, EngineConfig::default())
+    }
+
+    /// [`EngineHandle::new`] with an explicit configuration.
+    #[must_use]
+    pub fn with_config(
+        net: Arc<RoadNetwork>,
+        archive: TrajectoryArchive,
+        params: HrisParams,
+        cfg: EngineConfig,
+    ) -> Self {
+        Self::from_snapshot(net, Arc::new(ArchiveSnapshot::new(0, archive)), params, cfg)
+    }
+
+    /// Handle pinned to one already-published snapshot. Useful to freeze an
+    /// epoch for reproducible evaluation while ingestion continues
+    /// elsewhere.
+    #[must_use]
+    pub fn from_snapshot(
+        net: Arc<RoadNetwork>,
+        snapshot: Arc<ArchiveSnapshot>,
+        params: HrisParams,
+        cfg: EngineConfig,
+    ) -> Self {
+        let epoch = snapshot.epoch();
+        Self::build(
+            net,
+            params,
+            ArchiveSource::Fixed(snapshot),
+            cfg,
+            None,
+            epoch,
+        )
+    }
+
+    /// Handle following a live [`SnapshotReader`]: each query is served
+    /// against the latest published epoch, with caches invalidated on
+    /// epoch change.
+    #[must_use]
+    pub fn live(
+        net: Arc<RoadNetwork>,
+        reader: SnapshotReader,
+        params: HrisParams,
+        cfg: EngineConfig,
+    ) -> Self {
+        let epoch = reader.epoch();
+        Self::build(net, params, ArchiveSource::Live(reader), cfg, None, epoch)
+    }
+
+    /// [`EngineHandle::live`] instrumented onto a caller-owned registry
+    /// (implies `cfg.obs.enabled`), so engine and ingest metrics can share
+    /// one exporter.
+    #[must_use]
+    pub fn live_with_registry(
+        net: Arc<RoadNetwork>,
+        reader: SnapshotReader,
+        params: HrisParams,
+        mut cfg: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        cfg.obs.enabled = true;
+        let epoch = reader.epoch();
+        Self::build(
+            net,
+            params,
+            ArchiveSource::Live(reader),
+            cfg,
+            Some(registry),
+            epoch,
+        )
+    }
+
+    fn build(
+        net: Arc<RoadNetwork>,
+        params: HrisParams,
+        source: ArchiveSource,
+        cfg: EngineConfig,
+        registry: Option<Arc<MetricsRegistry>>,
+        epoch: u64,
+    ) -> Self {
+        let registry =
+            registry.or_else(|| cfg.obs.enabled.then(|| Arc::new(MetricsRegistry::new())));
+        EngineHandle {
+            net,
+            params,
+            source,
+            core: EngineCore::build(cfg, registry),
+            cached_epoch: AtomicU64::new(epoch),
+        }
+    }
+
+    /// The snapshot the next query would be served against. On a live
+    /// source this re-reads the slot and performs the same epoch-change
+    /// cache invalidation a query would.
+    #[must_use]
+    pub fn current_snapshot(&self) -> Arc<ArchiveSnapshot> {
+        match &self.source {
+            ArchiveSource::Fixed(snap) => Arc::clone(snap),
+            ArchiveSource::Live(reader) => {
+                let snap = reader.latest();
+                let prev = self.cached_epoch.swap(snap.epoch(), Ordering::AcqRel);
+                if prev != snap.epoch() {
+                    // Two racing queries may both observe the change and
+                    // both invalidate; clearing twice is harmless (and the
+                    // caches hold no archive-derived data anyway — see
+                    // `EngineCore::invalidate_caches`).
+                    self.core.invalidate_caches();
+                }
+                snap
+            }
+        }
+    }
+
+    /// The epoch the handle last served (or would serve next, after a
+    /// [`EngineHandle::current_snapshot`] call).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.cached_epoch.load(Ordering::Acquire)
+    }
+
+    /// The shared road network.
+    #[must_use]
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        &self.net
+    }
+
+    /// The active parameters.
+    #[must_use]
+    pub fn params(&self) -> &HrisParams {
+        &self.params
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        self.core.config()
+    }
+
+    /// The handle's instrumentation, when enabled.
+    #[must_use]
+    pub fn observability(&self) -> Option<&EngineObs> {
+        self.core.observability()
+    }
+
+    /// Current cache counters (cumulative across epochs — invalidation
+    /// drops entries, not history).
+    #[must_use]
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        self.core.cache_stats()
+    }
+
+    /// One query through the validation screen against the current epoch:
+    /// answer plus its [`QueryOutcome`](crate::QueryOutcome).
+    ///
+    /// **This is the canonical single-query entrypoint.**
+    #[must_use]
+    pub fn infer_query(&self, query: &hris_traj::Trajectory, k: usize) -> QueryResult {
+        let snap = self.current_snapshot();
+        self.core
+            .infer_query_mode(self.ctx(&snap), query, k, self.config().mode)
+    }
+
+    /// Top-`k` routes of one query. Thin wrapper over
+    /// [`EngineHandle::infer_query`] that drops the outcome and statistics.
+    #[must_use]
+    pub fn infer_routes(&self, query: &hris_traj::Trajectory, k: usize) -> Vec<ScoredRoute> {
+        self.infer_query(query, k)
+            .globals
+            .into_iter()
+            .map(|g| ScoredRoute {
+                route: g.route,
+                log_score: g.log_score,
+            })
+            .collect()
+    }
+
+    /// The most likely single route. Thin wrapper over
+    /// [`EngineHandle::infer_query`] with `k = 1`.
+    #[must_use]
+    pub fn infer_top1(&self, query: &hris_traj::Trajectory) -> Option<ScoredRoute> {
+        self.infer_routes(query, 1).into_iter().next()
+    }
+
+    /// Full inference in the historical tuple shape. Thin wrapper over
+    /// [`EngineHandle::infer_query`] that drops the outcome.
+    #[must_use]
+    pub fn infer_routes_detailed(
+        &self,
+        query: &hris_traj::Trajectory,
+        k: usize,
+    ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
+        let r = self.infer_query(query, k);
+        (r.globals, r.stats)
+    }
+
+    /// Every query of a batch against **one** epoch: the snapshot is read
+    /// once at batch start, so a batch's answers are mutually consistent
+    /// even while ingestion publishes mid-batch.
+    ///
+    /// **This is the canonical batch entrypoint.**
+    #[must_use]
+    pub fn infer_batch_detailed(
+        &self,
+        queries: &[hris_traj::Trajectory],
+        k: usize,
+    ) -> Vec<QueryResult> {
+        let snap = self.current_snapshot();
+        self.core.infer_batch_detailed(self.ctx(&snap), queries, k)
+    }
+
+    /// Top-`k` routes for every query of a batch. Thin wrapper over
+    /// [`EngineHandle::infer_batch_detailed`].
+    #[must_use]
+    pub fn infer_batch(
+        &self,
+        queries: &[hris_traj::Trajectory],
+        k: usize,
+    ) -> Vec<Vec<ScoredRoute>> {
+        self.infer_batch_detailed(queries, k)
+            .into_iter()
+            .map(|r| {
+                r.globals
+                    .into_iter()
+                    .map(|g| ScoredRoute {
+                        route: g.route,
+                        log_score: g.log_score,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Phases 1–2 against the current epoch (phase 3 input).
+    #[must_use]
+    pub fn local_inference(&self, query: &hris_traj::Trajectory) -> Vec<LocalInferenceResult> {
+        let snap = self.current_snapshot();
+        self.core
+            .local_inference_run(self.ctx(&snap), query, self.config().mode, None, false)
+            .locals
+    }
+
+    fn ctx<'e>(&'e self, snap: &'e ArchiveSnapshot) -> EngineCtx<'e> {
+        EngineCtx {
+            net: &self.net,
+            archive: snap.archive(),
+            params: &self.params,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hris_roadnet::{generator, NetworkConfig};
+    use hris_traj::{ArchiveWriter, GpsPoint, TrajId, Trajectory};
+
+    fn net() -> Arc<RoadNetwork> {
+        Arc::new(generator::generate(&NetworkConfig::small(5)))
+    }
+
+    fn query(x0: f64) -> Trajectory {
+        Trajectory::new(
+            TrajId(0),
+            (0..4)
+                .map(|k| {
+                    GpsPoint::new(
+                        hris_geo::Point::new(x0 + k as f64 * 400.0, 120.0),
+                        k as f64 * 120.0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn handle_is_send_sync_static() {
+        fn assert_owned<T: Send + Sync + 'static>() {}
+        assert_owned::<EngineHandle>();
+        assert_owned::<Arc<EngineHandle>>();
+    }
+
+    #[test]
+    fn handle_matches_borrowed_engine() {
+        let net = net();
+        let hris = crate::Hris::new(
+            &net,
+            TrajectoryArchive::empty(),
+            crate::HrisParams::default(),
+        );
+        let engine = crate::QueryEngine::new(&hris);
+        let handle = EngineHandle::new(
+            Arc::clone(&net),
+            TrajectoryArchive::empty(),
+            crate::HrisParams::default(),
+        );
+        let q = query(0.0);
+        let borrowed = engine.infer_query(&q, 2);
+        let owned = handle.infer_query(&q, 2);
+        assert_eq!(borrowed.globals.len(), owned.globals.len());
+        for (a, b) in borrowed.globals.iter().zip(&owned.globals) {
+            assert_eq!(a.route, b.route);
+            assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+        }
+        assert_eq!(borrowed.outcome, owned.outcome);
+    }
+
+    #[test]
+    fn handle_can_move_into_a_thread() {
+        let handle = Arc::new(EngineHandle::new(
+            net(),
+            TrajectoryArchive::empty(),
+            crate::HrisParams::default(),
+        ));
+        let h = Arc::clone(&handle);
+        let out = std::thread::spawn(move || h.infer_routes(&query(0.0), 1))
+            .join()
+            .expect("worker thread");
+        assert_eq!(out.len(), handle.infer_routes(&query(0.0), 1).len());
+    }
+
+    #[test]
+    fn live_handle_follows_epochs() {
+        let net = net();
+        let mut writer = ArchiveWriter::new(TrajectoryArchive::empty());
+        let handle = EngineHandle::live(
+            Arc::clone(&net),
+            writer.reader(),
+            crate::HrisParams::default(),
+            EngineConfig::default(),
+        );
+        assert_eq!(handle.epoch(), 0);
+        let before = handle.infer_routes(&query(0.0), 1);
+
+        writer.append(query(0.0)).unwrap();
+        writer.publish();
+        let _ = handle.infer_routes(&query(0.0), 1);
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.current_snapshot().num_trajectories(), 1);
+        assert!(!before.is_empty());
+    }
+
+    #[test]
+    fn fixed_handle_ignores_later_publishes() {
+        let net = net();
+        let mut writer = ArchiveWriter::new(TrajectoryArchive::empty());
+        let frozen = writer.snapshot();
+        let handle = EngineHandle::from_snapshot(
+            Arc::clone(&net),
+            frozen,
+            crate::HrisParams::default(),
+            EngineConfig::default(),
+        );
+        writer.append(query(0.0)).unwrap();
+        writer.publish();
+        let _ = handle.infer_routes(&query(0.0), 1);
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(handle.current_snapshot().num_trajectories(), 0);
+    }
+}

@@ -38,6 +38,7 @@
 pub mod engine;
 pub mod freespace;
 pub mod global;
+pub mod handle;
 pub mod local;
 pub mod params;
 pub mod pipeline;
@@ -48,10 +49,43 @@ pub use engine::{
 };
 pub use freespace::{infer_polyline, FreespaceParams};
 pub use global::{brute_force_top_k, brute_force_top_k_with, k_gri, k_gri_with, GlobalRoute};
+pub use handle::EngineHandle;
 pub use local::{LocalInferenceResult, LocalRoute};
 pub use params::{
-    EngineConfig, ExecMode, HrisParams, HybridPolarity, LocalAlgorithm, ObsOptions,
-    PopularityModel, ValidationOptions,
+    ConfigError, EngineConfig, EngineConfigBuilder, ExecMode, HrisParams, HybridPolarity,
+    LocalAlgorithm, ObsOptions, PopularityModel, ValidationOptions,
 };
 pub use pipeline::{Hris, HrisMatcher, ScoredRoute};
 pub use reference::{search_references, RefKind, RefTrajectory, ReferenceSet};
+
+/// Everything a typical consumer needs, in one `use`.
+///
+/// ```
+/// use hris::prelude::*;
+/// ```
+///
+/// Re-exports the serving surface (owned [`EngineHandle`], borrowed
+/// [`Hris`]/[`QueryEngine`]), the result types ([`QueryResult`],
+/// [`QueryOutcome`], [`ScoredRoute`], [`GlobalRoute`]), the configuration
+/// types ([`HrisParams`], [`EngineConfig`] and its builder) and the live
+/// ingestion types from [`hris_traj`] ([`ArchiveSnapshot`],
+/// [`ArchiveWriter`] and friends).
+///
+/// [`ArchiveSnapshot`]: hris_traj::ArchiveSnapshot
+/// [`ArchiveWriter`]: hris_traj::ArchiveWriter
+pub mod prelude {
+    pub use crate::engine::{
+        EngineCacheStats, EngineObs, QueryEngine, QueryOutcome, QueryResult, RejectReason,
+    };
+    pub use crate::global::GlobalRoute;
+    pub use crate::handle::EngineHandle;
+    pub use crate::params::{
+        ConfigError, EngineConfig, EngineConfigBuilder, ExecMode, HrisParams, ObsOptions,
+        ValidationOptions,
+    };
+    pub use crate::pipeline::{Hris, HrisMatcher, ScoredRoute};
+    pub use hris_traj::{
+        ArchiveSnapshot, ArchiveWriter, IngestOptions, IngestQueue, IngestReport, SnapshotReader,
+        TrajectoryArchive,
+    };
+}

@@ -201,6 +201,10 @@ impl Default for ObsOptions {
 
 impl ObsOptions {
     /// Instrumentation on, with the default trace budget.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use EngineConfig::builder().observability(true) — the builder validates its inputs"
+    )]
     #[must_use]
     pub fn enabled() -> Self {
         ObsOptions {
@@ -291,11 +295,26 @@ impl EngineConfig {
         }
     }
 
+    /// A builder over the default configuration, with validation at
+    /// [`EngineConfigBuilder::build`]. This is the preferred way to
+    /// construct a non-default configuration.
+    #[must_use]
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
     /// The default configuration with instrumentation switched on.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use EngineConfig::builder().observability(true).build()"
+    )]
     #[must_use]
     pub fn observed() -> Self {
         EngineConfig {
-            obs: ObsOptions::enabled(),
+            obs: ObsOptions {
+                enabled: true,
+                ..ObsOptions::default()
+            },
             ..EngineConfig::default()
         }
     }
@@ -314,6 +333,164 @@ impl EngineConfig {
     }
 }
 
+/// Why [`EngineConfigBuilder::build`] refused a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `sp_cache_capacity(0)` was requested. A zero-capacity cache is a
+    /// disabled cache; say so explicitly with
+    /// [`EngineConfigBuilder::without_sp_cache`].
+    ZeroSpCacheCapacity,
+    /// The slow-query threshold must be a positive, finite number of
+    /// seconds; the offending value is carried along.
+    NonPositiveSlowQueryThreshold(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroSpCacheCapacity => f.write_str(
+                "sp_cache_capacity must be > 0 (use without_sp_cache() to disable the cache)",
+            ),
+            ConfigError::NonPositiveSlowQueryThreshold(v) => write!(
+                f,
+                "slow_query_threshold_s must be positive and finite, got {v}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`EngineConfig`], created by
+/// [`EngineConfig::builder`]. Starts from the default configuration;
+/// every setter is chainable and [`EngineConfigBuilder::build`] rejects
+/// nonsensical combinations instead of silently misbehaving at runtime.
+///
+/// ```
+/// use hris::params::EngineConfig;
+///
+/// let cfg = EngineConfig::builder()
+///     .observability(true)
+///     .sp_cache_capacity(4096)
+///     .slow_query_threshold_s(0.5)
+///     .build()
+///     .expect("valid configuration");
+/// assert!(cfg.obs.enabled);
+///
+/// assert!(EngineConfig::builder().sp_cache_capacity(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+    /// Capacity the caller set explicitly (validated at build; `None` keeps
+    /// whatever `cfg.sp_cache_capacity` holds).
+    explicit_sp_capacity: Option<usize>,
+}
+
+impl EngineConfigBuilder {
+    /// Per-query pair scheduling.
+    #[must_use]
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Entry bound of the shared shortest-path fallback cache. Zero is
+    /// rejected at build time — disable the cache with
+    /// [`EngineConfigBuilder::without_sp_cache`] instead.
+    #[must_use]
+    pub fn sp_cache_capacity(mut self, capacity: usize) -> Self {
+        self.explicit_sp_capacity = Some(capacity);
+        self.cfg.sp_cache_capacity = capacity;
+        self
+    }
+
+    /// Disables the shortest-path fallback cache.
+    #[must_use]
+    pub fn without_sp_cache(mut self) -> Self {
+        self.explicit_sp_capacity = None;
+        self.cfg.sp_cache_capacity = 0;
+        self
+    }
+
+    /// Enables/disables the per-position candidate memo.
+    #[must_use]
+    pub fn candidate_memo(mut self, on: bool) -> Self {
+        self.cfg.candidate_memo = on;
+        self
+    }
+
+    /// Enables/disables batch fan-out across the thread pool.
+    #[must_use]
+    pub fn batch_parallel(mut self, on: bool) -> Self {
+        self.cfg.batch_parallel = on;
+        self
+    }
+
+    /// Master switch for engine instrumentation (replaces the deprecated
+    /// `ObsOptions::enabled()` / `EngineConfig::observed()` constructors).
+    #[must_use]
+    pub fn observability(mut self, on: bool) -> Self {
+        self.cfg.obs.enabled = on;
+        self
+    }
+
+    /// How many per-query trace records to retain (`0` keeps aggregate
+    /// metrics but disables tracing).
+    #[must_use]
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.obs.trace_capacity = capacity;
+        self
+    }
+
+    /// Wall-time threshold (seconds) above which a query is flagged slow.
+    /// Must be positive and finite; validated at build time.
+    #[must_use]
+    pub fn slow_query_threshold_s(mut self, seconds: f64) -> Self {
+        self.cfg.obs.slow_query_threshold_s = seconds;
+        self
+    }
+
+    /// Master switch for input validation / graceful degradation.
+    #[must_use]
+    pub fn validation(mut self, on: bool) -> Self {
+        self.cfg.validation.enabled = on;
+        self
+    }
+
+    /// On the repair path, whether to retry empty pairs with TGI/NNI forced
+    /// before the shortest-path fallback.
+    #[must_use]
+    pub fn algorithm_fallback(mut self, on: bool) -> Self {
+        self.cfg.validation.algorithm_fallback = on;
+        self
+    }
+
+    /// Magnitude limits separating "far away" from "corrupt" input.
+    #[must_use]
+    pub fn sanitize_limits(mut self, limits: SanitizeLimits) -> Self {
+        self.cfg.validation.limits = limits;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// [`ConfigError::ZeroSpCacheCapacity`] when an explicit capacity of 0
+    /// was requested; [`ConfigError::NonPositiveSlowQueryThreshold`] when
+    /// the slow-query threshold is zero, negative, or non-finite.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        if self.explicit_sp_capacity == Some(0) {
+            return Err(ConfigError::ZeroSpCacheCapacity);
+        }
+        let threshold = self.cfg.obs.slow_query_threshold_s;
+        if !(threshold.is_finite() && threshold > 0.0) {
+            return Err(ConfigError::NonPositiveSlowQueryThreshold(threshold));
+        }
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +505,82 @@ mod tests {
         assert_eq!(p.k2, 4);
         assert_eq!(p.alpha_m, 500.0);
         assert_eq!(p.beta, 1.5);
+    }
+
+    #[test]
+    fn builder_accepts_valid_configurations() {
+        let cfg = EngineConfig::builder()
+            .mode(ExecMode::Sequential)
+            .sp_cache_capacity(1024)
+            .candidate_memo(false)
+            .batch_parallel(false)
+            .observability(true)
+            .trace_capacity(16)
+            .slow_query_threshold_s(0.25)
+            .validation(true)
+            .algorithm_fallback(false)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(cfg.mode, ExecMode::Sequential);
+        assert_eq!(cfg.sp_cache_capacity, 1024);
+        assert!(!cfg.candidate_memo);
+        assert!(!cfg.batch_parallel);
+        assert!(cfg.obs.enabled);
+        assert_eq!(cfg.obs.trace_capacity, 16);
+        assert_eq!(cfg.obs.slow_query_threshold_s, 0.25);
+        assert!(!cfg.validation.algorithm_fallback);
+        // The untouched builder yields exactly the default configuration.
+        let built = EngineConfig::builder().build().unwrap();
+        assert_eq!(
+            serde_json::to_string(&built).unwrap(),
+            serde_json::to_string(&EngineConfig::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_cache_capacity_but_allows_disable() {
+        assert_eq!(
+            EngineConfig::builder()
+                .sp_cache_capacity(0)
+                .build()
+                .expect_err("zero capacity must be rejected"),
+            ConfigError::ZeroSpCacheCapacity
+        );
+        let cfg = EngineConfig::builder().without_sp_cache().build().unwrap();
+        assert_eq!(cfg.sp_cache_capacity, 0);
+        // Setting a bad capacity then disabling is fine — the disable wins.
+        let cfg = EngineConfig::builder()
+            .sp_cache_capacity(0)
+            .without_sp_cache()
+            .build()
+            .unwrap();
+        assert_eq!(cfg.sp_cache_capacity, 0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_slow_query_threshold() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = EngineConfig::builder()
+                .slow_query_threshold_s(bad)
+                .build()
+                .expect_err("threshold must be rejected");
+            assert!(matches!(err, ConfigError::NonPositiveSlowQueryThreshold(_)));
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        let shim = EngineConfig::observed();
+        let built = EngineConfig::builder().observability(true).build().unwrap();
+        assert_eq!(
+            serde_json::to_string(&shim).unwrap(),
+            serde_json::to_string(&built).unwrap()
+        );
+        let shim = ObsOptions::enabled();
+        assert!(shim.enabled);
+        assert_eq!(shim.trace_capacity, ObsOptions::default().trace_capacity);
     }
 
     #[test]

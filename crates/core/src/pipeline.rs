@@ -34,6 +34,16 @@ pub struct ScoredRoute {
 }
 
 /// The History-based Route Inference System.
+///
+/// `Hris` is the algorithmic pipeline over borrowed data. All of its
+/// inference methods funnel into the canonical
+/// [`Hris::infer_routes_detailed`]; [`Hris::infer_routes`] and
+/// [`Hris::infer_top1`] are thin projections of its output, so new code that
+/// needs anything beyond the plain top-K list should call the detailed
+/// entrypoint directly. For serving (caching, validation, observability, live
+/// archives) wrap it in a [`QueryEngine`](crate::engine::QueryEngine) or use
+/// the owned [`EngineHandle`](crate::handle::EngineHandle), whose canonical
+/// entrypoint is `infer_query`.
 pub struct Hris<'a> {
     net: &'a RoadNetwork,
     archive: TrajectoryArchive,
@@ -91,6 +101,9 @@ impl<'a> Hris<'a> {
     }
 
     /// Infers the top-`k` routes of `query` (the problem statement).
+    ///
+    /// Thin wrapper over the canonical [`Hris::infer_routes_detailed`] that
+    /// drops the per-pair statistics.
     #[must_use]
     pub fn infer_routes(&self, query: &Trajectory, k: usize) -> Vec<ScoredRoute> {
         self.infer_routes_detailed(query, k)
@@ -104,12 +117,16 @@ impl<'a> Hris<'a> {
     }
 
     /// The most likely single route — the map-matching application.
+    ///
+    /// Thin wrapper over the canonical [`Hris::infer_routes_detailed`] with
+    /// `k = 1`.
     #[must_use]
     pub fn infer_top1(&self, query: &Trajectory) -> Option<ScoredRoute> {
         self.infer_routes(query, 1).into_iter().next()
     }
 
-    /// Full inference with per-pair instrumentation (experiment harness).
+    /// Full inference with per-pair instrumentation — the **canonical**
+    /// inference path every other `Hris` entrypoint wraps.
     #[must_use]
     pub fn infer_routes_detailed(
         &self,

@@ -1,0 +1,189 @@
+//! Golden test over the public API surface of the `hris` core crate.
+//!
+//! Extracts every `pub` declaration (modules, types, functions, fields,
+//! re-exports — `pub(crate)` and `#[cfg(test)]` code excluded) from
+//! `src/`, normalizes and sorts them, and compares against the checked-in
+//! listing at `tests/golden/api_surface.txt`. Any surface change — adding,
+//! removing, or re-signaturing a public item — fails this test until the
+//! golden file is regenerated, which makes API changes show up in review as
+//! a diff of the listing itself.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p hris --test api_surface
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const GOLDEN: &str = "tests/golden/api_surface.txt";
+
+fn source_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("read src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            source_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Does this declaration introduce a named item (as opposed to a field)?
+fn is_item(decl: &str) -> bool {
+    let after_pub = decl.trim_start_matches("pub").trim_start();
+    [
+        "fn ",
+        "struct ",
+        "enum ",
+        "trait ",
+        "mod ",
+        "use ",
+        "type ",
+        "const ",
+        "static ",
+        "unsafe fn ",
+    ]
+    .iter()
+    .any(|kw| after_pub.starts_with(kw))
+}
+
+/// Extracts normalized `pub` declarations from one file.
+fn extract(path: &Path) -> Vec<String> {
+    let text = fs::read_to_string(path).expect("read source file");
+    let mut decls = Vec::new();
+    let mut lines = text.lines();
+    while let Some(line) = lines.next() {
+        let trimmed = line.trim_start();
+        // Everything below `#[cfg(test)]` in this repo is the test module.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if !trimmed.starts_with("pub ") || trimmed.starts_with("pub(") {
+            continue;
+        }
+        // Collect the declaration until its terminator. Items end at the
+        // first body brace or semicolon; struct fields are single lines
+        // ending in a comma.
+        let mut decl = trimmed.to_string();
+        if is_item(&decl) {
+            // `pub use a::{b, c};` keeps its brace list, so for a use the
+            // semicolon is the terminator; everything else ends at the
+            // first body brace or semicolon.
+            let is_use = decl
+                .trim_start_matches("pub")
+                .trim_start()
+                .starts_with("use ");
+            let terminated = |d: &str| d.contains(';') || (!is_use && d.contains('{'));
+            while !terminated(&decl) {
+                let next = lines.next().expect("unterminated declaration");
+                decl.push(' ');
+                decl.push_str(next.trim());
+            }
+            let end = if is_use {
+                decl.find(';').expect("use without semicolon")
+            } else {
+                match (decl.find(';'), decl.find('{')) {
+                    (Some(semi), Some(brace)) => semi.min(brace),
+                    (Some(semi), None) => semi,
+                    (None, Some(brace)) => brace,
+                    (None, None) => unreachable!("unterminated declaration"),
+                }
+            };
+            decl.truncate(end);
+        } else {
+            // A public field.
+            decl = decl.trim_end_matches(',').to_string();
+        }
+        let normalized = decl.split_whitespace().collect::<Vec<_>>().join(" ");
+        decls.push(normalized.trim().to_string());
+    }
+    decls
+}
+
+fn current_surface() -> String {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let src = root.join("src");
+    let mut files = Vec::new();
+    source_files(&src, &mut files);
+    let mut entries = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(&root)
+            .expect("file under manifest dir")
+            .to_string_lossy()
+            .replace('\\', "/");
+        for decl in extract(&file) {
+            entries.push(format!("{rel}: {decl}"));
+        }
+    }
+    entries.sort();
+    let mut out = String::new();
+    for e in &entries {
+        writeln!(out, "{e}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn public_api_surface_matches_golden_file() {
+    let got = current_surface();
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        fs::create_dir_all(golden_path.parent().unwrap()).expect("create golden dir");
+        fs::write(&golden_path, &got).expect("write golden file");
+        return;
+    }
+    let want = fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+        panic!("missing {GOLDEN}; run `BLESS=1 cargo test -p hris --test api_surface` once")
+    });
+    if got != want {
+        let got_set: std::collections::BTreeSet<&str> = got.lines().collect();
+        let want_set: std::collections::BTreeSet<&str> = want.lines().collect();
+        let added: Vec<&&str> = got_set.difference(&want_set).collect();
+        let removed: Vec<&&str> = want_set.difference(&got_set).collect();
+        panic!(
+            "public API surface changed.\n\nadded ({}):\n{}\n\nremoved ({}):\n{}\n\n\
+             If intentional, regenerate with `BLESS=1 cargo test -p hris --test api_surface` \
+             and commit the golden file.",
+            added.len(),
+            added
+                .iter()
+                .map(|s| format!("  + {s}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            removed.len(),
+            removed
+                .iter()
+                .map(|s| format!("  - {s}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+    }
+}
+
+/// The golden file itself must be sorted and normalized — guards against
+/// hand edits that would make future diffs noisy.
+#[test]
+fn golden_file_is_sorted_and_normalized() {
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    let Ok(text) = fs::read_to_string(&golden_path) else {
+        return; // covered by the main test's "missing golden" panic
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        lines, sorted,
+        "{GOLDEN} is not sorted; regenerate with BLESS=1"
+    );
+    for l in &lines {
+        assert_eq!(
+            l.split_whitespace().collect::<Vec<_>>().join(" "),
+            *l,
+            "{GOLDEN} line not whitespace-normalized"
+        );
+    }
+}

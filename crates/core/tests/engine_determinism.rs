@@ -166,10 +166,11 @@ fn cache_pressure_does_not_change_results() {
     // not move a byte either.
     let observed = QueryEngine::with_config(
         &hris,
-        EngineConfig {
-            sp_cache_capacity: 1,
-            ..EngineConfig::observed()
-        },
+        EngineConfig::builder()
+            .sp_cache_capacity(1)
+            .observability(true)
+            .build()
+            .unwrap(),
     );
     let got = observed.infer_batch(&queries, k);
     for (i, (g, want)) in got.iter().zip(&baseline).enumerate() {

@@ -35,7 +35,10 @@ fn scenario() -> (Hris<'static>, Vec<Trajectory>) {
 #[test]
 fn query_and_batch_counters_are_exact() {
     let (hris, queries) = scenario();
-    let engine = QueryEngine::with_config(&hris, EngineConfig::observed());
+    let engine = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder().observability(true).build().unwrap(),
+    );
     let _ = engine.infer_batch(&queries, 2);
     let _ = engine.infer_batch(&queries, 2);
     let _ = engine.infer_routes(&queries[0], 2);
@@ -61,7 +64,10 @@ fn query_and_batch_counters_are_exact() {
 #[test]
 fn traces_attribute_cache_traffic_exactly() {
     let (hris, queries) = scenario();
-    let engine = QueryEngine::with_config(&hris, EngineConfig::observed());
+    let engine = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder().observability(true).build().unwrap(),
+    );
     let _ = engine.infer_batch(&queries, 2);
 
     let obs = engine.observability().unwrap();

@@ -1,6 +1,6 @@
 //! Per-query diagnostic tool: where does HRIS lose accuracy?
 
-use hris::{Hris, HrisParams};
+use hris::prelude::*;
 use hris_eval::metrics::accuracy_al;
 use hris_eval::scenario::{Scenario, ScenarioConfig};
 use hris_mapmatch::{IvmmMatcher, MapMatcher};

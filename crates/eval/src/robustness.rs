@@ -7,7 +7,7 @@
 //! asserted in tests and diffed across runs.
 
 use crate::scenario::Scenario;
-use hris::{EngineConfig, Hris, HrisParams, QueryEngine};
+use hris::prelude::*;
 use hris_obs::{MetricsRegistry, MetricsSnapshot};
 use hris_traj::{
     encode_trips, fault_corpus, resample_to_interval, FaultInjector, LoadReport,

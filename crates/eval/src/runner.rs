@@ -10,7 +10,7 @@
 
 use crate::metrics::accuracy_al;
 use crate::scenario::Scenario;
-use hris::{EngineConfig, ExecMode, Hris, HrisParams, ObsOptions, QueryEngine};
+use hris::prelude::*;
 use hris_mapmatch::MapMatcher;
 use hris_obs::{MetricsSnapshot, TraceRecord};
 use hris_traj::{resample_to_interval, Trajectory, TrajectoryArchive};
@@ -234,12 +234,12 @@ pub fn evaluate_hris_observed(
 ) -> (EvalOutcome, ObsReport) {
     let archive = archive_override.unwrap_or(&scenario.archive);
     let hris = Hris::new(&scenario.net, archive.clone(), params.clone());
-    let cfg = EngineConfig {
-        mode: ExecMode::Sequential,
-        batch_parallel: false,
-        obs: ObsOptions::enabled(),
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::builder()
+        .mode(ExecMode::Sequential)
+        .batch_parallel(false)
+        .observability(true)
+        .build()
+        .expect("static engine configuration");
     let engine = QueryEngine::with_config(&hris, cfg);
     let queries = resampled(scenario, interval_s);
 

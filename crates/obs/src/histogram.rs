@@ -12,6 +12,16 @@ pub const DEFAULT_TIME_BOUNDS: [f64; 19] = [
     1.0, 2.5, 5.0, 10.0,
 ];
 
+/// Bucket upper bounds for fine-grained control-plane latencies, in
+/// seconds: a 1–2.5–5 ladder from 100 ns to 100 ms. Made for operations
+/// that are usually sub-microsecond but occasionally pay a structural cost
+/// — e.g. an epoch snapshot swap, which is an `Arc` pointer exchange in
+/// the common case but follows an `O(n)` archive clone on publish.
+pub const FINE_TIME_BOUNDS: [f64; 19] = [
+    1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3,
+    5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,
+];
+
 /// A fixed-bucket histogram: `bounds.len() + 1` counters (one per upper
 /// bound, plus the implicit `+Inf` overflow bucket), a running sum and a
 /// total count, all updated with relaxed atomics.

@@ -52,7 +52,7 @@ mod timer;
 mod trace;
 
 pub use export::MetricsSnapshot;
-pub use histogram::{Histogram, HistogramSnapshot, DEFAULT_TIME_BOUNDS};
+pub use histogram::{Histogram, HistogramSnapshot, DEFAULT_TIME_BOUNDS, FINE_TIME_BOUNDS};
 pub use registry::{Counter, Gauge, MetricsRegistry, PairedCounter, SnapshotEntry, SnapshotValue};
 pub use timer::PhaseTimer;
 pub use trace::{TraceRecord, TraceRing};

@@ -419,6 +419,16 @@ impl SpCache {
         self.lookups.clone()
     }
 
+    /// Drops every cached entry while keeping the hit/miss counters (they
+    /// are cumulative service statistics, not cache contents). The epoch
+    /// machinery calls this when an engine adopts a new archive snapshot,
+    /// so invalidation is per-epoch instead of cache-reconstruction.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("sp-cache shard").clear();
+        }
+    }
+
     /// Number of entries currently cached across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -584,6 +594,30 @@ mod tests {
         assert!(route.is_connected(&net));
         assert_eq!(route.segments().first(), Some(&r));
         assert_eq!(route.segments().last(), Some(&s));
+    }
+
+    #[test]
+    fn sp_cache_clear_drops_entries_keeps_counters() {
+        let net = grid();
+        let cache = SpCache::new(64);
+        let a = net.out_segments(NodeId(0))[0];
+        let b = net.in_segments(NodeId(8))[0];
+        let r1 = route_between_segments_cached(&net, a, b, CostModel::Distance, &cache);
+        let r2 = route_between_segments_cached(&net, a, b, CostModel::Distance, &cache);
+        assert_eq!(r1, r2);
+        assert_eq!(cache.hits(), 1);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        // Counters survive the clear: they are cumulative service stats.
+        assert_eq!(cache.hits(), 1);
+        let (h, m) = (cache.hits(), cache.misses());
+        // The next lookup is a miss (entries gone), then a hit again.
+        let r3 = route_between_segments_cached(&net, a, b, CostModel::Distance, &cache);
+        assert_eq!(r3, r1);
+        assert_eq!(cache.misses(), m + 1);
+        let _ = route_between_segments_cached(&net, a, b, CostModel::Distance, &cache);
+        assert_eq!(cache.hits(), h + 1);
     }
 
     #[test]

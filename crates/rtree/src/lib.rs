@@ -141,6 +141,18 @@ impl<T: Spatial> RTree<T> {
         &self.items
     }
 
+    /// Mutable borrow of all indexed items, in insertion order.
+    ///
+    /// The index is **not** updated by mutations, so callers must not
+    /// change any item's bounding box — only non-spatial payload fields
+    /// (provenance ids, timestamps, tags). The archive's incremental
+    /// maintenance path uses this to remap trajectory ids in place after a
+    /// batch eviction instead of re-bulk-loading the tree.
+    #[inline]
+    pub fn items_mut(&mut self) -> &mut [T] {
+        &mut self.items
+    }
+
     /// Bounding box of everything in the tree (empty box when empty).
     #[must_use]
     pub fn bbox(&self) -> BBox {
@@ -785,6 +797,21 @@ mod tests {
         // Insert still works afterwards.
         tree.insert(Point::new(1.0, 1.0));
         assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn items_mut_allows_payload_edits_without_breaking_queries() {
+        // Tag each point with an index, mutate the tags in place, and check
+        // the tree still answers spatially (bboxes untouched).
+        let tagged: Vec<(Point, usize)> = grid_points(120).into_iter().map(|p| (p, 0)).collect();
+        let mut tree = RTree::bulk_load(tagged);
+        for (i, item) in tree.items_mut().iter_mut().enumerate() {
+            item.1 = i + 1000;
+        }
+        tree.check_invariants();
+        let hits = tree.query_circle(Point::new(0.0, 0.0), 15.0, |it, q| it.0.dist(q));
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|it| it.1 >= 1000));
     }
 
     #[test]

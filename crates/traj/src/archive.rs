@@ -121,6 +121,55 @@ impl TrajectoryArchive {
         self.index.bbox()
     }
 
+    // ------------------------------------------------ incremental maintenance
+
+    /// Appends one (already repaired) trajectory, assigning it the next
+    /// contiguous [`TrajId`] and inserting its points into the existing
+    /// R-tree one by one instead of re-bulk-loading the whole index. This is
+    /// the maintenance path behind [`crate::ingest::ArchiveWriter`]; batch
+    /// rebuilds should keep using [`TrajectoryArchive::new`].
+    pub fn append_trajectory(&mut self, mut trip: Trajectory) -> TrajId {
+        let id = TrajId(self.trajectories.len() as u32);
+        trip.id = id;
+        for (k, p) in trip.points.iter().enumerate() {
+            self.index.insert(ArchivePoint {
+                pos: p.pos,
+                t: p.t,
+                traj: id,
+                point_idx: k as u32,
+            });
+        }
+        self.num_points += trip.points.len();
+        self.trajectories.push(trip);
+        id
+    }
+
+    /// Evicts the `n` oldest trajectories (lowest ids): batch-deletes their
+    /// points from the index with `remove_where`, then remaps the surviving
+    /// points' [`TrajId`]s in place so ids stay contiguous from zero.
+    /// Returns the number of points removed.
+    pub fn evict_front(&mut self, n: usize) -> usize {
+        let n = n.min(self.trajectories.len());
+        if n == 0 {
+            return 0;
+        }
+        let region = self.index.bbox();
+        let removed = self
+            .index
+            .remove_where(&region, |ap| ap.traj.index() < n)
+            .len();
+        let shift = n as u32;
+        for ap in self.index.items_mut() {
+            ap.traj = TrajId(ap.traj.0 - shift);
+        }
+        self.trajectories.drain(..n);
+        for (i, t) in self.trajectories.iter_mut().enumerate() {
+            t.id = TrajId(i as u32);
+        }
+        self.num_points -= removed;
+        removed
+    }
+
     // ---------------------------------------------------------- persistence
 
     /// Serialises the archive's trajectories to a compact binary blob.
@@ -402,7 +451,7 @@ impl LoadReport {
 /// keeps the better outcome. Duplicate timestamps use the same `dt ≥ 1 s`
 /// floor as local inference, so same-second observations a few metres apart
 /// survive. Returns the number of points removed.
-fn strip_teleports(pts: &mut Vec<GpsPoint>, max_speed_mps: f64) -> usize {
+pub(crate) fn strip_teleports(pts: &mut Vec<GpsPoint>, max_speed_mps: f64) -> usize {
     fn greedy(pts: &[GpsPoint], max_speed_mps: f64) -> Vec<GpsPoint> {
         let mut kept: Vec<GpsPoint> = Vec::with_capacity(pts.len());
         for p in pts {
@@ -540,6 +589,87 @@ mod tests {
         assert_eq!(dists.len(), 5);
         for w in dists.windows(2) {
             assert!(w[0] <= w[1]);
+        }
+    }
+
+    // -------------------------------------------- incremental maintenance
+
+    #[test]
+    fn append_trajectory_maintains_index_incrementally() {
+        let mut a = archive();
+        let id = a.append_trajectory(Trajectory::new(
+            TrajId(42), // reassigned
+            vec![
+                GpsPoint::new(Point::new(500.0, 500.0), 0.0),
+                GpsPoint::new(Point::new(600.0, 500.0), 10.0),
+            ],
+        ));
+        assert_eq!(id, TrajId(2));
+        assert_eq!(a.num_trajectories(), 3);
+        assert_eq!(a.num_points(), 7);
+        assert_eq!(a.trajectory(id).id, id);
+        // The new points are query-visible with correct provenance.
+        let hits = a.points_within(Point::new(550.0, 500.0), 60.0);
+        assert_eq!(hits.len(), 2);
+        for h in hits {
+            assert_eq!(h.traj, id);
+            let orig = a.trajectory(h.traj).points[h.point_idx as usize];
+            assert_eq!(orig.pos, h.pos);
+        }
+    }
+
+    #[test]
+    fn evict_front_remaps_ids_contiguously() {
+        let mut a = archive();
+        a.append_trajectory(Trajectory::new(
+            TrajId(0),
+            vec![GpsPoint::new(Point::new(500.0, 500.0), 0.0)],
+        ));
+        let removed = a.evict_front(1); // drops the 2-point trip
+        assert_eq!(removed, 2);
+        assert_eq!(a.num_trajectories(), 2);
+        assert_eq!(a.num_points(), 4);
+        for (i, t) in a.trajectories().iter().enumerate() {
+            assert_eq!(t.id, TrajId(i as u32));
+        }
+        // Index provenance was remapped along with the trips.
+        for h in a.points_within(Point::new(100.0, 100.0), 1e6) {
+            let orig = a.trajectory(h.traj).points[h.point_idx as usize];
+            assert_eq!(orig.pos, h.pos);
+            assert_eq!(orig.t, h.t);
+        }
+        // Evicting more than remains empties the archive without panicking.
+        assert_eq!(a.evict_front(10), 4);
+        assert_eq!(a.num_trajectories(), 0);
+        assert_eq!(a.num_points(), 0);
+        assert_eq!(a.evict_front(1), 0);
+    }
+
+    #[test]
+    fn incremental_build_matches_bulk_build() {
+        let bulk = archive();
+        let mut inc = TrajectoryArchive::empty();
+        for t in bulk.trajectories() {
+            inc.append_trajectory(t.clone());
+        }
+        assert_eq!(inc.num_trajectories(), bulk.num_trajectories());
+        assert_eq!(inc.num_points(), bulk.num_points());
+        // Same range-query result *sets* (order may differ between a
+        // bulk-loaded and an insert-built tree).
+        for (c, r) in [
+            (Point::new(0.0, 50.0), 60.0),
+            (Point::new(100.0, 100.0), 250.0),
+            (Point::ORIGIN, 1e6),
+        ] {
+            let key = |ap: &&ArchivePoint| (ap.traj, ap.point_idx);
+            let mut a: Vec<_> = bulk.points_within(c, r);
+            let mut b: Vec<_> = inc.points_within(c, r);
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(
+                a.iter().map(key).collect::<Vec<_>>(),
+                b.iter().map(key).collect::<Vec<_>>()
+            );
         }
     }
 

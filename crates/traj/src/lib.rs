@@ -13,6 +13,7 @@
 pub mod archive;
 pub mod faults;
 pub mod geojson;
+pub mod ingest;
 pub mod resample;
 pub mod similarity;
 pub mod simulator;
@@ -21,6 +22,9 @@ pub mod types;
 
 pub use archive::{encode_trips, ArchivePoint, LoadReport, TolerantLoadOptions, TrajectoryArchive};
 pub use faults::{fault_corpus, FaultInjector, FaultKind};
+pub use ingest::{
+    ArchiveSnapshot, ArchiveWriter, IngestOptions, IngestQueue, IngestReport, SnapshotReader,
+};
 pub use resample::{add_gps_noise, resample_to_interval};
 pub use similarity::{dtw, edr, lcss};
 pub use simulator::{SimConfig, Simulator, TripRecord};

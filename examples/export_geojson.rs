@@ -6,7 +6,7 @@
 //! cargo run --release --example export_geojson [output_dir]
 //! ```
 
-use hris::{Hris, HrisParams};
+use hris::prelude::*;
 use hris_eval::scenario::{Scenario, ScenarioConfig};
 use hris_geo::{LatLon, LocalProjection};
 use hris_traj::{geojson, resample_to_interval};

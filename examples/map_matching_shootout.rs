@@ -5,7 +5,7 @@
 //! cargo run --release --example map_matching_shootout [interval_seconds]
 //! ```
 
-use hris::{Hris, HrisMatcher, HrisParams};
+use hris::prelude::*;
 use hris_eval::metrics::accuracy_al;
 use hris_eval::scenario::{Scenario, ScenarioConfig};
 use hris_mapmatch::{HmmMatcher, IncrementalMatcher, IvmmMatcher, MapMatcher, StMatcher};

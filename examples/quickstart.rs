@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hris::{Hris, HrisParams};
+use hris::prelude::*;
 use hris_eval::metrics::accuracy_al;
 use hris_roadnet::{generator, NetworkConfig};
 use hris_traj::{resample_to_interval, simulator, SimConfig, Simulator, TrajId, Trajectory};

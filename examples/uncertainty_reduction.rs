@@ -7,7 +7,7 @@
 //! cargo run --release --example uncertainty_reduction
 //! ```
 
-use hris::{Hris, HrisParams};
+use hris::prelude::*;
 use hris_eval::metrics::accuracy_al;
 use hris_eval::scenario::{Scenario, ScenarioConfig};
 use hris_roadnet::{NodeId, RoadNetwork};
