@@ -5,11 +5,13 @@
 //! Besides the criterion timings, the bench measures queries/sec for each
 //! mode directly (checking along the way that every mode returns results
 //! identical to sequential `Hris`) and writes the numbers to
-//! `BENCH_e2e.json` at the workspace root so the baseline is versioned. A
-//! fourth measured mode, `batch_observed`, is the batch engine with full
-//! instrumentation (metrics + tracing) switched on — its qps against plain
-//! `batch` bounds the observability overhead, and its phase histograms are
-//! reported as a per-query breakdown.
+//! `BENCH_e2e.json` at the workspace root so the baseline is versioned. Two
+//! further measured modes isolate the instrumentation cost: `batch_observed`
+//! is the batch engine with metrics + tracing on but span capture off, and
+//! `batch_spans` adds the default 1-in-16 span sampling — their qps against
+//! plain `batch` bound the observability and span overheads respectively,
+//! and the observed engine's phase histograms are reported as a per-query
+//! breakdown.
 //!
 //! An `ingest_throughput` section measures the live path: the back half of
 //! the archive streams through an [`ArchiveWriter`] (publishing an epoch per
@@ -130,7 +132,18 @@ fn bench(c: &mut Criterion) {
         },
     );
     let batch = QueryEngine::new(&hris);
+    // Two instrumented engines: `observed` is metrics + tracing with span
+    // capture switched off (the cheap steady-state config), `spans` adds the
+    // default 1-in-16 span sampling on top so the delta isolates span cost.
     let observed = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder()
+            .observability(true)
+            .span_sampling(0)
+            .build()
+            .expect("static engine configuration"),
+    );
+    let spans = QueryEngine::with_config(
         &hris,
         EngineConfig::builder()
             .observability(true)
@@ -152,6 +165,7 @@ fn bench(c: &mut Criterion) {
     };
     let run_batch = || -> Vec<Vec<ScoredRoute>> { batch.infer_batch(&queries, K) };
     let run_observed = || -> Vec<Vec<ScoredRoute>> { observed.infer_batch(&queries, K) };
+    let run_spans = || -> Vec<Vec<ScoredRoute>> { spans.infer_batch(&queries, K) };
 
     // Correctness gate before any timing: every mode — instrumented or not —
     // must reproduce the sequential pipeline byte-for-byte.
@@ -159,12 +173,14 @@ fn bench(c: &mut Criterion) {
     assert_identical("pair-parallel engine", &run_pair(), &baseline);
     assert_identical("batch engine", &run_batch(), &baseline);
     assert_identical("observed batch engine", &run_observed(), &baseline);
+    assert_identical("span-sampling batch engine", &run_spans(), &baseline);
 
     let rounds = 3;
     let qps_seq = qps(queries.len(), rounds, run_seq);
     let qps_pair = qps(queries.len(), rounds, run_pair);
     let qps_batch = qps(queries.len(), rounds, run_batch);
     let qps_observed = qps(queries.len(), rounds, run_observed);
+    let qps_spans = qps(queries.len(), rounds, run_spans);
 
     // Per-phase seconds per query, from the observed engine's histograms.
     let obs_snapshot = observed
@@ -202,12 +218,14 @@ fn bench(c: &mut Criterion) {
             "pair_parallel": qps_pair,
             "batch": qps_batch,
             "batch_observed": qps_observed,
+            "batch_spans": qps_spans,
         },
         "speedup_over_sequential": {
             "pair_parallel": qps_pair / qps_seq,
             "batch": qps_batch / qps_seq,
         },
         "observability_overhead": 1.0 - qps_observed / qps_batch,
+        "span_overhead": 1.0 - qps_spans / qps_batch,
         "ingest_throughput": {
             "trajectories_per_sec": ingest.trajectories_per_sec,
             "points_per_sec": ingest.points_per_sec,
@@ -228,8 +246,10 @@ fn bench(c: &mut Criterion) {
     println!(
         "e2e qps ({threads} thread(s)): sequential {qps_seq:.2}, \
          pair-parallel {qps_pair:.2}, batch {qps_batch:.2}, \
-         batch+obs {qps_observed:.2} ({:.2}% overhead)",
-        100.0 * (1.0 - qps_observed / qps_batch)
+         batch+obs {qps_observed:.2} ({:.2}% overhead), \
+         batch+spans {qps_spans:.2} ({:.2}% overhead)",
+        100.0 * (1.0 - qps_observed / qps_batch),
+        100.0 * (1.0 - qps_spans / qps_batch)
     );
     print!("phase seconds/query:");
     for (phase, s) in &phase_breakdown {

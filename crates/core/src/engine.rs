@@ -16,12 +16,14 @@
 //!   per-point candidate edges (keyed by the *exact bit pattern* of the
 //!   position), both shared by all pairs and all queries served by the
 //!   engine.
-//! * **Observability** — with [`ObsOptions::enabled`] the engine records
-//!   per-phase wall time, queue depth, worker occupancy, cache hit/miss
-//!   pairs and opt-in per-query [`TraceRecord`]s on an [`hris_obs`]
-//!   registry ([`EngineObs`]). Disabled (the default) the hot path performs
-//!   no clock reads and no atomic updates beyond the cache counters that
-//!   predate instrumentation.
+//! * **Observability** — with [`ObsOptions::enabled`](crate::ObsOptions)
+//!   the engine records per-phase wall time, queue depth, worker occupancy,
+//!   cache hit/miss pairs, rolling-window latency quantiles and opt-in
+//!   per-query [`TraceRecord`]s on an [`hris_obs`] registry ([`EngineObs`]);
+//!   sampled queries additionally carry a structured span tree whose ids
+//!   surface as histogram exemplars. Disabled (the default) the hot path
+//!   performs no clock reads and no atomic updates beyond the cache
+//!   counters that predate instrumentation.
 //!
 //! The load-bearing invariant: **scheduling, caching and instrumentation
 //! never change any result.** Pair workers only read shared state, caches
@@ -38,8 +40,9 @@ use crate::pipeline::{
     degenerate_local, infer_pair, infer_pair_chain, DegenerateQuery, Hris, ScoredRoute,
 };
 use hris_obs::{
-    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, PairedCounter, TraceRecord,
-    TraceRing, DEFAULT_TIME_BOUNDS,
+    synthetic_tree, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, PairedCounter,
+    SlidingHistogram, Span, SpanCollector, SpanGuard, SpanSampler, TraceRecord, TraceRing,
+    DEFAULT_TIME_BOUNDS,
 };
 use hris_roadnet::network::CandidateEdge;
 use hris_roadnet::shortest::{route_between_segments, SpCache};
@@ -242,6 +245,46 @@ pub(crate) struct LocalRun {
     candidates_s: f64,
     /// Wall seconds of the per-pair inference loop (0 when untimed).
     local_s: f64,
+    /// Span ids of the candidates/local phase spans (0 when unsampled).
+    candidates_span: u64,
+    local_span: u64,
+}
+
+/// The span tree of one sampled query, plus the phase span ids the
+/// histograms stamp as exemplars.
+struct SpanCapture {
+    root: u64,
+    candidates: u64,
+    local: u64,
+    global: u64,
+    refine: u64,
+    spans: Vec<Span>,
+}
+
+/// Rolling-window latency state: one [`SlidingHistogram`] per phase plus
+/// the end-to-end query time, all on 30-second epochs so 1m and 5m reads
+/// merge 2 and 10 epochs respectively.
+struct LatencyWindows {
+    query: SlidingHistogram,
+    candidates: SlidingHistogram,
+    local: SlidingHistogram,
+    global: SlidingHistogram,
+    refine: SlidingHistogram,
+}
+
+impl LatencyWindows {
+    /// 30 s × 11 slots = a 330 s horizon, comfortably covering the 5 m
+    /// window even mid-epoch.
+    fn new() -> Self {
+        let mk = || SlidingHistogram::new(&DEFAULT_TIME_BOUNDS, 30.0, 11);
+        LatencyWindows {
+            query: mk(),
+            candidates: mk(),
+            local: mk(),
+            global: mk(),
+            refine: mk(),
+        }
+    }
 }
 
 /// The engine's live instrumentation: metric handles on a shared
@@ -268,9 +311,13 @@ pub struct EngineObs {
     batch_seconds: Histogram,
     queue_depth: Gauge,
     workers_busy: Gauge,
+    slo_good: Counter,
+    slo_breach: Counter,
     traces: TraceRing,
     next_query_id: AtomicU64,
     slow_threshold_s: f64,
+    span_sampler: SpanSampler,
+    windows: LatencyWindows,
 }
 
 impl EngineObs {
@@ -350,9 +397,19 @@ impl EngineObs {
                 "hris_engine_workers_busy",
                 "Workers currently inside a query.",
             ),
+            slo_good: registry.counter(
+                "hris_engine_slo_good_total",
+                "Queries answered within the slow-query SLO threshold.",
+            ),
+            slo_breach: registry.counter(
+                "hris_engine_slo_breach_total",
+                "Queries breaching the slow-query SLO threshold (burn counter).",
+            ),
             traces: TraceRing::new(opts.trace_capacity),
             next_query_id: AtomicU64::new(0),
             slow_threshold_s: opts.slow_query_threshold_s,
+            span_sampler: SpanSampler::new(opts.span_sample_every),
+            windows: LatencyWindows::new(),
             registry,
         }
     }
@@ -393,12 +450,60 @@ impl EngineObs {
         self.slow_threshold_s
     }
 
+    /// A handle onto the live trace ring (clones share storage), for
+    /// serving `/debug/traces` without copying on registration.
+    #[must_use]
+    pub fn trace_ring(&self) -> TraceRing {
+        self.traces.clone()
+    }
+
+    /// Rolling-window latency summary as a JSON object: end-to-end rate and
+    /// p50/p95/p99 over the last 1 m and 5 m, plus per-phase 1 m p95s.
+    /// Quantiles are `null` until the window has at least one sample.
+    #[must_use]
+    pub fn rolling_latency_json(&self) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map_or_else(|| "null".to_string(), |x| format!("{x}"))
+        }
+        let win = |w: f64| {
+            let q = &self.windows.query;
+            format!(
+                "{{\"rate_per_s\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                q.rate(w),
+                opt(q.quantile(0.50, w)),
+                opt(q.quantile(0.95, w)),
+                opt(q.quantile(0.99, w)),
+            )
+        };
+        let phase =
+            |h: &SlidingHistogram| format!("{{\"p95_1m\":{}}}", opt(h.quantile(0.95, 60.0)));
+        format!(
+            "{{\"window_1m\":{},\"window_5m\":{},\"phases\":{{\"candidates\":{},\"local\":{},\"global\":{},\"refine\":{}}}}}",
+            win(60.0),
+            win(300.0),
+            phase(&self.windows.candidates),
+            phase(&self.windows.local),
+            phase(&self.windows.global),
+            phase(&self.windows.refine),
+        )
+    }
+
     fn tracing(&self) -> bool {
         self.traces.capacity() > 0
     }
 
+    /// Whether this query should carry a live span tree. False whenever
+    /// sampling is disabled (`span_sample_every == 0`).
+    fn sample_spans(&self) -> bool {
+        self.span_sampler.sample()
+    }
+
     /// Records one finished query: aggregate metrics always, a trace record
-    /// when tracing is on.
+    /// when tracing is on. A sampled query's span capture stamps the phase
+    /// histograms with exemplar span ids and rides into the trace record; a
+    /// *slow* unsampled query gets a synthetic tree rebuilt from the phase
+    /// timings already measured (zero extra clock reads), so every slow
+    /// trace carries a complete causal tree.
     #[allow(clippy::too_many_arguments)]
     fn record_query(
         &self,
@@ -409,18 +514,56 @@ impl EngineObs {
         total_s: f64,
         globals: &[GlobalRoute],
         tally: Option<&CacheTally>,
+        capture: Option<SpanCapture>,
     ) {
         self.queries.inc();
-        self.phase_candidates.observe(run.candidates_s);
-        self.phase_local.observe(run.local_s);
-        self.phase_global.observe(global_s);
-        self.phase_refine.observe(refine_s);
-        self.query_seconds.observe(total_s);
+        match &capture {
+            Some(cap) => {
+                self.phase_candidates
+                    .observe_with_exemplar(run.candidates_s, cap.candidates);
+                self.phase_local
+                    .observe_with_exemplar(run.local_s, cap.local);
+                self.phase_global
+                    .observe_with_exemplar(global_s, cap.global);
+                self.phase_refine
+                    .observe_with_exemplar(refine_s, cap.refine);
+                self.query_seconds.observe_with_exemplar(total_s, cap.root);
+            }
+            None => {
+                self.phase_candidates.observe(run.candidates_s);
+                self.phase_local.observe(run.local_s);
+                self.phase_global.observe(global_s);
+                self.phase_refine.observe(refine_s);
+                self.query_seconds.observe(total_s);
+            }
+        }
+        self.windows.query.observe(total_s);
+        self.windows.candidates.observe(run.candidates_s);
+        self.windows.local.observe(run.local_s);
+        self.windows.global.observe(global_s);
+        self.windows.refine.observe(refine_s);
         let slow = total_s > self.slow_threshold_s;
         if slow {
             self.slow_queries.inc();
+            self.slo_breach.inc();
+        } else {
+            self.slo_good.inc();
         }
         let Some(tally) = tally else { return };
+        let (root_span, spans) = match capture {
+            Some(cap) => (cap.root, cap.spans),
+            None if slow => synthetic_tree(
+                "query",
+                total_s,
+                &[
+                    ("candidates", run.candidates_s),
+                    ("local", run.local_s),
+                    ("global", global_s),
+                    ("refine", refine_s),
+                ],
+            ),
+            None => (0, Vec::new()),
+        };
         let rec = TraceRecord {
             query_id: self.next_query_id.fetch_add(1, Ordering::Relaxed),
             points: query.len(),
@@ -438,6 +581,8 @@ impl EngineObs {
             cand_hits: tally.cand_hits.load(Ordering::Relaxed),
             cand_misses: tally.cand_misses.load(Ordering::Relaxed),
             slow,
+            root_span,
+            spans,
         };
         if self.traces.push(rec) {
             self.traces_dropped.inc();
@@ -757,8 +902,8 @@ impl EngineCore {
     ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
         let params = ctx.params;
         let Some(obs) = &self.obs else {
-            // Uninstrumented fast path: no clocks, no tallies.
-            let run = self.local_inference_run(ctx, query, mode, None, false);
+            // Uninstrumented fast path: no clocks, no tallies, no spans.
+            let run = self.local_inference_run(ctx, query, mode, None, false, None);
             let stats = run.locals.iter().map(|l| l.stats.clone()).collect();
             let globals = k_gri_with(
                 ctx.net,
@@ -770,10 +915,23 @@ impl EngineCore {
             return (globals, stats);
         };
 
+        // Span trees are sampled: most queries pay only the phase timers
+        // below, a sampled query additionally opens RAII guards per phase.
+        let collector = obs.sample_spans().then(SpanCollector::new);
+        let mut root_guard = collector.as_ref().map(|c| c.root("query"));
+        let root_id = root_guard.as_ref().map_or(0, SpanGuard::id);
+        if let Some(g) = root_guard.as_mut() {
+            g.attr("points", query.len());
+            g.attr("pairs", query.len().saturating_sub(1));
+        }
+        let spanctx = collector.as_ref().map(|c| (c, root_id));
+
         let t_query = Instant::now();
         let tally = obs.tracing().then(CacheTally::default);
-        let run = self.local_inference_run(ctx, query, mode, tally.as_ref(), true);
+        let run = self.local_inference_run(ctx, query, mode, tally.as_ref(), true, spanctx);
 
+        let mut global_guard = spanctx.map(|(c, root)| c.child(root, "global"));
+        let global_span_id = global_guard.as_ref().map_or(0, SpanGuard::id);
         let t_global = Instant::now();
         let globals = k_gri_with(
             ctx.net,
@@ -783,12 +941,28 @@ impl EngineCore {
             params.popularity_model,
         );
         let global_s = t_global.elapsed().as_secs_f64();
+        if let Some(g) = global_guard.as_mut() {
+            g.attr("routes", globals.len());
+        }
+        let _ = global_guard.map(SpanGuard::finish);
 
+        let refine_guard = spanctx.map(|(c, root)| c.child(root, "refine"));
+        let refine_span_id = refine_guard.as_ref().map_or(0, SpanGuard::id);
         let t_refine = Instant::now();
         let stats: Vec<LocalStats> = run.locals.iter().map(|l| l.stats.clone()).collect();
         let refine_s = t_refine.elapsed().as_secs_f64();
+        let _ = refine_guard.map(SpanGuard::finish);
 
         let total_s = t_query.elapsed().as_secs_f64();
+        let _ = root_guard.map(SpanGuard::finish);
+        let capture = collector.map(|c| SpanCapture {
+            root: root_id,
+            candidates: run.candidates_span,
+            local: run.local_span,
+            global: global_span_id,
+            refine: refine_span_id,
+            spans: c.into_spans(),
+        });
         obs.record_query(
             query,
             &run,
@@ -797,12 +971,14 @@ impl EngineCore {
             total_s,
             &globals,
             tally.as_ref(),
+            capture,
         );
         (globals, stats)
     }
 
-    /// Phases 1–2 with optional wall-clock timing (`timed`) and optional
-    /// per-query cache attribution (`tally`). Untimed calls perform zero
+    /// Phases 1–2 with optional wall-clock timing (`timed`), optional
+    /// per-query cache attribution (`tally`) and optional span capture
+    /// (`spans` = collector + root span id). Untimed calls perform zero
     /// clock reads.
     pub(crate) fn local_inference_run(
         &self,
@@ -811,6 +987,7 @@ impl EngineCore {
         mode: ExecMode,
         tally: Option<&CacheTally>,
         timed: bool,
+        spans: Option<(&SpanCollector, u64)>,
     ) -> LocalRun {
         let net = ctx.net;
         match degenerate_local(net, query) {
@@ -820,6 +997,8 @@ impl EngineCore {
                     candidates_total: 0,
                     candidates_s: 0.0,
                     local_s: 0.0,
+                    candidates_span: 0,
+                    local_span: 0,
                 }
             }
             DegenerateQuery::Single(result) => {
@@ -828,12 +1007,16 @@ impl EngineCore {
                     candidates_total: 0,
                     candidates_s: 0.0,
                     local_s: 0.0,
+                    candidates_span: 0,
+                    local_span: 0,
                 }
             }
             DegenerateQuery::No => {}
         }
         // Candidates once per point (shared by the two adjoining pairs),
         // through the cross-query memo when enabled.
+        let mut cand_guard = spans.map(|(c, root)| c.child(root, "candidates"));
+        let candidates_span = cand_guard.as_ref().map_or(0, SpanGuard::id);
         let t_cands = timed.then(Instant::now);
         let cands: Vec<Arc<Vec<CandidateEdge>>> = query
             .points
@@ -842,9 +1025,21 @@ impl EngineCore {
             .collect();
         let candidates_s = t_cands.map_or(0.0, |t| t.elapsed().as_secs_f64());
         let candidates_total = cands.iter().map(|c| c.len()).sum();
+        if let Some(g) = cand_guard.as_mut() {
+            g.attr("edges", candidates_total);
+        }
+        let _ = cand_guard.map(SpanGuard::finish);
 
+        let local_guard = spans.map(|(c, root)| c.child(root, "local"));
+        let local_span = local_guard.as_ref().map_or(0, SpanGuard::id);
         let pair_indices: Vec<usize> = (0..query.len() - 1).collect();
         let work = |i: usize| {
+            // Per-pair child spans capture the local TGI/NNI inference for
+            // each consecutive point pair; the guard's drop records it.
+            let mut pair_guard = spans.map(|(c, _)| c.child(local_span, "pair"));
+            if let Some(g) = pair_guard.as_mut() {
+                g.attr("index", i);
+            }
             infer_pair(
                 net,
                 ctx.archive,
@@ -862,11 +1057,14 @@ impl EngineCore {
             ExecMode::PairParallel => pair_indices.par_iter().map(|&i| work(i)).collect(),
         };
         let local_s = t_local.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        let _ = local_guard.map(SpanGuard::finish);
         LocalRun {
             locals,
             candidates_total,
             candidates_s,
             local_s,
+            candidates_span,
+            local_span,
         }
     }
 
@@ -1107,7 +1305,7 @@ impl<'a> QueryEngine<'a> {
     #[must_use]
     pub fn local_inference(&self, query: &Trajectory) -> Vec<LocalInferenceResult> {
         self.core
-            .local_inference_run(self.ctx(), query, self.config().mode, None, false)
+            .local_inference_run(self.ctx(), query, self.config().mode, None, false, None)
             .locals
     }
 }

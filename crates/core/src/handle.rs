@@ -24,7 +24,7 @@ use crate::global::GlobalRoute;
 use crate::local::{LocalInferenceResult, LocalStats};
 use crate::params::{EngineConfig, HrisParams};
 use crate::pipeline::ScoredRoute;
-use hris_obs::MetricsRegistry;
+use hris_obs::{Health, MetricsRegistry, MetricsServer, ServeState};
 use hris_roadnet::RoadNetwork;
 use hris_traj::{ArchiveSnapshot, SnapshotReader, TrajectoryArchive};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -304,8 +304,82 @@ impl EngineHandle {
     pub fn local_inference(&self, query: &hris_traj::Trajectory) -> Vec<LocalInferenceResult> {
         let snap = self.current_snapshot();
         self.core
-            .local_inference_run(self.ctx(&snap), query, self.config().mode, None, false)
+            .local_inference_run(
+                self.ctx(&snap),
+                query,
+                self.config().mode,
+                None,
+                false,
+                None,
+            )
             .locals
+    }
+
+    /// Seconds since the snapshot the next query would serve against was
+    /// published. On a live source this tracks publisher health; on a fixed
+    /// source it grows monotonically since the pin.
+    #[must_use]
+    pub fn snapshot_age_seconds(&self) -> f64 {
+        self.current_snapshot().age_seconds()
+    }
+
+    /// Starts the zero-dependency telemetry server for this handle on
+    /// `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// The server exposes `/metrics` (Prometheus text), `/healthz` (flips
+    /// unhealthy when [`EngineHandle::snapshot_age_seconds`] exceeds
+    /// [`ObsOptions::staleness_bound_s`](crate::ObsOptions)), `/varz`
+    /// (JSON metrics + rolling latency windows) and `/debug/traces` +
+    /// `/debug/slow`. Each `/metrics` scrape refreshes the
+    /// `hris_snapshot_age_seconds` watchdog gauge first.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when observability is disabled on this handle;
+    /// otherwise whatever binding the listener returns.
+    pub fn serve_metrics(
+        self: &Arc<Self>,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<MetricsServer> {
+        let Some(obs) = self.core.observability() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "observability is disabled; enable it (EngineConfig::builder().observability(true)) \
+                 or construct the handle with live_with_registry before serving telemetry",
+            ));
+        };
+        let registry = Arc::clone(obs.registry());
+        let bound = self.config().obs.staleness_bound_s;
+        let age_gauge = registry.gauge(
+            "hris_snapshot_age_seconds",
+            "Seconds since the served archive snapshot was published (staleness watchdog).",
+        );
+        let on_scrape = Arc::clone(self);
+        let on_health = Arc::clone(self);
+        let on_varz = Arc::clone(self);
+        ServeState::new(registry)
+            .with_traces(obs.trace_ring())
+            .pre_scrape(move || {
+                // The gauge is integral; health checks below use the exact
+                // float so sub-second staleness bounds stay testable.
+                age_gauge.set(on_scrape.snapshot_age_seconds().round() as i64);
+            })
+            .health_check("snapshot_freshness", move || {
+                let age = on_health.snapshot_age_seconds();
+                if age <= bound {
+                    Health::Ok
+                } else {
+                    Health::Unhealthy(format!(
+                        "snapshot is {age:.1}s old (staleness bound {bound}s)"
+                    ))
+                }
+            })
+            .varz_section("engine_latency", move || {
+                on_varz
+                    .observability()
+                    .map_or_else(|| "null".to_string(), EngineObs::rolling_latency_json)
+            })
+            .serve(addr)
     }
 
     fn ctx<'e>(&'e self, snap: &'e ArchiveSnapshot) -> EngineCtx<'e> {

@@ -58,6 +58,10 @@ pub use params::{
 pub use pipeline::{Hris, HrisMatcher, ScoredRoute};
 pub use reference::{search_references, RefKind, RefTrajectory, ReferenceSet};
 
+// The telemetry-server surface of `EngineHandle::serve_metrics`, re-exported
+// so consumers need not name hris-obs directly.
+pub use hris_obs::{Health, MetricsRegistry, MetricsServer, ServeState};
+
 /// Everything a typical consumer needs, in one `use`.
 ///
 /// ```

@@ -187,6 +187,17 @@ pub struct ObsOptions {
     /// Queries slower than this wall time (seconds) are flagged `slow` in
     /// their trace and counted on `hris_engine_slow_queries_total`.
     pub slow_query_threshold_s: f64,
+    /// Span-tree sampling period: one query in `span_sample_every` captures
+    /// a live span tree (hierarchical phase spans with exemplar links into
+    /// the latency histograms). `0` disables live capture. Slow queries
+    /// that miss the sample still get a tree, synthesized from the phase
+    /// timings already measured for the histograms — zero extra clock
+    /// reads.
+    pub span_sample_every: u64,
+    /// `/healthz` staleness bound: a live engine whose newest archive
+    /// snapshot is older than this many seconds reports its ingest check
+    /// unhealthy (and `hris_snapshot_age_seconds` shows the age).
+    pub staleness_bound_s: f64,
 }
 
 impl Default for ObsOptions {
@@ -195,21 +206,8 @@ impl Default for ObsOptions {
             enabled: false,
             trace_capacity: 256,
             slow_query_threshold_s: 1.0,
-        }
-    }
-}
-
-impl ObsOptions {
-    /// Instrumentation on, with the default trace budget.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use EngineConfig::builder().observability(true) — the builder validates its inputs"
-    )]
-    #[must_use]
-    pub fn enabled() -> Self {
-        ObsOptions {
-            enabled: true,
-            ..ObsOptions::default()
+            span_sample_every: 16,
+            staleness_bound_s: 300.0,
         }
     }
 }
@@ -303,22 +301,6 @@ impl EngineConfig {
         EngineConfigBuilder::default()
     }
 
-    /// The default configuration with instrumentation switched on.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use EngineConfig::builder().observability(true).build()"
-    )]
-    #[must_use]
-    pub fn observed() -> Self {
-        EngineConfig {
-            obs: ObsOptions {
-                enabled: true,
-                ..ObsOptions::default()
-            },
-            ..EngineConfig::default()
-        }
-    }
-
     /// The default configuration with input validation switched off
     /// (trust-the-caller mode; the pre-robustness contract).
     #[must_use]
@@ -343,6 +325,9 @@ pub enum ConfigError {
     /// The slow-query threshold must be a positive, finite number of
     /// seconds; the offending value is carried along.
     NonPositiveSlowQueryThreshold(f64),
+    /// The ingest staleness bound must be a positive, finite number of
+    /// seconds; the offending value is carried along.
+    NonPositiveStalenessBound(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -355,6 +340,9 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "slow_query_threshold_s must be positive and finite, got {v}"
             ),
+            ConfigError::NonPositiveStalenessBound(v) => {
+                write!(f, "staleness_bound_s must be positive and finite, got {v}")
+            }
         }
     }
 }
@@ -427,8 +415,7 @@ impl EngineConfigBuilder {
         self
     }
 
-    /// Master switch for engine instrumentation (replaces the deprecated
-    /// `ObsOptions::enabled()` / `EngineConfig::observed()` constructors).
+    /// Master switch for engine instrumentation.
     #[must_use]
     pub fn observability(mut self, on: bool) -> Self {
         self.cfg.obs.enabled = on;
@@ -448,6 +435,23 @@ impl EngineConfigBuilder {
     #[must_use]
     pub fn slow_query_threshold_s(mut self, seconds: f64) -> Self {
         self.cfg.obs.slow_query_threshold_s = seconds;
+        self
+    }
+
+    /// Span-tree sampling period: one query in `every` captures a live
+    /// span tree (`0` disables live capture; slow queries always get a
+    /// synthesized tree).
+    #[must_use]
+    pub fn span_sampling(mut self, every: u64) -> Self {
+        self.cfg.obs.span_sample_every = every;
+        self
+    }
+
+    /// `/healthz` ingest staleness bound in seconds. Must be positive and
+    /// finite; validated at build time.
+    #[must_use]
+    pub fn staleness_bound_s(mut self, seconds: f64) -> Self {
+        self.cfg.obs.staleness_bound_s = seconds;
         self
     }
 
@@ -487,6 +491,10 @@ impl EngineConfigBuilder {
         if !(threshold.is_finite() && threshold > 0.0) {
             return Err(ConfigError::NonPositiveSlowQueryThreshold(threshold));
         }
+        let staleness = self.cfg.obs.staleness_bound_s;
+        if !(staleness.is_finite() && staleness > 0.0) {
+            return Err(ConfigError::NonPositiveStalenessBound(staleness));
+        }
         Ok(self.cfg)
     }
 }
@@ -517,6 +525,8 @@ mod tests {
             .observability(true)
             .trace_capacity(16)
             .slow_query_threshold_s(0.25)
+            .span_sampling(4)
+            .staleness_bound_s(30.0)
             .validation(true)
             .algorithm_fallback(false)
             .build()
@@ -528,6 +538,8 @@ mod tests {
         assert!(cfg.obs.enabled);
         assert_eq!(cfg.obs.trace_capacity, 16);
         assert_eq!(cfg.obs.slow_query_threshold_s, 0.25);
+        assert_eq!(cfg.obs.span_sample_every, 4);
+        assert_eq!(cfg.obs.staleness_bound_s, 30.0);
         assert!(!cfg.validation.algorithm_fallback);
         // The untouched builder yields exactly the default configuration.
         let built = EngineConfig::builder().build().unwrap();
@@ -570,17 +582,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_builder() {
-        let shim = EngineConfig::observed();
-        let built = EngineConfig::builder().observability(true).build().unwrap();
-        assert_eq!(
-            serde_json::to_string(&shim).unwrap(),
-            serde_json::to_string(&built).unwrap()
-        );
-        let shim = ObsOptions::enabled();
-        assert!(shim.enabled);
-        assert_eq!(shim.trace_capacity, ObsOptions::default().trace_capacity);
+    fn builder_rejects_bad_staleness_bound() {
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let err = EngineConfig::builder()
+                .staleness_bound_s(bad)
+                .build()
+                .expect_err("staleness bound must be rejected");
+            assert!(matches!(err, ConfigError::NonPositiveStalenessBound(_)));
+            assert!(!err.to_string().is_empty());
+        }
+        // Span sampling accepts any period, 0 meaning "live capture off".
+        let cfg = EngineConfig::builder().span_sampling(0).build().unwrap();
+        assert_eq!(cfg.obs.span_sample_every, 0);
     }
 
     #[test]

@@ -176,6 +176,27 @@ fn cache_pressure_does_not_change_results() {
     for (i, (g, want)) in got.iter().zip(&baseline).enumerate() {
         assert_same(&format!("observed pressured query {i}"), g, want);
     }
+
+    // Span capture at 1-in-1 (every query carries a live span tree) is the
+    // heaviest instrumentation the engine has; still not a byte of drift.
+    let spanned = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder()
+            .sp_cache_capacity(1)
+            .observability(true)
+            .span_sampling(1)
+            .build()
+            .unwrap(),
+    );
+    let got = spanned.infer_batch(&queries, k);
+    for (i, (g, want)) in got.iter().zip(&baseline).enumerate() {
+        assert_same(&format!("spanned pressured query {i}"), g, want);
+    }
+    let obs = spanned.observability().unwrap();
+    assert!(
+        obs.traces().iter().all(|t| !t.spans.is_empty()),
+        "1-in-1 sampling must attach a span tree to every trace"
+    );
 }
 
 #[test]

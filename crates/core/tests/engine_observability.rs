@@ -192,6 +192,172 @@ fn zero_trace_capacity_keeps_aggregates_only() {
 }
 
 #[test]
+fn sampled_queries_carry_complete_span_trees() {
+    let (hris, queries) = scenario();
+    // A vanishing threshold marks every query slow; 1-in-1 sampling gives
+    // every trace a *live* (non-synthetic) tree.
+    let cfg = EngineConfig::builder()
+        .observability(true)
+        .span_sampling(1)
+        .slow_query_threshold_s(1e-12)
+        .build()
+        .unwrap();
+    let engine = QueryEngine::with_config(&hris, cfg);
+    let _ = engine.infer_batch(&queries, 2);
+
+    let obs = engine.observability().unwrap();
+    let traces = obs.traces();
+    assert_eq!(traces.len(), queries.len());
+    for t in &traces {
+        assert!(t.slow);
+        assert_ne!(t.root_span, 0, "sampled trace must name its root span");
+        let root = t
+            .spans
+            .iter()
+            .find(|s| s.id == t.root_span)
+            .expect("root span present in tree");
+        assert_eq!(root.name, "query");
+        assert_eq!(root.parent, 0);
+        // Every span's parent resolves within the same tree.
+        let ids: std::collections::HashSet<u64> = t.spans.iter().map(|s| s.id).collect();
+        for s in &t.spans {
+            assert!(
+                s.parent == 0 || ids.contains(&s.parent),
+                "span `{}` has dangling parent {}",
+                s.name,
+                s.parent
+            );
+        }
+        // The four pipeline phases hang off the root and account for at
+        // least 90% of the query span's wall time.
+        let mut phase_total = 0.0;
+        for phase in ["candidates", "local", "global", "refine"] {
+            let s = t
+                .spans
+                .iter()
+                .find(|s| s.name == phase && s.parent == t.root_span)
+                .unwrap_or_else(|| panic!("phase span `{phase}` missing"));
+            phase_total += s.duration_s;
+        }
+        assert!(
+            phase_total >= 0.90 * root.duration_s,
+            "phase spans cover {phase_total}s of a {}s query",
+            root.duration_s
+        );
+        // Per-pair children live under the `local` phase.
+        let local_id = t
+            .spans
+            .iter()
+            .find(|s| s.name == "local")
+            .map(|s| s.id)
+            .unwrap();
+        let pair_spans = t.spans.iter().filter(|s| s.parent == local_id).count();
+        assert_eq!(pair_spans, t.pairs, "one pair span per consecutive pair");
+    }
+
+    // Exemplars: the query-latency histogram remembers span ids, and each
+    // one resolves to a span actually retained in the trace ring.
+    let snap = obs.snapshot();
+    let h = snap.histogram("hris_engine_query_seconds", &[]).unwrap();
+    let ring_spans: std::collections::HashSet<u64> = traces
+        .iter()
+        .flat_map(|t| t.spans.iter().map(|s| s.id))
+        .collect();
+    let exemplars: Vec<u64> = h.exemplars.iter().flatten().copied().collect();
+    assert!(!exemplars.is_empty(), "expected at least one exemplar");
+    assert!(
+        exemplars.iter().any(|id| ring_spans.contains(id)),
+        "no exemplar resolves into the trace ring: {exemplars:?}"
+    );
+}
+
+#[test]
+fn slow_unsampled_queries_get_synthetic_trees() {
+    let (hris, queries) = scenario();
+    // Sampling off entirely — but every query is slow, so the engine must
+    // reconstruct a tree from the phase timings it already measured.
+    let cfg = EngineConfig::builder()
+        .observability(true)
+        .span_sampling(0)
+        .slow_query_threshold_s(1e-12)
+        .build()
+        .unwrap();
+    let engine = QueryEngine::with_config(&hris, cfg);
+    let _ = engine.infer_batch(&queries, 2);
+
+    let obs = engine.observability().unwrap();
+    for t in &obs.traces() {
+        assert!(t.slow);
+        assert_ne!(t.root_span, 0);
+        assert_eq!(t.spans.len(), 5, "root + four phases");
+        assert!(
+            t.spans
+                .iter()
+                .all(|s| s.attrs.iter().any(|(k, _)| k == "synthetic")),
+            "synthetic trees must be labelled as such"
+        );
+        let root = t.spans.iter().find(|s| s.id == t.root_span).unwrap();
+        assert_eq!(root.duration_s, t.total_s);
+    }
+    // Sampling off ⇒ no exemplars anywhere.
+    let snap = obs.snapshot();
+    let h = snap.histogram("hris_engine_query_seconds", &[]).unwrap();
+    assert!(h.exemplars.iter().all(Option::is_none));
+}
+
+#[test]
+fn slo_burn_counters_partition_the_queries() {
+    let (hris, queries) = scenario();
+    // An unreachable threshold: every query lands on the good side.
+    let engine = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder()
+            .observability(true)
+            .slow_query_threshold_s(1e9)
+            .build()
+            .unwrap(),
+    );
+    let _ = engine.infer_batch(&queries, 2);
+    let snap = engine.observability().unwrap().snapshot();
+    let n = queries.len() as u64;
+    assert_eq!(snap.counter("hris_engine_slo_good_total"), Some(n));
+    assert_eq!(snap.counter("hris_engine_slo_breach_total"), Some(0));
+
+    // And the inverse: a vanishing threshold burns the whole budget.
+    let engine = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder()
+            .observability(true)
+            .slow_query_threshold_s(1e-12)
+            .build()
+            .unwrap(),
+    );
+    let _ = engine.infer_batch(&queries, 2);
+    let snap = engine.observability().unwrap().snapshot();
+    assert_eq!(snap.counter("hris_engine_slo_good_total"), Some(0));
+    assert_eq!(snap.counter("hris_engine_slo_breach_total"), Some(n));
+}
+
+#[test]
+fn rolling_latency_windows_see_the_workload() {
+    let (hris, queries) = scenario();
+    let engine = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder().observability(true).build().unwrap(),
+    );
+    let _ = engine.infer_batch(&queries, 2);
+    let obs = engine.observability().unwrap();
+    let json = obs.rolling_latency_json();
+    // Just-served queries are inside the 1m window: a positive rate and a
+    // real p95 (not null).
+    assert!(json.starts_with("{\"window_1m\":{\"rate_per_s\":"));
+    assert!(!json.contains("\"p95\":null"), "fresh samples: {json}");
+    for phase in ["candidates", "local", "global", "refine"] {
+        assert!(json.contains(&format!("\"{phase}\":{{\"p95_1m\":")));
+    }
+}
+
+#[test]
 fn shared_registry_collects_engine_metrics() {
     let (hris, queries) = scenario();
     let registry = Arc::new(MetricsRegistry::new());

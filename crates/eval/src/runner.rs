@@ -200,6 +200,18 @@ impl ObsReport {
             self.traces.len(),
             self.traces_dropped
         );
+        let _ = writeln!(
+            out,
+            "   slo good {} breach {}   span trees on {}/{} traces",
+            self.snapshot
+                .counter("hris_engine_slo_good_total")
+                .unwrap_or(0),
+            self.snapshot
+                .counter("hris_engine_slo_breach_total")
+                .unwrap_or(0),
+            self.traces.iter().filter(|t| !t.spans.is_empty()).count(),
+            self.traces.len()
+        );
         out
     }
 

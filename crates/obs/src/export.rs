@@ -61,14 +61,26 @@ impl MetricsSnapshot {
         self.histogram(name, labels).map(|h| h.sum)
     }
 
+    /// The entries re-sorted by `(name, labels)` at export time. Registry
+    /// snapshots arrive sorted already, but `entries` is a public field a
+    /// caller may have assembled by hand — sorting here makes every export
+    /// deterministic regardless of construction order.
+    fn sorted_entries(&self) -> Vec<&SnapshotEntry> {
+        let mut entries: Vec<&SnapshotEntry> = self.entries.iter().collect();
+        entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        entries
+    }
+
     /// Prometheus text exposition format: one `# HELP`/`# TYPE` header per
     /// metric family, histograms expanded into cumulative `_bucket` series
-    /// plus `_sum` and `_count`.
+    /// plus `_sum` and `_count`. Families and label sets are emitted in
+    /// sorted `(name, labels)` order, so the output is byte-deterministic
+    /// for a given snapshot.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_name: Option<&str> = None;
-        for e in &self.entries {
+        for e in self.sorted_entries() {
             if last_name != Some(e.name.as_str()) {
                 let kind = match &e.value {
                     SnapshotValue::Counter(_) => "counter",
@@ -128,7 +140,7 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"metrics\":[");
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in self.sorted_entries().into_iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -151,14 +163,16 @@ impl MetricsSnapshot {
                             out.push(',');
                         }
                         out.push_str(&format!(
-                            "{{\"le\":{},\"count\":{}}}",
+                            "{{\"le\":{},\"count\":{}{}}}",
                             fmt_f64(*b),
-                            h.counts[j]
+                            h.counts[j],
+                            exemplar_json(&h.exemplars, j, "exemplar_span"),
                         ));
                     }
                     out.push_str(&format!(
-                        "],\"inf_count\":{},\"sum\":{},\"count\":{}}}",
+                        "],\"inf_count\":{}{},\"sum\":{},\"count\":{}}}",
                         h.counts[h.bounds.len()],
+                        exemplar_json(&h.exemplars, h.bounds.len(), "inf_exemplar_span"),
                         fmt_f64(h.sum),
                         h.count
                     ));
@@ -168,6 +182,22 @@ impl MetricsSnapshot {
         out.push_str("]}");
         out
     }
+}
+
+/// Renders a snapshot in Prometheus text exposition format. This is the
+/// canonical serving-path entry point: the `/metrics` endpoint of
+/// [`serve`](crate::serve) emits exactly this function's output, byte for
+/// byte, for the snapshot it takes at scrape time.
+#[must_use]
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    snapshot.to_prometheus()
+}
+
+/// Renders a snapshot as one JSON document (see
+/// [`MetricsSnapshot::to_json`]); the `/varz` endpoint embeds this output.
+#[must_use]
+pub fn json_text(snapshot: &MetricsSnapshot) -> String {
+    snapshot.to_json()
 }
 
 fn labels_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
@@ -200,8 +230,36 @@ fn labels_json(labels: &[(String, String)]) -> String {
     format!("{{{}}}", parts.join(","))
 }
 
+/// `,"<key>":<span_id>` when bucket `idx` carries an exemplar, else `""`.
+/// Exemplars appear only in the JSON export: the Prometheus text format
+/// stays byte-identical to its pre-exemplar form.
+fn exemplar_json(exemplars: &[Option<u64>], idx: usize, key: &str) -> String {
+    match exemplars.get(idx).copied().flatten() {
+        Some(id) => format!(",\"{key}\":{id}"),
+        None => String::new(),
+    }
+}
+
 fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Minimal JSON string escaping for names and attribute text: backslash,
+/// quote, and control characters.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// JSON-safe float text (`null` for non-finite; registration rules make
@@ -259,6 +317,43 @@ mod tests {
         assert!(text.contains("cache_misses_total 1"));
         // One header per family.
         assert_eq!(text.matches("# TYPE lat_seconds histogram").count(), 1);
+    }
+
+    #[test]
+    fn exports_sort_hand_built_entries() {
+        use crate::registry::{SnapshotEntry, SnapshotValue};
+        use crate::MetricsSnapshot;
+        let entry = |name: &str| SnapshotEntry {
+            name: name.to_string(),
+            help: String::new(),
+            labels: Vec::new(),
+            value: SnapshotValue::Counter(1),
+        };
+        let scrambled = MetricsSnapshot {
+            entries: vec![entry("b_total"), entry("a_total")],
+        };
+        let sorted = MetricsSnapshot {
+            entries: vec![entry("a_total"), entry("b_total")],
+        };
+        assert_eq!(scrambled.to_prometheus(), sorted.to_prometheus());
+        assert_eq!(scrambled.to_json(), sorted.to_json());
+        assert_eq!(
+            crate::export::prometheus_text(&scrambled),
+            scrambled.to_prometheus()
+        );
+    }
+
+    #[test]
+    fn exemplars_appear_in_json_but_not_prometheus() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_seconds", "L.", &[1.0]);
+        h.observe_with_exemplar(0.5, 7);
+        h.observe_with_exemplar(3.0, 9);
+        let s = r.snapshot();
+        let j = s.to_json();
+        assert!(j.contains("\"exemplar_span\":7"));
+        assert!(j.contains("\"inf_exemplar_span\":9"));
+        assert!(!s.to_prometheus().contains("exemplar"));
     }
 
     #[test]

@@ -40,6 +40,10 @@ struct HistogramCore {
     bounds: Vec<f64>,
     /// One counter per bound, plus the trailing `+Inf` bucket.
     buckets: Vec<AtomicU64>,
+    /// Per-bucket exemplar slot: the span id of the last
+    /// [`Histogram::observe_with_exemplar`] that landed in the bucket
+    /// (0 = none; span ids are allocated from 1).
+    exemplars: Vec<AtomicU64>,
     /// Bit pattern of the running `f64` sum of finite observations.
     sum_bits: AtomicU64,
     /// Total observations (including non-finite ones).
@@ -58,6 +62,10 @@ pub struct HistogramSnapshot {
     pub sum: f64,
     /// Total number of observations.
     pub count: u64,
+    /// Per-bucket exemplar: the span id of the most recent exemplar-carrying
+    /// observation in that bucket, if any. Same length and order as
+    /// `counts`.
+    pub exemplars: Vec<Option<u64>>,
 }
 
 impl Histogram {
@@ -79,6 +87,7 @@ impl Histogram {
             core: Arc::new(HistogramCore {
                 bounds: bounds.to_vec(),
                 buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                exemplars: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
                 sum_bits: AtomicU64::new(0f64.to_bits()),
                 count: AtomicU64::new(0),
             }),
@@ -95,12 +104,27 @@ impl Histogram {
     /// and the `+Inf` bucket but is excluded from `sum` (mirroring what a
     /// JSON export could represent).
     pub fn observe(&self, v: f64) {
+        self.record(v, 0);
+    }
+
+    /// Records one observation and stamps the landing bucket's exemplar
+    /// slot with `span_id`, linking the bucket to a concrete trace (a
+    /// later export shows the last span that landed there). A `span_id`
+    /// of 0 means "no exemplar" and behaves like [`Histogram::observe`].
+    pub fn observe_with_exemplar(&self, v: f64, span_id: u64) {
+        self.record(v, span_id);
+    }
+
+    fn record(&self, v: f64, span_id: u64) {
         let idx = if v.is_finite() {
             self.core.bounds.partition_point(|&b| b < v)
         } else {
             self.core.bounds.len()
         };
         self.core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if span_id != 0 {
+            self.core.exemplars[idx].store(span_id, Ordering::Relaxed);
+        }
         if v.is_finite() {
             // CAS loop: `AtomicF64` without leaving std.
             let mut cur = self.core.sum_bits.load(Ordering::Relaxed);
@@ -156,6 +180,15 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let exemplars: Vec<Option<u64>> = self
+            .core
+            .exemplars
+            .iter()
+            .map(|e| match e.load(Ordering::Relaxed) {
+                0 => None,
+                id => Some(id),
+            })
+            .collect();
         let sum = self.sum();
         let count = self.count();
         HistogramSnapshot {
@@ -163,6 +196,7 @@ impl Histogram {
             counts,
             sum,
             count,
+            exemplars,
         }
     }
 }
@@ -180,6 +214,45 @@ impl HistogramSnapshot {
                 acc
             })
             .collect()
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) with Prometheus
+    /// `histogram_quantile` semantics: linear interpolation inside the
+    /// target bucket, the first bucket interpolated from 0 when its bound
+    /// is positive, and ranks landing in `+Inf` clamped to the largest
+    /// finite bound. `None` when the snapshot is empty, the quantile is
+    /// out of range, or the histogram has no finite bounds.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) || self.counts.iter().sum::<u64>() == 0 {
+            return None;
+        }
+        let total: u64 = self.counts.iter().sum();
+        let rank = q * total as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = acc;
+            acc += c;
+            if (acc as f64) < rank || c == 0 {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                // Rank fell in +Inf: clamp to the largest finite bound.
+                return self.bounds.last().copied();
+            };
+            let lower = if i == 0 {
+                if upper > 0.0 {
+                    0.0
+                } else {
+                    upper
+                }
+            } else {
+                self.bounds[i - 1]
+            };
+            let frac = (rank - prev as f64) / c as f64;
+            return Some(lower + (upper - lower) * frac.clamp(0.0, 1.0));
+        }
+        self.bounds.last().copied()
     }
 }
 
@@ -225,6 +298,43 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn exemplar_remembers_last_span_per_bucket() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        let s = h.snapshot();
+        assert_eq!(s.exemplars, vec![None, None, None]);
+
+        h.observe_with_exemplar(0.7, 41);
+        h.observe_with_exemplar(0.9, 42); // same bucket: last write wins
+        h.observe_with_exemplar(5.0, 43); // +Inf bucket
+        h.observe_with_exemplar(1.5, 0); // 0 = no exemplar
+        let s = h.snapshot();
+        assert_eq!(s.exemplars, vec![Some(42), None, Some(43)]);
+        assert_eq!(s.counts, vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.5, 3.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // Rank 2 of 4 lands at the top of the (1, 2] bucket's first half.
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((1.0..=2.0).contains(&p50), "p50 = {p50}");
+        // Everything is ≤ 4, so high quantiles stay in the last bucket.
+        let p99 = s.quantile(0.99).unwrap();
+        assert!((2.0..=4.0).contains(&p99), "p99 = {p99}");
+        // Empty snapshot has no quantiles.
+        assert_eq!(Histogram::new(&[1.0]).snapshot().quantile(0.5), None);
+        // Ranks in +Inf clamp to the largest finite bound.
+        let inf = Histogram::new(&[1.0]);
+        inf.observe(9.0);
+        assert_eq!(inf.snapshot().quantile(0.9), Some(1.0));
     }
 
     #[test]

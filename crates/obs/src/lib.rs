@@ -16,6 +16,15 @@
 //!   bounded ring buffer with a slow-query flag.
 //! * [`MetricsSnapshot`] — a point-in-time copy of the registry that renders
 //!   to Prometheus text exposition format or JSON.
+//! * [`Span`] / [`SpanCollector`] — sampled per-query span trees (phase
+//!   hierarchy with wall-clock extents and attrs) shipped inside
+//!   [`TraceRecord`]s; histogram buckets can carry **exemplar** span ids
+//!   ([`Histogram::observe_with_exemplar`]) linking a latency bucket to a
+//!   concrete trace.
+//! * [`SlidingHistogram`] — a ring of fixed-bucket time epochs merged on
+//!   read, for rolling-window quantiles and rates.
+//! * [`serve`] — a zero-dependency blocking HTTP server exposing
+//!   `/metrics`, `/healthz`, `/varz` and `/debug/traces` + `/debug/slow`.
 //!
 //! # Consistency model
 //!
@@ -45,14 +54,22 @@
 
 #![warn(missing_docs)]
 
-mod export;
+pub mod export;
 mod histogram;
 mod registry;
+pub mod serve;
+mod sliding;
+mod span;
 mod timer;
 mod trace;
 
 pub use export::MetricsSnapshot;
 pub use histogram::{Histogram, HistogramSnapshot, DEFAULT_TIME_BOUNDS, FINE_TIME_BOUNDS};
 pub use registry::{Counter, Gauge, MetricsRegistry, PairedCounter, SnapshotEntry, SnapshotValue};
+pub use serve::{Health, MetricsServer, ServeState};
+pub use sliding::SlidingHistogram;
+pub use span::{
+    next_span_id, synthetic_tree, AttrValue, Span, SpanCollector, SpanGuard, SpanSampler,
+};
 pub use timer::PhaseTimer;
 pub use trace::{TraceRecord, TraceRing};

@@ -1,0 +1,330 @@
+//! Windowed aggregation: a sliding histogram over a ring of fixed epochs.
+//!
+//! Cumulative histograms answer "since boot"; operations wants "over the
+//! last minute". A [`SlidingHistogram`] keeps the same fixed buckets as a
+//! [`Histogram`](crate::Histogram) but partitions time into equal epochs
+//! held in a ring: an observation lands in the epoch containing its
+//! timestamp, reads merge the epochs overlapping the requested window, and
+//! epochs older than the ring are overwritten in place — constant memory,
+//! no background thread, no per-observation allocation.
+//!
+//! The merge of a window is an ordinary
+//! [`HistogramSnapshot`](crate::HistogramSnapshot), so rolling quantiles
+//! come from the same interpolation as the cumulative exports
+//! ([`HistogramSnapshot::quantile`](crate::HistogramSnapshot::quantile)).
+//!
+//! Resolution trade-off: the visible window is quantized to whole epochs,
+//! so a "1 minute" read over 30-second epochs actually covers between 60
+//! and 90 seconds of data depending on phase. Epochs should therefore be a
+//! small fraction of the shortest window served (the engine uses 30-second
+//! epochs for 1m/5m windows).
+
+use crate::histogram::HistogramSnapshot;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A fixed-bucket histogram sliced into a ring of time epochs, supporting
+/// rolling-window snapshots, quantiles and rates.
+///
+/// All methods take `&self`; the state sits behind one mutex (observations
+/// are far rarer than the atomic metrics — one per query, not per phase —
+/// and reads happen at scrape time only).
+#[derive(Debug)]
+pub struct SlidingHistogram {
+    bounds: Vec<f64>,
+    epoch_len_s: f64,
+    origin: Instant,
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    /// Epoch index of the newest epoch the ring has advanced to.
+    head: u64,
+    epochs: Vec<Epoch>,
+    /// Observations discarded because their epoch had already rotated out.
+    dropped_late: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Epoch {
+    /// Which absolute epoch this slot currently holds.
+    index: u64,
+    /// Per-bucket counts incl. the trailing `+Inf` slot.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Epoch {
+    fn empty(index: u64, buckets: usize) -> Self {
+        Epoch {
+            index,
+            counts: vec![0; buckets],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+}
+
+impl SlidingHistogram {
+    /// A sliding histogram with the given upper bounds, `num_epochs` ring
+    /// slots of `epoch_len_s` seconds each. The covered horizon is
+    /// `epoch_len_s * num_epochs`; reads for longer windows saturate at
+    /// the horizon.
+    ///
+    /// # Panics
+    /// Panics when the bounds are not strictly increasing finite values,
+    /// `epoch_len_s` is not a positive finite number, or `num_epochs`
+    /// is 0.
+    #[must_use]
+    pub fn new(bounds: &[f64], epoch_len_s: f64, num_epochs: usize) -> Self {
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram bounds must be strictly increasing");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            epoch_len_s.is_finite() && epoch_len_s > 0.0,
+            "epoch length must be positive"
+        );
+        assert!(num_epochs > 0, "need at least one epoch");
+        let buckets = bounds.len() + 1;
+        SlidingHistogram {
+            bounds: bounds.to_vec(),
+            epoch_len_s,
+            origin: Instant::now(),
+            inner: Mutex::new(Ring {
+                head: 0,
+                epochs: (0..num_epochs as u64)
+                    .map(|_| Epoch::empty(u64::MAX, buckets))
+                    .collect(),
+                dropped_late: 0,
+            }),
+        }
+    }
+
+    /// The configured upper bounds (without the implicit `+Inf`).
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// The epoch length in seconds.
+    #[must_use]
+    pub fn epoch_len_s(&self) -> f64 {
+        self.epoch_len_s
+    }
+
+    /// The total horizon the ring can cover, in seconds.
+    #[must_use]
+    pub fn horizon_s(&self) -> f64 {
+        let n = self.inner.lock().expect("sliding histogram").epochs.len();
+        self.epoch_len_s * n as f64
+    }
+
+    /// Seconds elapsed since this histogram was created — the timeline all
+    /// `*_at` methods are expressed in.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Records one observation at the current time.
+    pub fn observe(&self, v: f64) {
+        self.observe_at(v, self.now_s());
+    }
+
+    /// Records one observation at an explicit timeline position `t_s`
+    /// (seconds; negative values clamp to 0). Out-of-order observations
+    /// land in their own epoch while it is still in the ring; older ones
+    /// are counted as dropped.
+    pub fn observe_at(&self, v: f64, t_s: f64) {
+        let e = self.epoch_of(t_s);
+        let mut ring = self.inner.lock().expect("sliding histogram");
+        self.advance(&mut ring, e);
+        let n = ring.epochs.len() as u64;
+        if ring.head >= n && e <= ring.head - n {
+            ring.dropped_late += 1;
+            return;
+        }
+        let slot = (e % n) as usize;
+        let epoch = &mut ring.epochs[slot];
+        if epoch.index != e {
+            *epoch = Epoch::empty(e, self.bounds.len() + 1);
+        }
+        let idx = if v.is_finite() {
+            self.bounds.partition_point(|&b| b < v)
+        } else {
+            self.bounds.len()
+        };
+        epoch.counts[idx] += 1;
+        if v.is_finite() {
+            epoch.sum += v;
+        }
+        epoch.count += 1;
+    }
+
+    /// Merges the epochs overlapping the trailing `window_s` seconds into
+    /// one snapshot (quantized to whole epochs, saturating at the ring
+    /// horizon).
+    #[must_use]
+    pub fn window_snapshot(&self, window_s: f64) -> HistogramSnapshot {
+        self.window_snapshot_at(window_s, self.now_s())
+    }
+
+    /// [`SlidingHistogram::window_snapshot`] with an explicit "now".
+    #[must_use]
+    pub fn window_snapshot_at(&self, window_s: f64, now_s: f64) -> HistogramSnapshot {
+        let head = self.epoch_of(now_s);
+        let first = self.epoch_of((now_s - window_s.max(0.0)).max(0.0));
+        let mut ring = self.inner.lock().expect("sliding histogram");
+        self.advance(&mut ring, head);
+        let buckets = self.bounds.len() + 1;
+        let mut counts = vec![0u64; buckets];
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for epoch in &ring.epochs {
+            if epoch.index < first || epoch.index > head || epoch.index == u64::MAX {
+                continue;
+            }
+            for (acc, c) in counts.iter_mut().zip(&epoch.counts) {
+                *acc += c;
+            }
+            sum += epoch.sum;
+            count += epoch.count;
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            sum,
+            count,
+            exemplars: vec![None; buckets],
+        }
+    }
+
+    /// Rolling `q`-quantile over the trailing window (`None` when the
+    /// window holds no observations).
+    #[must_use]
+    pub fn quantile(&self, q: f64, window_s: f64) -> Option<f64> {
+        self.window_snapshot(window_s).quantile(q)
+    }
+
+    /// Observations per second over the trailing window.
+    #[must_use]
+    pub fn rate(&self, window_s: f64) -> f64 {
+        if window_s <= 0.0 {
+            return 0.0;
+        }
+        self.window_snapshot(window_s).count as f64 / window_s
+    }
+
+    /// Observations discarded because they arrived after their epoch had
+    /// rotated out of the ring.
+    #[must_use]
+    pub fn dropped_late(&self) -> u64 {
+        self.inner.lock().expect("sliding histogram").dropped_late
+    }
+
+    fn epoch_of(&self, t_s: f64) -> u64 {
+        (t_s.max(0.0) / self.epoch_len_s) as u64
+    }
+
+    /// Moves the ring head forward to epoch `e`, clearing every slot the
+    /// head passes over so stale epochs can never leak into a merge.
+    fn advance(&self, ring: &mut Ring, e: u64) {
+        if e <= ring.head {
+            return;
+        }
+        let n = ring.epochs.len() as u64;
+        let buckets = self.bounds.len() + 1;
+        if e - ring.head >= n {
+            for slot in ring.epochs.iter_mut() {
+                *slot = Epoch::empty(u64::MAX, buckets);
+            }
+        } else {
+            for idx in (ring.head + 1)..=e {
+                let slot = (idx % n) as usize;
+                ring.epochs[slot] = Epoch::empty(u64::MAX, buckets);
+            }
+        }
+        ring.head = e;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_merge_matches_direct_counts() {
+        let s = SlidingHistogram::new(&[1.0, 2.0], 1.0, 10);
+        s.observe_at(0.5, 0.1);
+        s.observe_at(1.5, 1.1);
+        s.observe_at(5.0, 2.1);
+        let snap = s.window_snapshot_at(10.0, 2.5);
+        assert_eq!(snap.counts, vec![1, 1, 1]);
+        assert_eq!(snap.count, 3);
+        assert!((snap.sum - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn old_epochs_rotate_out() {
+        let s = SlidingHistogram::new(&[1.0], 1.0, 3);
+        s.observe_at(0.5, 0.0); // epoch 0
+        s.observe_at(0.5, 1.0); // epoch 1
+                                // Advance far enough that epoch 0 is out of the 3-slot ring.
+        s.observe_at(0.5, 3.5); // epoch 3: ring now holds 1..=3
+        let all = s.window_snapshot_at(100.0, 3.5);
+        assert_eq!(all.count, 2, "epoch 0 must have been overwritten");
+        // A narrow window sees only the newest epoch.
+        let narrow = s.window_snapshot_at(0.4, 3.5);
+        assert_eq!(narrow.count, 1);
+    }
+
+    #[test]
+    fn late_observations_past_the_ring_are_dropped() {
+        let s = SlidingHistogram::new(&[1.0], 1.0, 2);
+        s.observe_at(0.5, 5.0);
+        s.observe_at(0.5, 1.0); // epoch 1 rotated out long ago
+        assert_eq!(s.dropped_late(), 1);
+        assert_eq!(s.window_snapshot_at(100.0, 5.0).count, 1);
+    }
+
+    #[test]
+    fn big_jump_clears_every_slot() {
+        let s = SlidingHistogram::new(&[1.0], 1.0, 4);
+        for t in 0..4 {
+            s.observe_at(0.5, t as f64);
+        }
+        s.observe_at(0.5, 1000.0);
+        assert_eq!(s.window_snapshot_at(2000.0, 1000.0).count, 1);
+    }
+
+    #[test]
+    fn rolling_quantile_and_rate() {
+        let s = SlidingHistogram::new(&[0.1, 1.0, 10.0], 1.0, 60);
+        for i in 0..60 {
+            s.observe_at(0.05, i as f64 * 0.5); // 30 s of fast queries
+        }
+        s.observe_at(5.0, 29.9); // one slow one at the end
+        let p50 = s.window_snapshot_at(30.0, 29.9).quantile(0.5).unwrap();
+        assert!(p50 <= 0.1, "p50 = {p50}");
+        let p99 = s.window_snapshot_at(30.0, 29.9).quantile(0.995).unwrap();
+        assert!(p99 > 1.0, "p99 = {p99}");
+        let snap = s.window_snapshot_at(30.0, 29.9);
+        assert_eq!(snap.count, 61);
+    }
+
+    #[test]
+    fn wall_clock_observe_lands_in_current_window() {
+        let s = SlidingHistogram::new(&[1.0], 30.0, 11);
+        s.observe(0.5);
+        s.observe(2.0);
+        assert_eq!(s.window_snapshot(60.0).count, 2);
+        assert!(s.rate(60.0) > 0.0);
+        assert!((s.horizon_s() - 330.0).abs() < 1e-9);
+    }
+}

@@ -1,7 +1,8 @@
 //! Per-query trace records and their bounded ring buffer.
 
+use crate::span::Span;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Everything worth knowing about one served query: where its wall time
 /// went, how much work each phase did, and how the shared caches treated it.
@@ -44,6 +45,11 @@ pub struct TraceRecord {
     pub cand_misses: u64,
     /// True when `total_s` exceeded the engine's slow-query threshold.
     pub slow: bool,
+    /// Root id of the span tree in `spans` (0 when no tree was captured).
+    pub root_span: u64,
+    /// The query's span tree, sorted by `(start_s, id)`; empty when the
+    /// query was not sampled and not slow.
+    pub spans: Vec<Span>,
 }
 
 impl TraceRecord {
@@ -54,13 +60,20 @@ impl TraceRecord {
             Some(s) if s.is_finite() => crate::export::fmt_f64(s),
             _ => "null".to_string(),
         };
+        let spans = self
+            .spans
+            .iter()
+            .map(Span::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"query_id\":{},\"points\":{},\"pairs\":{},\"candidates\":{},",
                 "\"routes\":{},\"top_log_score\":{},",
                 "\"candidates_s\":{},\"local_s\":{},\"global_s\":{},\"refine_s\":{},",
                 "\"total_s\":{},\"sp_hits\":{},\"sp_misses\":{},",
-                "\"cand_hits\":{},\"cand_misses\":{},\"slow\":{}}}"
+                "\"cand_hits\":{},\"cand_misses\":{},\"slow\":{},",
+                "\"root_span\":{},\"spans\":[{}]}}"
             ),
             self.query_id,
             self.points,
@@ -78,16 +91,22 @@ impl TraceRecord {
             self.cand_hits,
             self.cand_misses,
             self.slow,
+            self.root_span,
+            spans,
         )
     }
 }
 
 /// A bounded ring of the most recent [`TraceRecord`]s: pushing past the
 /// capacity drops the oldest record and counts it.
-#[derive(Debug)]
+///
+/// Cloning shares the underlying storage (the ring is an `Arc` inside), so
+/// the engine that writes records and a telemetry server that reads them
+/// can hold handles to the same ring.
+#[derive(Debug, Clone)]
 pub struct TraceRing {
     capacity: usize,
-    inner: Mutex<Inner>,
+    inner: Arc<Mutex<Inner>>,
 }
 
 #[derive(Debug, Default)]
@@ -104,8 +123,15 @@ impl TraceRing {
     pub fn new(capacity: usize) -> Self {
         TraceRing {
             capacity,
-            inner: Mutex::new(Inner::default()),
+            inner: Arc::new(Mutex::new(Inner::default())),
         }
+    }
+
+    /// Two handles push into the same storage iff they are clones of one
+    /// ring.
+    #[must_use]
+    pub fn same_storage(&self, other: &TraceRing) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// The configured capacity.
@@ -218,5 +244,37 @@ mod tests {
         assert!(j.contains("\"slow\":true"));
         let none = TraceRecord::default().to_json();
         assert!(none.contains("\"top_log_score\":null"));
+        assert!(none.contains("\"root_span\":0"));
+        assert!(none.contains("\"spans\":[]"));
+    }
+
+    #[test]
+    fn spans_ride_along_in_json() {
+        let r = TraceRecord {
+            query_id: 1,
+            root_span: 10,
+            spans: vec![crate::span::Span {
+                id: 10,
+                parent: 0,
+                name: "query".to_string(),
+                start_s: 0.0,
+                duration_s: 0.5,
+                attrs: Vec::new(),
+            }],
+            ..TraceRecord::default()
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"root_span\":10"));
+        assert!(j.contains("\"spans\":[{\"id\":10,"));
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let ring = TraceRing::new(4);
+        let other = ring.clone();
+        let _ = other.push(rec(1));
+        assert_eq!(ring.snapshot().len(), 1);
+        assert!(ring.same_storage(&other));
+        assert!(!ring.same_storage(&TraceRing::new(4)));
     }
 }

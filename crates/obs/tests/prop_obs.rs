@@ -2,7 +2,9 @@
 //! monotonicity under concurrent increments, and exporter round-trips
 //! against an independent JSON parser.
 
-use hris_obs::{Histogram, MetricsRegistry, PairedCounter};
+use hris_obs::{
+    Histogram, MetricsRegistry, PairedCounter, SlidingHistogram, TraceRecord, TraceRing,
+};
 use proptest::prelude::*;
 use rayon::prelude::*;
 
@@ -181,4 +183,102 @@ proptest! {
         prop_assert_eq!(binf, count);
         prop_assert_eq!(count, values.len() as u64);
     }
+
+    /// Observations landing *exactly on* a bucket bound classify into that
+    /// bound's bucket (le-semantics), never the one above — for any bounds.
+    #[test]
+    fn histogram_boundary_observations_use_le_semantics(
+        bounds in prop::collection::vec(-1_000.0..1_000.0f64, 1..6).prop_map(|mut v| {
+            v.sort_by(f64::total_cmp);
+            v.dedup();
+            v
+        }),
+        repeats in 1usize..5,
+    ) {
+        let h = Histogram::new(&bounds);
+        for &b in &bounds {
+            for _ in 0..repeats {
+                h.observe(b);
+            }
+        }
+        let s = h.snapshot();
+        // One bucket per bound, each holding exactly its own boundary hits;
+        // nothing overflows to +Inf.
+        for (i, _) in bounds.iter().enumerate() {
+            prop_assert_eq!(s.counts[i], repeats as u64, "bucket {}", i);
+        }
+        prop_assert_eq!(s.counts[bounds.len()], 0, "+Inf must stay empty");
+        // The next representable value above the last bound *does* overflow.
+        h.observe(bounds.last().unwrap().next_up());
+        prop_assert_eq!(h.snapshot().counts[bounds.len()], 1);
+    }
+
+    /// A sliding histogram's merged window equals a plain histogram fed the
+    /// same samples, whenever every sample falls inside the queried window:
+    /// epoch rotation splits the stream but never loses or double-counts.
+    #[test]
+    fn sliding_window_merge_matches_histogram_of_all_samples(
+        mut samples in prop::collection::vec((0.0..100.0f64, 0.0..9.5f64), 1..200),
+    ) {
+        // 1 s epochs, 12-slot ring, 10 s window queried at t = 100: samples
+        // land at t in [90.5, 100], all inside both window and ring.
+        let bounds = [1.0, 10.0, 50.0];
+        let sliding = SlidingHistogram::new(&bounds, 1.0, 12);
+        let plain = Histogram::new(&bounds);
+        let now = 100.0;
+        // Writers only move forward in time; sort by timestamp.
+        samples.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for &(v, back) in &samples {
+            sliding.observe_at(v, now - 9.5 + back);
+            plain.observe(v);
+        }
+        let merged = sliding.window_snapshot_at(10.0, now);
+        let want = plain.snapshot();
+        prop_assert_eq!(merged.counts, want.counts);
+        prop_assert_eq!(merged.count, want.count);
+        prop_assert!((merged.sum - want.sum).abs() <= 1e-9 * (1.0 + want.sum.abs()));
+        prop_assert_eq!(sliding.dropped_late(), 0);
+
+        // A zero-width future window sees nothing.
+        let empty = sliding.window_snapshot_at(10.0, now + 30.0);
+        prop_assert_eq!(empty.count, 0);
+    }
+}
+
+/// A bounded ring hammered by concurrent writers keeps exactly `capacity`
+/// records, counts every eviction, and never tears a record.
+#[test]
+fn trace_ring_wraparound_under_concurrent_writers() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 100;
+    const CAP: usize = 8;
+    let ring = TraceRing::new(CAP);
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let ring = ring.clone();
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    let _ = ring.push(TraceRecord {
+                        query_id: w * PER_WRITER + i,
+                        points: w as usize,
+                        ..TraceRecord::default()
+                    });
+                }
+            });
+        }
+    });
+    let kept = ring.snapshot();
+    assert_eq!(kept.len(), CAP);
+    assert_eq!(ring.dropped(), WRITERS * PER_WRITER - CAP as u64);
+    for r in &kept {
+        // No torn records: each retained record is exactly as one writer
+        // pushed it.
+        assert_eq!(r.points as u64, r.query_id / PER_WRITER);
+        assert!(r.query_id < WRITERS * PER_WRITER);
+    }
+    // Ids are unique — eviction drops whole records, never duplicates.
+    let mut ids: Vec<u64> = kept.iter().map(|r| r.query_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), CAP);
 }

@@ -31,7 +31,7 @@
 
 use crate::archive::{strip_teleports, TolerantLoadOptions, TrajectoryArchive};
 use crate::types::{sanitize_points, PointRepairs, TrajId, Trajectory};
-use hris_obs::{Counter, Gauge, Histogram, MetricsRegistry, FINE_TIME_BOUNDS};
+use hris_obs::{Counter, Gauge, Histogram, MetricsRegistry, SlidingHistogram, FINE_TIME_BOUNDS};
 use serde::{Deserialize, Serialize};
 use std::ops::Deref;
 use std::sync::{Arc, Mutex, RwLock};
@@ -45,13 +45,28 @@ use std::time::Instant;
 pub struct ArchiveSnapshot {
     epoch: u64,
     archive: TrajectoryArchive,
+    published_at: Instant,
 }
 
 impl ArchiveSnapshot {
-    /// Wraps an archive as a snapshot with the given epoch number.
+    /// Wraps an archive as a snapshot with the given epoch number,
+    /// stamped as published *now*.
     #[must_use]
     pub fn new(epoch: u64, archive: TrajectoryArchive) -> Self {
-        ArchiveSnapshot { epoch, archive }
+        ArchiveSnapshot {
+            epoch,
+            archive,
+            published_at: Instant::now(),
+        }
+    }
+
+    /// Seconds since this snapshot was published. The staleness signal
+    /// behind the `hris_snapshot_age_seconds` watchdog gauge: on a healthy
+    /// live pipeline it saw-tooths under the publish interval; a growing
+    /// value means the ingest thread stopped publishing.
+    #[must_use]
+    pub fn age_seconds(&self) -> f64 {
+        self.published_at.elapsed().as_secs_f64()
     }
 
     /// The epoch number: dense, monotonic, 0 for the writer's initial
@@ -153,6 +168,10 @@ struct IngestObs {
     evicted: Counter,
     epoch: Gauge,
     swap_seconds: Histogram,
+    /// Rolling window over the same swap timings (30 s epochs, 330 s
+    /// horizon) so `/varz` can show recent publish rate and p95 instead of
+    /// since-boot buckets.
+    swap_window: SlidingHistogram,
 }
 
 impl IngestObs {
@@ -187,6 +206,7 @@ impl IngestObs {
                 "Wall time to publish a snapshot (archive clone + slot swap).",
                 &FINE_TIME_BOUNDS,
             ),
+            swap_window: SlidingHistogram::new(&FINE_TIME_BOUNDS, 30.0, 11),
         }
     }
 }
@@ -367,8 +387,26 @@ impl ArchiveWriter {
         if let Some(obs) = &self.obs {
             obs.epoch.set(self.epoch as i64);
             obs.swap_seconds.observe(elapsed);
+            obs.swap_window.observe(elapsed);
         }
         snapshot
+    }
+
+    /// Rolling publish telemetry over the last `window_s` seconds as one
+    /// JSON object (`rate_per_s`, `p95_swap_s`), for a `/varz` section.
+    /// `None` until [`ArchiveWriter::observe`] has been called.
+    #[must_use]
+    pub fn rolling_ingest_json(&self, window_s: f64) -> Option<String> {
+        let obs = self.obs.as_ref()?;
+        let p95 = obs
+            .swap_window
+            .quantile(0.95, window_s)
+            .map_or_else(|| "null".to_string(), |v| format!("{v}"));
+        Some(format!(
+            "{{\"rate_per_s\":{},\"p95_swap_s\":{}}}",
+            obs.swap_window.rate(window_s),
+            p95,
+        ))
     }
 
     /// Drains `queue`, appends everything, and publishes one new epoch if
@@ -475,6 +513,21 @@ mod tests {
         assert_eq!(w.publish().epoch(), 1);
         assert_eq!(w.publish().epoch(), 1);
         assert_eq!(w.report().epochs_published, 1);
+    }
+
+    #[test]
+    fn snapshot_age_and_rolling_ingest_track_publishes() {
+        let mut w = ArchiveWriter::new(TrajectoryArchive::empty());
+        assert!(w.rolling_ingest_json(60.0).is_none(), "no registry yet");
+        let registry = MetricsRegistry::new();
+        w.observe(&registry);
+        w.append(trip(0.0, 2)).unwrap();
+        let snap = w.publish();
+        // A just-published snapshot is fresh (well under a second old).
+        assert!(snap.age_seconds() < 1.0);
+        let json = w.rolling_ingest_json(60.0).unwrap();
+        assert!(json.starts_with("{\"rate_per_s\":"), "{json}");
+        assert!(!json.contains("\"p95_swap_s\":null"), "{json}");
     }
 
     #[test]
