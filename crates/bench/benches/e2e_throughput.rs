@@ -203,6 +203,12 @@ fn bench(c: &mut Criterion) {
 
     let ingest = measure_ingest(&s, &queries);
 
+    // Shortest-path-oracle economics: one-off preprocessing cost, cache
+    // behaviour over the run, and the sequential qps movement against the
+    // recorded PR-5 baseline (the pre-oracle hot path on this workload).
+    const QPS_SEQUENTIAL_PR5: f64 = 70.261_814_197_632_66;
+    let oracle = s.net.sp_oracle();
+
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let report = serde_json::json!({
         "bench": "e2e_throughput",
@@ -237,6 +243,15 @@ fn bench(c: &mut Criterion) {
             "local": phase_breakdown[1].1,
             "global": phase_breakdown[2].1,
             "refine": phase_breakdown[3].1,
+        },
+        "oracle": {
+            "preprocessing_s": oracle.preprocessing_seconds(),
+            "spt_hits": oracle.hits(),
+            "spt_misses": oracle.misses(),
+            "cached_trees": oracle.cached_trees(),
+            "qps_sequential_before": QPS_SEQUENTIAL_PR5,
+            "qps_sequential_after": qps_seq,
+            "sequential_speedup": qps_seq / QPS_SEQUENTIAL_PR5,
         },
         "outputs_identical_to_sequential": true,
     });

@@ -45,7 +45,7 @@ use hris_obs::{
     DEFAULT_TIME_BOUNDS,
 };
 use hris_roadnet::network::CandidateEdge;
-use hris_roadnet::shortest::{route_between_segments, SpCache};
+use hris_roadnet::shortest::SpCache;
 use hris_roadnet::{CostModel, RoadNetwork, Route, SegmentId};
 use hris_traj::{sanitize_points, PointRepairs, Trajectory, TrajectoryArchive};
 use rayon::prelude::*;
@@ -668,6 +668,27 @@ impl EngineCore {
         &self.cfg
     }
 
+    /// Registers the network-level shortest-path oracle on the engine's
+    /// registry: `hris_sp_oracle_{hits,misses}_total` (probes answered from
+    /// precomputed state vs. probes that ran Dijkstra) and the one-off
+    /// preprocessing cost as `hris_sp_oracle_preprocessing_micros`. No-op
+    /// when observability is off — the oracle then stays lazily built.
+    pub(crate) fn register_oracle_metrics(&self, net: &RoadNetwork) {
+        let Some(obs) = &self.obs else { return };
+        let oracle = net.sp_oracle();
+        let _ = obs.registry().register_paired(
+            "hris_sp_oracle",
+            "Shortest-path oracle probes (hit = answered from precomputed state).",
+            oracle.lookup_counters(),
+        );
+        obs.registry()
+            .gauge(
+                "hris_sp_oracle_preprocessing_micros",
+                "One-off CSR/SCC/reachability preprocessing cost of the shortest-path oracle.",
+            )
+            .set((oracle.preprocessing_seconds() * 1e6) as i64);
+    }
+
     pub(crate) fn observability(&self) -> Option<&EngineObs> {
         self.obs.as_ref()
     }
@@ -884,10 +905,11 @@ impl EngineCore {
                 self.cfg.validation.algorithm_fallback,
             )
         };
-        let results: Vec<(LocalInferenceResult, bool)> = match mode {
-            ExecMode::Sequential => pair_indices.into_iter().map(work).collect(),
-            ExecMode::PairParallel => pair_indices.par_iter().map(|&i| work(i)).collect(),
-        };
+        let results: Vec<(LocalInferenceResult, bool)> =
+            match self.effective_mode(mode, pair_indices.len()) {
+                ExecMode::Sequential => pair_indices.into_iter().map(work).collect(),
+                ExecMode::PairParallel => pair_indices.par_iter().map(|&i| work(i)).collect(),
+            };
         let fell_back = results.iter().filter(|(_, fb)| *fb).count();
         let locals = results.into_iter().map(|(l, _)| l).collect();
         finish(locals, fell_back)
@@ -1052,7 +1074,7 @@ impl EngineCore {
             )
         };
         let t_local = timed.then(Instant::now);
-        let locals = match mode {
+        let locals = match self.effective_mode(mode, pair_indices.len()) {
             ExecMode::Sequential => pair_indices.into_iter().map(work).collect(),
             ExecMode::PairParallel => pair_indices.par_iter().map(|&i| work(i)).collect(),
         };
@@ -1065,6 +1087,20 @@ impl EngineCore {
             local_s,
             candidates_span,
             local_span,
+        }
+    }
+
+    /// The scheduling mode actually used for a query with `pairs` point
+    /// pairs: [`ExecMode::PairParallel`] degrades to sequential below the
+    /// configured `pair_parallel_min_pairs` threshold, where fork/join
+    /// overhead outweighs the per-pair work. Scheduling never changes
+    /// results, so this is a pure throughput decision.
+    fn effective_mode(&self, mode: ExecMode, pairs: usize) -> ExecMode {
+        match mode {
+            ExecMode::PairParallel if pairs < self.cfg.pair_parallel_min_pairs => {
+                ExecMode::Sequential
+            }
+            m => m,
         }
     }
 
@@ -1104,9 +1140,13 @@ impl EngineCore {
         fresh
     }
 
-    /// Shortest-path fallback, through the shared cache when enabled.
-    /// Mirrors `route_between_segments_cached`, inlined so a traced query
-    /// can attribute the hit/miss to itself.
+    /// Shortest-path fallback through the network's [`SpOracle`], with the
+    /// per-pair [`SpCache`] demoted to the oracle-miss path: the oracle's
+    /// precomputed state (reachability matrix, cached trees) answers first,
+    /// the route cache is only consulted — and only filled — when the
+    /// oracle would have to run Dijkstra. Inlined (rather than calling a
+    /// shared helper) so a traced query can attribute the hit/miss to
+    /// itself.
     fn sp_fallback(
         &self,
         net: &RoadNetwork,
@@ -1114,8 +1154,12 @@ impl EngineCore {
         b: SegmentId,
         tally: Option<&CacheTally>,
     ) -> Option<Route> {
+        let oracle = net.sp_oracle();
+        if let Some(answer) = oracle.route_between_cached(a, b, CostModel::Distance) {
+            return answer;
+        }
         let Some(cache) = &self.sp_cache else {
-            return route_between_segments(net, a, b, CostModel::Distance);
+            return oracle.route_between(a, b, CostModel::Distance);
         };
         let key = (a, b, CostModel::Distance);
         if let Some(cached) = cache.get(&key) {
@@ -1127,7 +1171,7 @@ impl EngineCore {
         if let Some(t) = tally {
             CacheTally::bump(&t.sp_misses);
         }
-        let fresh = route_between_segments(net, a, b, CostModel::Distance);
+        let fresh = oracle.route_between(a, b, CostModel::Distance);
         cache.insert(key, fresh.clone());
         fresh
     }
@@ -1169,10 +1213,9 @@ impl<'a> QueryEngine<'a> {
     #[must_use]
     pub fn with_config(hris: &'a Hris<'a>, cfg: EngineConfig) -> Self {
         let registry = cfg.obs.enabled.then(|| Arc::new(MetricsRegistry::new()));
-        QueryEngine {
-            hris,
-            core: EngineCore::build(cfg, registry),
-        }
+        let core = EngineCore::build(cfg, registry);
+        core.register_oracle_metrics(hris.network());
+        QueryEngine { hris, core }
     }
 
     /// Engine instrumented onto a caller-owned registry (e.g. one shared
@@ -1185,10 +1228,9 @@ impl<'a> QueryEngine<'a> {
         registry: Arc<MetricsRegistry>,
     ) -> Self {
         cfg.obs.enabled = true;
-        QueryEngine {
-            hris,
-            core: EngineCore::build(cfg, Some(registry)),
-        }
+        let core = EngineCore::build(cfg, Some(registry));
+        core.register_oracle_metrics(hris.network());
+        QueryEngine { hris, core }
     }
 
     fn ctx(&self) -> EngineCtx<'_> {
@@ -1346,9 +1388,18 @@ mod tests {
         let out = engine.infer_batch(&queries, 2);
         assert_eq!(out.len(), queries.len());
         let stats = engine.cache_stats();
-        // Queries 0 and 1 are identical: the second one's fallbacks must all
-        // be cache hits.
-        assert!(stats.sp_hits > 0, "expected SP cache hits, got {stats:?}");
+        // Queries 0 and 1 are identical: the second one's fallbacks must be
+        // answered from precomputed shortest-path state. The oracle sits in
+        // front of the route cache, so repeats land on its cached trees;
+        // the demoted SpCache only ever sees first-time oracle misses.
+        let oracle = net.sp_oracle();
+        assert!(
+            oracle.hits() > 0,
+            "expected oracle hits, got {}/{} and {stats:?}",
+            oracle.hits(),
+            oracle.misses()
+        );
+        assert_eq!(stats.sp_hits, 0, "oracle should absorb repeats: {stats:?}");
         assert!(
             stats.candidate_hits > 0,
             "expected memo hits, got {stats:?}"
@@ -1365,6 +1416,52 @@ mod tests {
         assert_eq!(stats.sp_hits, 0);
         assert_eq!(stats.candidate_hits, 0);
         assert!(stats.candidate_misses > 0);
+    }
+
+    #[test]
+    fn pair_parallel_threshold_degrades_to_sequential() {
+        let (net, queries) = sparse_setup();
+        let hris = Hris::new(&net, TrajectoryArchive::empty(), HrisParams::default());
+        // Every query above has 3 pairs: a threshold of 4 must route them
+        // sequentially, a threshold of 0 must fan out — and both must
+        // return routes byte-identical to each other (scheduling is
+        // forbidden from changing results).
+        let gated = QueryEngine::with_config(
+            &hris,
+            EngineConfig::builder()
+                .pair_parallel_min_pairs(4)
+                .build()
+                .unwrap(),
+        );
+        let eager = QueryEngine::with_config(
+            &hris,
+            EngineConfig::builder()
+                .pair_parallel_min_pairs(0)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(
+            gated.core.effective_mode(ExecMode::PairParallel, 3),
+            ExecMode::Sequential
+        );
+        assert_eq!(
+            eager.core.effective_mode(ExecMode::PairParallel, 3),
+            ExecMode::PairParallel
+        );
+        // An explicit sequential request is never upgraded.
+        assert_eq!(
+            eager.core.effective_mode(ExecMode::Sequential, 100),
+            ExecMode::Sequential
+        );
+        for q in &queries {
+            let a = gated.infer_routes(q, 3);
+            let b = eager.infer_routes(q, 3);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.route, y.route);
+                assert_eq!(x.log_score.to_bits(), y.log_score.to_bits());
+            }
+        }
     }
 
     #[test]

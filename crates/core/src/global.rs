@@ -20,7 +20,6 @@
 
 use crate::local::LocalInferenceResult;
 use crate::params::PopularityModel;
-use hris_roadnet::shortest::route_between_segments;
 use hris_roadnet::{CostModel, RoadNetwork, Route};
 use hris_traj::TrajId;
 use std::collections::HashSet;
@@ -88,12 +87,52 @@ pub fn log_transition_confidence(ids_a: &HashSet<TrajId>, ids_b: &HashSet<TrajId
     jaccard - 1.0
 }
 
+/// Sorted, deduplicated trajectory ids on `route` — same contents as
+/// [`route_traj_ids`], laid out for the merge-walk Jaccard in the DP inner
+/// loop (no hashing per transition).
+fn route_traj_ids_sorted(route: &Route, local: &LocalInferenceResult) -> Vec<TrajId> {
+    let mut out: Vec<TrajId> = Vec::new();
+    for ref_idx in local.edge_index.refs_on_route(route) {
+        out.extend(local.refs.refs[ref_idx].sources.iter().copied());
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// [`log_transition_confidence`] over sorted deduplicated id slices.
+///
+/// Computes the same intersection/union counts via a linear merge walk, so
+/// the resulting Jaccard (and hence the score) is bit-identical to the
+/// hash-set version.
+fn log_transition_confidence_sorted(a: &[TrajId], b: &[TrajId]) -> f64 {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    let jaccard = if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    };
+    jaccard - 1.0
+}
+
 /// Precomputed per-pair scoring ingredients.
 struct PairScores {
     /// `ln f` per local route of the pair.
     log_f: Vec<f64>,
-    /// Trajectory-id sets per local route of the pair.
-    ids: Vec<HashSet<TrajId>>,
+    /// Sorted trajectory-id lists per local route of the pair.
+    ids: Vec<Vec<TrajId>>,
 }
 
 fn precompute(
@@ -109,7 +148,11 @@ fn precompute(
                 .iter()
                 .map(|r| popularity_with(r, l, entropy_floor, model).max(1e-9).ln())
                 .collect(),
-            ids: l.routes.iter().map(|r| route_traj_ids(r, l)).collect(),
+            ids: l
+                .routes
+                .iter()
+                .map(|r| route_traj_ids_sorted(r, l))
+                .collect(),
         })
         .collect()
 }
@@ -157,7 +200,7 @@ pub fn k_gri_with(
         for (j, slot) in next.iter_mut().enumerate() {
             let mut cands: Vec<Partial> = Vec::new();
             for (jp, prevs) in m.iter().enumerate() {
-                let g = log_transition_confidence(&scores[i - 1].ids[jp], &scores[i].ids[j]);
+                let g = log_transition_confidence_sorted(&scores[i - 1].ids[jp], &scores[i].ids[j]);
                 for (s, path) in prevs {
                     let mut np = path.clone();
                     np.push(j);
@@ -243,7 +286,10 @@ fn enumerate(
     for j in 0..scores[i].log_f.len() {
         let mut s = acc + scores[i].log_f[j];
         if i > 0 {
-            s += log_transition_confidence(&scores[i - 1].ids[current[i - 1]], &scores[i].ids[j]);
+            s += log_transition_confidence_sorted(
+                &scores[i - 1].ids[current[i - 1]],
+                &scores[i].ids[j],
+            );
         }
         current[i] = j;
         enumerate(scores, i + 1, s, current, best, k);
@@ -266,7 +312,10 @@ fn stitch(net: &RoadNetwork, locals: &[LocalInferenceResult], indices: &[usize])
         if prev_last == next_first {
             out = out.concat(part);
         } else {
-            match route_between_segments(net, prev_last, next_first, CostModel::Distance) {
+            match net
+                .sp_oracle()
+                .route_between(prev_last, next_first, CostModel::Distance)
+            {
                 Some(bridge) => {
                     out = out.concat(&bridge);
                     out = out.concat(part);
@@ -288,7 +337,6 @@ mod tests {
     use hris_geo::Point;
     use hris_roadnet::{generator, NetworkConfig, SegmentId};
     use hris_traj::GpsPoint;
-    use std::collections::HashMap;
 
     fn net() -> RoadNetwork {
         generator::generate(&NetworkConfig {
@@ -307,10 +355,11 @@ mod tests {
         coverage: &[(SegmentId, &[usize])],
         sources: &[&[u32]],
     ) -> LocalInferenceResult {
-        let mut edge_refs: HashMap<SegmentId, HashSet<usize>> = HashMap::new();
-        for (seg, refs) in coverage {
-            edge_refs.insert(*seg, refs.iter().copied().collect());
-        }
+        let edge_index = RefEdgeIndex::from_pairs(
+            coverage
+                .iter()
+                .flat_map(|(seg, refs)| refs.iter().map(move |&r| (*seg, r))),
+        );
         let refs = ReferenceSet {
             refs: sources
                 .iter()
@@ -324,7 +373,7 @@ mod tests {
         let _ = net;
         LocalInferenceResult {
             routes,
-            edge_index: RefEdgeIndex { edge_refs },
+            edge_index,
             refs,
             stats: LocalStats::default(),
         }
@@ -439,6 +488,27 @@ mod tests {
         assert_eq!(log_transition_confidence(&empty, &empty), -1.0);
         let half = log_transition_confidence(&a, &[TrajId(1)].into_iter().collect());
         assert!(half > -1.0 && half < 0.0);
+    }
+
+    #[test]
+    fn sorted_transition_matches_hashset_version() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[1, 2, 3], &[2, 3, 4]),
+            (&[1, 2], &[1, 2]),
+            (&[1], &[9]),
+            (&[], &[]),
+            (&[5], &[]),
+            (&[1, 3, 5, 7], &[2, 3, 5, 9]),
+        ];
+        for (a, b) in cases {
+            let sa: HashSet<TrajId> = a.iter().map(|&x| TrajId(x)).collect();
+            let sb: HashSet<TrajId> = b.iter().map(|&x| TrajId(x)).collect();
+            let va: Vec<TrajId> = a.iter().map(|&x| TrajId(x)).collect();
+            let vb: Vec<TrajId> = b.iter().map(|&x| TrajId(x)).collect();
+            let h = log_transition_confidence(&sa, &sb);
+            let s = log_transition_confidence_sorted(&va, &vb);
+            assert_eq!(h.to_bits(), s.to_bits(), "{a:?} vs {b:?}");
+        }
     }
 
     #[test]

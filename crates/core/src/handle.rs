@@ -149,11 +149,13 @@ impl EngineHandle {
     ) -> Self {
         let registry =
             registry.or_else(|| cfg.obs.enabled.then(|| Arc::new(MetricsRegistry::new())));
+        let core = EngineCore::build(cfg, registry);
+        core.register_oracle_metrics(&net);
         EngineHandle {
             net,
             params,
             source,
-            core: EngineCore::build(cfg, registry),
+            core,
             cached_epoch: AtomicU64::new(epoch),
         }
     }

@@ -13,7 +13,7 @@ use crate::params::{HrisParams, HybridPolarity, LocalAlgorithm};
 use crate::reference::ReferenceSet;
 use hris_roadnet::network::CandidateEdge;
 use hris_roadnet::{RoadNetwork, Route, SegmentId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Per-pair instrumentation (drives the ablation figures 11b–13b).
 #[derive(Debug, Clone, Default)]
@@ -56,52 +56,251 @@ pub struct LocalInferenceResult {
 /// A reference *travels by* segment `r` when `r` is a candidate edge of one
 /// of its points (Definition 9). This index is built once per pair and
 /// drives both the traverse graph and the popularity function.
-#[derive(Debug, Clone, Default)]
+///
+/// Stored in compressed-sparse-row form — sorted segment keys with one flat,
+/// sorted run of covering-reference indices per segment — instead of a
+/// `HashMap<SegmentId, HashSet<usize>>`: the popularity kernel probes it per
+/// route segment inside a sort comparator, so lookups must be cache-friendly
+/// and hash-free, and iteration order is deterministic by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RefEdgeIndex {
-    /// Segment → indices (into `ReferenceSet::refs`) of covering references.
-    pub edge_refs: HashMap<SegmentId, HashSet<usize>>,
+    /// Sorted distinct covered segments (the traverse-edge set `TE`).
+    segs: Vec<SegmentId>,
+    /// `offsets[i]..offsets[i + 1]` indexes `refs` for `segs[i]`.
+    offsets: Vec<u32>,
+    /// Sorted covering-reference indices, grouped per segment.
+    refs: Vec<u32>,
+    /// Exclusive upper bound on reference indices (sizes union bitsets).
+    num_refs: usize,
 }
 
 impl RefEdgeIndex {
     /// Builds the index by looking up candidate edges of every reference
-    /// point within `eps` metres.
+    /// point within `eps` metres (through the network's projection memo —
+    /// reference points recur across pairs).
     #[must_use]
     pub fn build(net: &RoadNetwork, refs: &ReferenceSet, eps: f64) -> Self {
-        let mut edge_refs: HashMap<SegmentId, HashSet<usize>> = HashMap::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for (ri, r) in refs.refs.iter().enumerate() {
+            let ri = u32::try_from(ri).expect("reference index fits u32");
             for p in &r.points {
-                for cand in net.candidate_edges(p.pos, eps) {
-                    edge_refs.entry(cand.segment).or_default().insert(ri);
+                for cand in net.candidate_edges_cached(p.pos, eps).iter() {
+                    pairs.push((cand.segment.0, ri));
                 }
             }
         }
-        RefEdgeIndex { edge_refs }
+        // Counting sort over the (small, dense) segment universe. The outer
+        // loop above emits reference indices in ascending order, so a stable
+        // scatter leaves every per-segment bucket sorted — same `(seg, ref)`
+        // order `from_pairs` produces, without the comparison sort.
+        let n = net.num_segments();
+        let mut counts = vec![0u32; n + 1];
+        for &(seg, _) in &pairs {
+            counts[seg as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut slots: Vec<u32> = vec![0; pairs.len()];
+        let mut cursor = counts.clone();
+        for &(seg, ri) in &pairs {
+            let c = &mut cursor[seg as usize];
+            slots[*c as usize] = ri;
+            *c += 1;
+        }
+        let mut segs: Vec<SegmentId> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::new();
+        let mut out_refs: Vec<u32> = Vec::new();
+        let mut num_refs = 0usize;
+        for seg in 0..n {
+            let (lo, hi) = (counts[seg] as usize, counts[seg + 1] as usize);
+            if lo == hi {
+                continue;
+            }
+            segs.push(SegmentId(seg as u32));
+            offsets.push(out_refs.len() as u32);
+            let start = out_refs.len();
+            for &r in &slots[lo..hi] {
+                if out_refs.len() > start && out_refs[out_refs.len() - 1] == r {
+                    continue;
+                }
+                out_refs.push(r);
+                num_refs = num_refs.max(r as usize + 1);
+            }
+        }
+        if !segs.is_empty() {
+            offsets.push(out_refs.len() as u32);
+        }
+        RefEdgeIndex {
+            segs,
+            offsets,
+            refs: out_refs,
+            num_refs,
+        }
     }
 
-    /// References covering segment `r` (`C_i(r)`), empty set when none.
+    /// Builds the index from raw `(segment, reference index)` coverage
+    /// pairs (duplicates welcome) — the synthetic-coverage entry point for
+    /// tests and ablations.
     #[must_use]
-    pub fn refs_on(&self, seg: SegmentId) -> Option<&HashSet<usize>> {
-        self.edge_refs.get(&seg)
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (SegmentId, usize)>) -> Self {
+        // Each pair packs into one u64 key — `(segment, ref)` tuple order
+        // and `(segment << 32) | ref` numeric order coincide, and sorting
+        // plain u64s is markedly cheaper than sorting tuples.
+        let mut keys: Vec<u64> = pairs
+            .into_iter()
+            .map(|(s, r)| {
+                (u64::from(s.0) << 32)
+                    | u64::from(u32::try_from(r).expect("reference index fits u32"))
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut segs: Vec<SegmentId> = Vec::new();
+        let mut offsets = Vec::new();
+        let mut refs = Vec::with_capacity(keys.len());
+        let mut num_refs = 0usize;
+        for key in keys {
+            let (seg, r) = (SegmentId((key >> 32) as u32), key as u32);
+            if segs.last() != Some(&seg) {
+                segs.push(seg);
+                offsets.push(refs.len() as u32);
+            }
+            refs.push(r);
+            num_refs = num_refs.max(r as usize + 1);
+        }
+        offsets.push(refs.len() as u32);
+        if segs.is_empty() {
+            offsets.clear();
+        }
+        RefEdgeIndex {
+            segs,
+            offsets,
+            refs,
+            num_refs,
+        }
     }
 
-    /// Union of references covering any segment of `route` (`C_i(R)`).
+    /// References covering segment `r` (`C_i(r)` as a sorted slice of
+    /// indices into `ReferenceSet::refs`), empty when none.
     #[must_use]
-    pub fn refs_on_route(&self, route: &Route) -> HashSet<usize> {
-        let mut out = HashSet::new();
+    pub fn refs_on(&self, seg: SegmentId) -> &[u32] {
+        match self.segs.binary_search(&seg) {
+            Ok(i) => &self.refs[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Number of references covering segment `r` (`|C_i(r)|`).
+    #[must_use]
+    pub fn covering_count(&self, seg: SegmentId) -> usize {
+        self.refs_on(seg).len()
+    }
+
+    /// Union of references covering any segment of `route` (`C_i(R)`),
+    /// as sorted distinct indices.
+    #[must_use]
+    pub fn refs_on_route(&self, route: &Route) -> Vec<usize> {
+        let mut words = vec![0u64; self.num_refs.div_ceil(64)];
         for seg in route.segments() {
-            if let Some(s) = self.edge_refs.get(seg) {
-                out.extend(s.iter().copied());
+            for &r in self.refs_on(*seg) {
+                words[r as usize / 64] |= 1 << (r % 64);
+            }
+        }
+        let mut out = Vec::new();
+        for (w, &bits) in words.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(w * 64 + b);
+                bits &= bits - 1;
             }
         }
         out
     }
 
-    /// All traversed segments (the traverse-edge set `TE`).
+    /// All traversed segments (the traverse-edge set `TE`), sorted.
     #[must_use]
-    pub fn traverse_edges(&self) -> Vec<SegmentId> {
-        let mut v: Vec<SegmentId> = self.edge_refs.keys().copied().collect();
-        v.sort_unstable(); // determinism across HashMap orderings
-        v
+    pub fn traverse_edges(&self) -> &[SegmentId] {
+        &self.segs
+    }
+
+    /// `true` when no segment is covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+}
+
+/// Flat structure-of-arrays layout for candidate points: parallel
+/// coordinate/offset/segment arrays feeding cache-friendly batch distance
+/// kernels (the NNI admissibility tests evaluate distances to the same
+/// anchor for every point of the cloud — one linear sweep over two `f64`
+/// arrays instead of a pointer-chase per point).
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSoA {
+    /// X coordinates.
+    pub xs: Vec<f64>,
+    /// Y coordinates.
+    pub ys: Vec<f64>,
+    /// Arc-length offsets (metres from segment start); empty for bare
+    /// point clouds.
+    pub offsets: Vec<f64>,
+    /// Segment ids; empty for bare point clouds.
+    pub segment_ids: Vec<SegmentId>,
+}
+
+impl CandidateSoA {
+    /// SoA view of candidate edges (projection points + offsets + segments).
+    #[must_use]
+    pub fn from_edges(cands: &[CandidateEdge]) -> Self {
+        CandidateSoA {
+            xs: cands.iter().map(|c| c.closest.x).collect(),
+            ys: cands.iter().map(|c| c.closest.y).collect(),
+            offsets: cands.iter().map(|c| c.offset).collect(),
+            segment_ids: cands.iter().map(|c| c.segment).collect(),
+        }
+    }
+
+    /// SoA view of a bare point cloud.
+    #[must_use]
+    pub fn from_points(points: impl IntoIterator<Item = hris_geo::Point>) -> Self {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for p in points {
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        CandidateSoA {
+            xs,
+            ys,
+            offsets: Vec::new(),
+            segment_ids: Vec::new(),
+        }
+    }
+
+    /// Number of candidate points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when the layout holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Batch distance kernel: Euclidean distance from every point to `q`,
+    /// bit-identical to `Point::dist` per element (same subtractions, same
+    /// fused sum, same square root).
+    #[must_use]
+    pub fn dists_to(&self, q: hris_geo::Point) -> Vec<f64> {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(&x, &y)| hris_geo::Point::new(x, y).dist(q))
+            .collect()
     }
 }
 
@@ -156,7 +355,7 @@ pub fn route_popularity_with(
     let covered: Vec<usize> = route
         .segments()
         .iter()
-        .map(|s| idx.refs_on(*s).map_or(0, HashSet::len))
+        .map(|s| idx.covering_count(*s))
         .filter(|&c| c > 0)
         .collect();
     let total: usize = covered.iter().sum();
@@ -220,15 +419,13 @@ pub fn infer_local_routes(
     // The plain shortest-path routes between the endpoint candidates are
     // always candidates too — the "null hypothesis" the history must beat.
     // They also anchor the detour-plausibility bound.
+    let oracle = net.sp_oracle();
     let mut sp_len = f64::INFINITY;
     for a in qi_cands.iter().take(2) {
         for b in qj_cands.iter().take(2) {
-            if let Some(sp) = hris_roadnet::shortest::route_between_segments(
-                net,
-                a.segment,
-                b.segment,
-                hris_roadnet::CostModel::Distance,
-            ) {
+            if let Some(sp) =
+                oracle.route_between(a.segment, b.segment, hris_roadnet::CostModel::Distance)
+            {
                 sp_len = sp_len.min(sp.length(net));
                 routes.push(sp);
             }
@@ -247,20 +444,24 @@ pub fn infer_local_routes(
         let bound = sp_len * params.max_detour_ratio.max(1.0);
         routes.retain(|r| r.length(net) <= bound);
     }
-    routes.sort_by(|a, b| {
-        route_popularity_with(
-            b,
-            &edge_index,
-            params.entropy_floor,
-            params.popularity_model,
-        )
-        .total_cmp(&route_popularity_with(
-            a,
-            &edge_index,
-            params.entropy_floor,
-            params.popularity_model,
-        ))
-    });
+    // Precompute each route's popularity once: the previous in-comparator
+    // evaluation recomputed the full scoring kernel O(n log n) times and
+    // dominated the per-pair profile. The stable sort over identical key
+    // values yields exactly the order the comparator-driven sort produced.
+    let mut keyed: Vec<(f64, Route)> = routes
+        .into_iter()
+        .map(|r| {
+            let f = route_popularity_with(
+                &r,
+                &edge_index,
+                params.entropy_floor,
+                params.popularity_model,
+            );
+            (f, r)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut routes: Vec<Route> = keyed.into_iter().map(|(_, r)| r).collect();
     routes.truncate(params.max_local_routes.max(1));
 
     LocalInferenceResult {
@@ -335,13 +536,27 @@ mod tests {
             refs: vec![make_ref(&net, 0.0, 800.0, 0), make_ref(&net, 0.0, 800.0, 1)],
         };
         let idx = RefEdgeIndex::build(&net, &refs, 40.0);
-        assert!(!idx.edge_refs.is_empty());
+        assert!(!idx.is_empty());
         // Segments near the corridor should carry both references.
-        let covered_by_both = idx.edge_refs.values().filter(|s| s.len() == 2).count();
+        let covered_by_both = idx
+            .traverse_edges()
+            .iter()
+            .filter(|&&s| idx.covering_count(s) == 2)
+            .count();
         assert!(covered_by_both > 0);
         // Union over any covered route equals {0, 1} somewhere.
-        let te = idx.traverse_edges();
-        assert!(!te.is_empty());
+        assert!(!idx.traverse_edges().is_empty());
+        // CSR build matches the raw-pairs constructor and the uncached
+        // candidate lookup.
+        let mut pairs = Vec::new();
+        for (ri, r) in refs.refs.iter().enumerate() {
+            for p in &r.points {
+                for cand in net.candidate_edges(p.pos, 40.0) {
+                    pairs.push((cand.segment, ri));
+                }
+            }
+        }
+        assert_eq!(idx, RefEdgeIndex::from_pairs(pairs));
     }
 
     #[test]

@@ -21,15 +21,14 @@
 //! ablation). Either way the set of enumerated `q_i → q_{i+1}` paths is the
 //! same; each path's point trace is map-matched into a physical route.
 
-use crate::local::LocalStats;
+use crate::local::{CandidateSoA, LocalStats};
 use crate::params::HrisParams;
 use crate::reference::ReferenceSet;
 use hris_geo::{BBox, Point};
 use hris_mapmatch::reconstruct_route;
 use hris_roadnet::network::CandidateEdge;
-use hris_roadnet::{RoadNetwork, Route};
+use hris_roadnet::{FxHashSet, RoadNetwork, Route};
 use hris_rtree::{RTree, Spatial};
-use std::collections::HashMap;
 
 /// A reference point in the NNI point cloud.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +82,12 @@ pub fn nni(
 
     let d_qi_qj = qi.dist(qj);
 
+    // Batch distance kernel: every admissibility test needs d(p, q_{i+1});
+    // one linear SoA sweep precomputes them for the whole cloud instead of
+    // re-deriving the same distance on every expansion that touches `p`.
+    let soa = CandidateSoA::from_points(cloud.iter().copied());
+    let d_to_qj: Vec<f64> = soa.dists_to(qj);
+
     // Expansion: constrained kNN of `from` (start node uses q_i itself).
     // α is *telescoped*: the remaining tolerance at a node depends only on
     // how much closer/further the node is than q_i, which makes expansions
@@ -101,7 +106,7 @@ pub fn nni(
             if p.pos.dist(from) < 1e-9 {
                 continue; // the point itself (or a duplicate observation)
             }
-            let d_p = p.pos.dist(qj);
+            let d_p = d_to_qj[p.id];
             // Line 9: tolerated backward movement.
             if d_p - alpha_left > d_c {
                 continue;
@@ -119,8 +124,11 @@ pub fn nni(
         nn
     };
 
-    // DFS path enumeration with (optionally) memoised expansions.
-    let mut memo: HashMap<usize, Vec<usize>> = HashMap::new();
+    // DFS path enumeration with (optionally) memoised expansions. Node ids
+    // are dense cloud indices, so the memo is a flat successor arena — spans
+    // into one shared vector — instead of a hash map of cloned `Vec`s.
+    let mut memo_spans: Vec<Option<(u32, u32)>> = vec![None; cloud.len()];
+    let mut memo_flat: Vec<usize> = Vec::new();
     let mut paths: Vec<Vec<usize>> = Vec::new();
     // Start pseudo-node: usize::MAX denotes q_i.
     let start = usize::MAX;
@@ -134,20 +142,26 @@ pub fn nni(
             break;
         }
         let pos = if node == start { qi } else { cloud[node] };
-        let succs: Vec<usize> = if params.nni_share_substructures && node != start {
-            match memo.get(&node) {
-                Some(s) => s.clone(),
+        let fresh: Vec<usize>;
+        let succs: &[usize] = if params.nni_share_substructures && node != start {
+            let (lo, hi) = match memo_spans[node] {
+                Some(span) => span,
                 None => {
                     let s = expand(pos, &mut stats.knn_searches);
-                    memo.insert(node, s.clone());
-                    s
+                    let lo = memo_flat.len() as u32;
+                    memo_flat.extend_from_slice(&s);
+                    let span = (lo, memo_flat.len() as u32);
+                    memo_spans[node] = Some(span);
+                    span
                 }
-            }
+            };
+            &memo_flat[lo as usize..hi as usize]
         } else {
-            expand(pos, &mut stats.knn_searches)
+            fresh = expand(pos, &mut stats.knn_searches);
+            &fresh
         };
         expansions_budget -= 1;
-        for &next in &succs {
+        for &next in succs {
             if next == terminal_id {
                 paths.push(path.clone());
                 continue;
@@ -168,16 +182,20 @@ pub fn nni(
     // more intermediate points", Section III-B.2) recovers the route at a
     // fraction of a full probabilistic matcher's cost.
     let mut routes = Vec::new();
-    let mut seen_matched: std::collections::HashSet<Vec<hris_roadnet::SegmentId>> =
-        std::collections::HashSet::new();
+    let mut seen_matched: FxHashSet<Vec<hris_roadnet::SegmentId>> = FxHashSet::default();
+    // Nearest-segment matching is a pure function of the (fixed) cloud
+    // point, and distinct traces revisit the same points constantly —
+    // memoise per cloud id, and match the shared endpoints exactly once.
+    let qi_match = net.nearest_segment(qi);
+    let mut nearest_memo: Vec<Option<Option<CandidateEdge>>> = vec![None; cloud.len()];
     for path in &paths {
-        let mut pts: Vec<Point> = Vec::with_capacity(path.len() + 2);
-        pts.push(qi);
-        pts.extend(path.iter().map(|&id| cloud[id]));
-        pts.push(qj);
-        let mut matched: Vec<CandidateEdge> = Vec::with_capacity(pts.len());
-        for &p in &pts {
-            if let Some(c) = net.nearest_segment(p) {
+        let mut matched: Vec<CandidateEdge> = Vec::with_capacity(path.len() + 2);
+        if let Some(c) = qi_match {
+            matched.push(c);
+        }
+        for &id in path.iter().chain(std::iter::once(&terminal_id)) {
+            let c = *nearest_memo[id].get_or_insert_with(|| net.nearest_segment(cloud[id]));
+            if let Some(c) = c {
                 if matched.last().map(|m| m.segment) != Some(c.segment) {
                     matched.push(c);
                 }

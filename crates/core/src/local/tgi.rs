@@ -19,10 +19,9 @@
 
 use crate::local::{LocalStats, RefEdgeIndex};
 use crate::params::HrisParams;
+use hris_geo::Point;
 use hris_roadnet::network::CandidateEdge;
-use hris_roadnet::shortest::route_between_segments;
-use hris_roadnet::{CostModel, DiGraph, RoadNetwork, Route, SegmentId};
-use std::collections::{HashMap, VecDeque};
+use hris_roadnet::{CostModel, CsrView, DiGraph, DijkstraScratch, RoadNetwork, Route, SegmentId};
 
 /// Runs TGI for one query pair. Returns candidate local routes and stats.
 #[must_use]
@@ -39,15 +38,26 @@ pub fn tgi(
     };
 
     // --- node set: traverse edges + query candidate edges ----------------
-    let mut node_of: HashMap<SegmentId, usize> = HashMap::new();
+    // Dense interning table indexed by segment id: the per-pair graph is
+    // tiny but this map is probed once per λ-neighborhood hit, so a flat
+    // array beats any hash map.
+    let mut node_of: Vec<u32> = vec![u32::MAX; net.num_segments()];
+    // One bit per segment mirroring `node_of` occupancy: the λ scan below
+    // probes membership for every neighborhood entry, and the bitmask keeps
+    // those probes inside a few cache lines where the full u32 table would
+    // miss to L2 on nearly every lookup.
+    let mut in_set: Vec<u64> = vec![0; net.num_segments().div_ceil(64)];
     let mut segs: Vec<SegmentId> = Vec::new();
     let mut intern = |seg: SegmentId, segs: &mut Vec<SegmentId>| -> usize {
-        *node_of.entry(seg).or_insert_with(|| {
+        let slot = &mut node_of[seg.index()];
+        if *slot == u32::MAX {
             segs.push(seg);
-            segs.len() - 1
-        })
+            *slot = (segs.len() - 1) as u32;
+            in_set[seg.index() >> 6] |= 1 << (seg.index() & 63);
+        }
+        *slot as usize
     };
-    for seg in edge_index.traverse_edges() {
+    for &seg in edge_index.traverse_edges() {
         intern(seg, &mut segs);
     }
     let qi_nodes: Vec<usize> = qi_cands
@@ -66,34 +76,46 @@ pub fn tgi(
     }
 
     // --- links: λ-neighborhood hop search ---------------------------------
-    // edges[(u, v)] = (hops, weight). The weight is the driving distance
-    // along the hop path, discounted by the coverage of the target segment
-    // (γ = `tgi_popularity_weight`; 0 restores pure distance).
+    // Flat link list sorted by (u, v). Each λ-neighborhood lists a target
+    // segment at most once, so every (u, v) pair is produced at most once
+    // and the list needs no dedup — only a per-source sort by target (the
+    // outer loop already emits sources in ascending order). The weight is
+    // the driving distance along the hop path, discounted by the coverage
+    // of the target segment (γ = `tgi_popularity_weight`; 0 restores pure
+    // distance).
     let gamma = params.tgi_popularity_weight.max(0.0);
-    let coverage = |seg: SegmentId| -> usize {
-        edge_index
-            .refs_on(seg)
-            .map_or(0, std::collections::HashSet::len)
-    };
-    let mut edges: LinkMap = HashMap::new();
+    let mut edges = EdgeList::default();
     for (u, &seg_u) in segs.iter().enumerate() {
-        for (seg_v, hops, dist) in lambda_neighborhood_with_dist(net, seg_u, params.lambda) {
-            if let Some(&v) = node_of.get(&seg_v) {
-                let weight = dist * (1.0 + gamma / (1.0 + coverage(seg_v) as f64));
-                let e = edges.entry((u, v)).or_insert((hops, weight));
-                if weight < e.1 {
-                    *e = (hops, weight);
-                }
+        // The λ-neighborhood only depends on the immutable network, so the
+        // hop search is answered by the network-level memo shared across
+        // pairs and queries.
+        let start = edges.links.len();
+        let soa = net.lambda_neighborhood_soa(seg_u, params.lambda);
+        for (k, &seg_v) in soa.segs.iter().enumerate() {
+            let i = seg_v.index();
+            if in_set[i >> 6] & (1 << (i & 63)) != 0 {
+                let weight =
+                    soa.dists[k] * (1.0 + gamma / (1.0 + edge_index.covering_count(seg_v) as f64));
+                edges.links.push(Link {
+                    u: u as u32,
+                    v: node_of[i],
+                    hops: soa.hops[k] as usize,
+                    weight,
+                });
             }
         }
+        edges.links[start..].sort_unstable_by_key(|l| l.v);
     }
-    stats.traverse_edges_initial = edges.len();
+    stats.traverse_edges_initial = edges.links.len();
 
     // --- augmentation: force strong connectivity --------------------------
-    let centroid = |seg: SegmentId| {
-        let g = &net.segment(seg).geometry;
-        g.point_at(g.length() / 2.0)
-    };
+    // Centroids go into a flat structure-of-arrays once (the arc-length
+    // walk per segment geometry is the expensive part); the O(n²)
+    // closest-pair scan then reads contiguous coordinates. Comparisons keep
+    // the exact `Point::dist` values the per-comparison closure produced,
+    // so tie-breaks are unchanged. Built lazily: the common strongly
+    // connected case never needs them.
+    let mut centroids: Option<CentroidSoA> = None;
     loop {
         let g = build_digraph(segs.len(), &edges);
         let comp = g.tarjan_scc();
@@ -101,6 +123,7 @@ pub fn tgi(
         if num_comps <= 1 {
             break;
         }
+        let cents = centroids.get_or_insert_with(|| CentroidSoA::build(net, &segs));
         // Closest pair of nodes in different components.
         let mut best: Option<(usize, usize, f64)> = None;
         for u in 0..segs.len() {
@@ -108,7 +131,7 @@ pub fn tgi(
                 if comp[u] == comp[v] {
                     continue;
                 }
-                let d = centroid(segs[u]).dist(centroid(segs[v]));
+                let d = cents.dist(u, v);
                 if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((u, v, d));
                 }
@@ -120,52 +143,106 @@ pub fn tgi(
         // the maximum (zero-coverage) popularity discount so augmentation
         // shortcuts never outcompete genuinely covered chains.
         let w = d * (1.0 + gamma);
-        edges.entry((u, v)).or_insert((usize::MAX / 4, w));
-        edges.entry((v, u)).or_insert((usize::MAX / 4, w));
+        edges.insert_if_absent(u as u32, v as u32, usize::MAX / 4, w);
+        edges.insert_if_absent(v as u32, u as u32, usize::MAX / 4, w);
         stats.augmentation_links += 2;
     }
 
     // --- reduction: drop transitively redundant links ---------------------
     if params.tgi_use_reduction {
-        // Adjacency for the membership tests.
-        let mut out_adj: HashMap<usize, Vec<usize>> = HashMap::new();
-        for &(u, v) in edges.keys() {
-            out_adj.entry(u).or_default().push(v);
+        // A link is removed iff *some* intermediate decomposes it — the
+        // removal set does not depend on scan order, so walking the sorted
+        // list gives the same survivors as the old hash-map iteration.
+        // Out-neighborhoods are contiguous runs of the sorted list; one
+        // offsets pass makes every run lookup O(1).
+        let mut starts = vec![0u32; segs.len() + 1];
+        {
+            let mut u = 0usize;
+            for (i, l) in edges.links.iter().enumerate() {
+                while u <= l.u as usize {
+                    starts[u] = i as u32;
+                    u += 1;
+                }
+            }
+            while u <= segs.len() {
+                starts[u] = edges.links.len() as u32;
+                u += 1;
+            }
         }
-        let mut to_remove = Vec::new();
-        for (&(u, w), &(h_uw, _)) in &edges {
+        let run = |u: u32| starts[u as usize] as usize..starts[u as usize + 1] as usize;
+        // In-links `(source, hops)` grouped by target via counting sort;
+        // within each target the sources come out ascending because the
+        // link list itself is sorted by source. A link u → w decomposes
+        // through v iff v appears in both u's out-run and w's in-run, so
+        // the existence test is a merge walk over two sorted runs instead
+        // of a binary search per out-neighbor.
+        let mut in_starts = vec![0u32; segs.len() + 1];
+        for l in &edges.links {
+            in_starts[l.v as usize + 1] += 1;
+        }
+        for i in 0..segs.len() {
+            in_starts[i + 1] += in_starts[i];
+        }
+        let mut cursor = in_starts.clone();
+        let mut in_links: Vec<(u32, u32)> = vec![(0, 0); edges.links.len()];
+        for l in &edges.links {
+            let c = &mut cursor[l.v as usize];
+            in_links[*c as usize] = (l.u, l.hops as u32);
+            *c += 1;
+        }
+        let in_run = |w: u32| in_starts[w as usize] as usize..in_starts[w as usize + 1] as usize;
+        let mut keep = vec![true; edges.links.len()];
+        for (idx, l) in edges.links.iter().enumerate() {
+            let (u, w, h_uw) = (l.u, l.v, l.hops);
             // A link of hop distance 1 can never decompose into two links
             // of hop distance ≥ 1 each — skip the bulk of the graph cheaply.
             if h_uw < 2 {
                 continue;
             }
-            let Some(vs) = out_adj.get(&u) else { continue };
-            for &v in vs {
-                if v == w || v == u {
-                    continue;
-                }
-                if let (Some(&(h_uv, _)), Some(&(h_vw, _))) =
-                    (edges.get(&(u, v)), edges.get(&(v, w)))
-                {
-                    if h_uv < h_uw && h_uv.saturating_add(h_vw) == h_uw {
-                        to_remove.push((u, w));
-                        break;
+            let outs = &edges.links[run(u)];
+            let ins = &in_links[in_run(w)];
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < outs.len() && b < ins.len() {
+                match outs[a].v.cmp(&ins[b].0) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        let v = outs[a].v;
+                        let h_uv = outs[a].hops;
+                        if v != w
+                            && v != u
+                            && h_uv < h_uw
+                            && h_uv.saturating_add(ins[b].1 as usize) == h_uw
+                        {
+                            keep[idx] = false;
+                            break;
+                        }
+                        a += 1;
+                        b += 1;
                     }
                 }
             }
         }
-        for k in to_remove {
-            edges.remove(&k);
-        }
+        let mut idx = 0;
+        edges.links.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
     }
-    stats.traverse_edges_final = edges.len();
+    stats.traverse_edges_final = edges.links.len();
 
     // --- K shortest paths between every endpoint pair ---------------------
-    let g = build_digraph(segs.len(), &edges);
+    // The sorted link list IS the CSR: snapshot it directly (no intermediate
+    // adjacency lists) and share one view + scratch across every endpoint
+    // pair's Yen run.
+    let csr =
+        CsrView::from_sorted_edges(segs.len(), edges.links.iter().map(|l| (l.u, l.v, l.weight)));
+    let mut scratch = DijkstraScratch::for_nodes(segs.len());
     let mut routes = Vec::new();
     for &src in &qi_nodes {
         for &dst in &qj_nodes {
-            for path in g.k_shortest_paths(src, dst, params.k1) {
+            for path in csr.k_shortest_paths_with(&mut scratch, src, dst, params.k1) {
                 if let Some(route) = project_path(net, &segs, &path.nodes) {
                     routes.push(route);
                 }
@@ -175,55 +252,66 @@ pub fn tgi(
     (routes, stats)
 }
 
-/// λ-neighborhood of `seg` with per-target hop count and accumulated driving
-/// distance along the (shortest-hop) chain. Excludes `seg` itself.
-fn lambda_neighborhood_with_dist(
-    net: &RoadNetwork,
-    seg: SegmentId,
-    lambda: usize,
-) -> Vec<(SegmentId, usize, f64)> {
-    let mut out = Vec::new();
-    if lambda <= 1 {
-        return out;
-    }
-    let mut best: HashMap<SegmentId, f64> = HashMap::new();
-    best.insert(seg, 0.0);
-    let mut queue: VecDeque<(SegmentId, usize, f64)> = VecDeque::new();
-    queue.push_back((seg, 0, 0.0));
-    while let Some((cur, h, d)) = queue.pop_front() {
-        if h + 1 >= lambda {
-            continue;
-        }
-        for &next in net.next_segments(cur) {
-            let nd = d + net.segment(next).length;
-            if best.get(&next).is_none_or(|&b| nd < b) {
-                let first_visit = !best.contains_key(&next);
-                best.insert(next, nd);
-                if first_visit {
-                    out.push((next, h + 1, nd));
-                    queue.push_back((next, h + 1, nd));
-                } else {
-                    // Improve the recorded distance in place.
-                    if let Some(e) = out.iter_mut().find(|e| e.0 == next) {
-                        e.2 = nd;
-                    }
-                }
-            }
-        }
-    }
-    out
+/// Traverse-node centroids in structure-of-arrays layout: the arc-length
+/// midpoint walk per geometry happens once per node, and the closest-pair
+/// scan reads two flat coordinate arrays.
+struct CentroidSoA {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
 }
 
-/// Traverse-graph link map: `(u, v) → (hop distance, weight)`.
-type LinkMap = HashMap<(usize, usize), (usize, f64)>;
+impl CentroidSoA {
+    fn build(net: &RoadNetwork, segs: &[SegmentId]) -> Self {
+        let mut xs = Vec::with_capacity(segs.len());
+        let mut ys = Vec::with_capacity(segs.len());
+        for &seg in segs {
+            let g = &net.segment(seg).geometry;
+            let c = g.point_at(g.length() / 2.0);
+            xs.push(c.x);
+            ys.push(c.y);
+        }
+        CentroidSoA { xs, ys }
+    }
 
-fn build_digraph(n: usize, edges: &LinkMap) -> DiGraph {
+    /// `Point::dist` of two centroids — same operations, same rounding,
+    /// same tie behaviour as computing the points on the fly.
+    #[inline]
+    fn dist(&self, u: usize, v: usize) -> f64 {
+        Point::new(self.xs[u], self.ys[u]).dist(Point::new(self.xs[v], self.ys[v]))
+    }
+}
+
+/// One traverse-graph link `u → v` with its hop distance and weight.
+struct Link {
+    u: u32,
+    v: u32,
+    hops: usize,
+    weight: f64,
+}
+
+/// Traverse-graph links kept sorted by `(u, v)` — out-neighborhoods are
+/// contiguous runs, membership is a binary search, and the digraph builds
+/// without re-sorting.
+#[derive(Default)]
+struct EdgeList {
+    links: Vec<Link>,
+}
+
+impl EdgeList {
+    /// Inserts `u → v` unless the link already exists (augmentation step).
+    fn insert_if_absent(&mut self, u: u32, v: u32, hops: usize, weight: f64) {
+        if let Err(pos) = self.links.binary_search_by(|l| (l.u, l.v).cmp(&(u, v))) {
+            self.links.insert(pos, Link { u, v, hops, weight });
+        }
+    }
+}
+
+fn build_digraph(n: usize, edges: &EdgeList) -> DiGraph {
     let mut g = DiGraph::with_nodes(n);
-    // Deterministic edge order for reproducible Yen tie-breaking.
-    let mut sorted: Vec<_> = edges.iter().collect();
-    sorted.sort_by_key(|(&(u, v), _)| (u, v));
-    for (&(u, v), &(_, d)) in sorted {
-        g.add_edge(u, v, d.max(0.0));
+    // Links are sorted by (u, v), so the insertion order — and hence Yen's
+    // tie-breaking — matches the old sorted-map construction exactly.
+    for l in &edges.links {
+        g.add_edge(l.u as usize, l.v as usize, l.weight.max(0.0));
     }
     g
 }
@@ -239,7 +327,9 @@ fn project_path(net: &RoadNetwork, segs: &[SegmentId], nodes: &[usize]) -> Optio
         if prev == next {
             continue;
         }
-        let bridge = route_between_segments(net, prev, next, CostModel::Distance)?;
+        let bridge = net
+            .sp_oracle()
+            .route_between(prev, next, CostModel::Distance)?;
         for &s in &bridge.segments()[1..] {
             route.push(s);
         }
@@ -374,8 +464,8 @@ mod tests {
     fn lambda_neighborhood_dist_monotone_in_lambda() {
         let net = net();
         let seg = net.segments()[10].id;
-        let n2 = lambda_neighborhood_with_dist(&net, seg, 2);
-        let n4 = lambda_neighborhood_with_dist(&net, seg, 4);
+        let n2 = net.lambda_neighborhood_with_dist(seg, 2);
+        let n4 = net.lambda_neighborhood_with_dist(seg, 4);
         assert!(n4.len() > n2.len());
         for (s, h, d) in &n2 {
             assert!(*h == 1);

@@ -250,6 +250,12 @@ impl Default for ValidationOptions {
 pub struct EngineConfig {
     /// Per-query pair scheduling.
     pub mode: ExecMode,
+    /// Minimum number of point pairs before [`ExecMode::PairParallel`]
+    /// actually fans out: shorter queries run sequentially on the calling
+    /// thread, because the fork/join overhead of the pool exceeds the work
+    /// of a couple of pairs (the e2e benchmark measured a 0.98× *slowdown*
+    /// for pair-parallel on 3-pair queries). `0` always fans out.
+    pub pair_parallel_min_pairs: usize,
     /// Entry bound of the shared shortest-path fallback cache; `0` disables
     /// the cache entirely.
     pub sp_cache_capacity: usize,
@@ -269,6 +275,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             mode: ExecMode::default(),
+            pair_parallel_min_pairs: 8,
             sp_cache_capacity: 8192,
             candidate_memo: true,
             batch_parallel: true,
@@ -285,6 +292,7 @@ impl EngineConfig {
     pub fn sequential() -> Self {
         EngineConfig {
             mode: ExecMode::Sequential,
+            pair_parallel_min_pairs: 8,
             sp_cache_capacity: 0,
             candidate_memo: false,
             batch_parallel: false,
@@ -380,6 +388,14 @@ impl EngineConfigBuilder {
     #[must_use]
     pub fn mode(mut self, mode: ExecMode) -> Self {
         self.cfg.mode = mode;
+        self
+    }
+
+    /// Minimum pair count before [`ExecMode::PairParallel`] fans out
+    /// (shorter queries run sequentially; `0` always fans out).
+    #[must_use]
+    pub fn pair_parallel_min_pairs(mut self, min_pairs: usize) -> Self {
+        self.cfg.pair_parallel_min_pairs = min_pairs;
         self
     }
 

@@ -20,7 +20,6 @@ use crate::params::HrisParams;
 use crate::reference::{search_references, ReferenceSet};
 use hris_mapmatch::{MapMatcher, MatchResult};
 use hris_roadnet::network::CandidateEdge;
-use hris_roadnet::shortest::route_between_segments;
 use hris_roadnet::{CostModel, RoadNetwork, Route, SegmentId};
 use hris_traj::{partition_trips, GpsPoint, StayPointConfig, Trajectory, TrajectoryArchive};
 
@@ -174,7 +173,11 @@ impl<'a> Hris<'a> {
                     query.points[i + 1],
                     &cands[i],
                     &cands[i + 1],
-                    &|a, b| route_between_segments(self.net, a, b, CostModel::Distance),
+                    &|a, b| {
+                        self.net
+                            .sp_oracle()
+                            .route_between(a, b, CostModel::Distance)
+                    },
                 )
             })
             .collect()

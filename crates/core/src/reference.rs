@@ -16,8 +16,8 @@
 //! splicing pairs.
 
 use hris_geo::Point;
+use hris_roadnet::FxHashMap;
 use hris_traj::{GpsPoint, TrajId, TrajectoryArchive};
-use std::collections::{HashMap, HashSet};
 
 /// How a reference was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,32 +161,68 @@ pub fn search_references(
     let near_i = archive.points_within(qi, phi);
     let near_j = archive.points_within(qj, phi);
 
-    // Trajectories present on each side.
-    let mut ids_i: HashSet<TrajId> = HashSet::new();
-    for p in &near_i {
-        ids_i.insert(p.traj);
-    }
-    let mut ids_j: HashSet<TrajId> = HashSet::new();
-    for p in &near_j {
-        ids_j.insert(p.traj);
+    // Per-trajectory nearest hit to each endpoint, sorted by id. A
+    // trajectory's globally nearest point to the endpoint is no farther than
+    // any of its φ-hits, hence itself a φ-hit — so the argmin over the hits
+    // (ties to the smallest index, as `Trajectory::nearest_point` breaks
+    // them) IS the global nearest point, without scanning whole
+    // trajectories. Trajectory ids are dense archive indices, so the argmin
+    // runs over a flat per-trajectory slot array — no sort, no hashing.
+    let num_trajs = archive.trajectories().len();
+    let mut slots: Vec<(f64, u32)> = vec![(f64::INFINITY, u32::MAX); num_trajs];
+    let nearest_per_traj =
+        |slots: &mut [(f64, u32)], hits: &[&hris_traj::ArchivePoint], q: Point| {
+            for p in hits {
+                let slot = &mut slots[p.traj.index()];
+                let d2 = p.pos.dist_sq(q);
+                if d2 < slot.0 || (d2 == slot.0 && p.point_idx < slot.1) {
+                    *slot = (d2, p.point_idx);
+                }
+            }
+            let mut rows: Vec<(TrajId, usize)> = Vec::new();
+            for (t, slot) in slots.iter_mut().enumerate() {
+                if slot.1 != u32::MAX {
+                    rows.push((TrajId(t as u32), slot.1 as usize));
+                    *slot = (f64::INFINITY, u32::MAX);
+                }
+            }
+            rows
+        };
+    let rows_i = nearest_per_traj(&mut slots, &near_i, qi);
+    let rows_j = nearest_per_traj(&mut slots, &near_j, qj);
+
+    // Trajectories present on both sides (merge walk, ascending-id order),
+    // carrying their nearest indices.
+    let mut both: Vec<(TrajId, usize, usize)> = Vec::new();
+    {
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < rows_i.len() && b < rows_j.len() {
+            match rows_i[a].0.cmp(&rows_j[b].0) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    both.push((rows_i[a].0, rows_i[a].1, rows_j[b].1));
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
     }
 
     let mut refs = Vec::new();
     // Relevance key for the per-pair cap: how close the reference's
     // endpoints come to the query points.
     let mut relevance: Vec<f64> = Vec::new();
-    let mut simple_ids: HashSet<TrajId> = HashSet::new();
+    // Ids that qualified as simple references; ascending (pushed while
+    // walking `both` in order), so membership is a binary search.
+    let mut simple_ids: Vec<TrajId> = Vec::new();
 
-    // --- simple references: hash join on trajectory id -------------------
-    for &id in ids_i.intersection(&ids_j) {
+    // --- simple references: merge join on trajectory id ------------------
+    for &(id, m, n) in &both {
         let traj = archive.trajectory(id);
-        let Some((m, pm)) = traj.nearest_point(qi) else {
-            continue;
-        };
-        let Some((n, pn)) = traj.nearest_point(qj) else {
-            continue;
-        };
-        // Conditions 1–2: global nearest points within φ.
+        let (pm, pn) = (&traj.points[m], &traj.points[n]);
+        // Conditions 1–2: global nearest points within φ (guaranteed by the
+        // range query; kept as a guard).
         if pm.pos.dist(qi) > phi || pn.pos.dist(qj) > phi {
             continue;
         }
@@ -204,7 +240,7 @@ pub fn search_references(
         // Condition 3: speed feasibility of every in-between point.
         let sub = &traj.points[m..=n];
         if speed_feasible(sub, qi, qj, budget) {
-            simple_ids.insert(id);
+            simple_ids.push(id);
             relevance.push(pm.pos.dist(qi) + pn.pos.dist(qj));
             refs.push(RefTrajectory {
                 kind: RefKind::Simple,
@@ -219,37 +255,31 @@ pub fn search_references(
         // Side A: trajectories near q_i that did not qualify as simple.
         // For each, the tail from its nearest point to q_i onwards.
         let mut side_a: Vec<(TrajId, usize, usize)> = Vec::new(); // (id, nn_idx, last_usable)
-        for &id in &ids_i {
-            if simple_ids.contains(&id) {
+        for &(id, m) in &rows_i {
+            if simple_ids.binary_search(&id).is_ok() {
                 continue;
             }
             let traj = archive.trajectory(id);
-            let Some((m, pm)) = traj.nearest_point(qi) else {
-                continue;
-            };
-            if pm.pos.dist(qi) > phi {
+            if traj.points[m].pos.dist(qi) > phi {
                 continue;
             }
             side_a.push((id, m, traj.len() - 1));
         }
         // Side B: trajectories near q_{i+1}, prefix up to the nearest point.
         let mut side_b: Vec<(TrajId, usize, usize)> = Vec::new(); // (id, first_usable, nn_idx)
-        for &id in &ids_j {
-            if simple_ids.contains(&id) {
+        for &(id, n) in &rows_j {
+            if simple_ids.binary_search(&id).is_ok() {
                 continue;
             }
             let traj = archive.trajectory(id);
-            let Some((n, pn)) = traj.nearest_point(qj) else {
-                continue;
-            };
-            if pn.pos.dist(qj) > phi {
+            if traj.points[n].pos.dist(qj) > phi {
                 continue;
             }
             side_b.push((id, 0, n));
         }
 
         // Grid join: bucket side-B candidate points by `splice_eps` cells.
-        let mut grid: HashMap<(i64, i64), Vec<(usize, usize)>> = HashMap::new(); // cell -> (b_pos, pt_idx)
+        let mut grid: FxHashMap<(i64, i64), Vec<(usize, usize)>> = FxHashMap::default(); // cell -> (b_pos, pt_idx)
         for (bi, &(id, first, nn)) in side_b.iter().enumerate() {
             let traj = archive.trajectory(id);
             for k in first..=nn {
@@ -264,7 +294,7 @@ pub fn search_references(
         }
 
         // For each (T_a, T_b) pair keep the best splicing pair.
-        let mut best_pairs: HashMap<(usize, usize), (f64, usize, usize)> = HashMap::new();
+        let mut best_pairs: FxHashMap<(usize, usize), (f64, usize, usize)> = FxHashMap::default();
         for (ai, &(id_a, nn_a, last)) in side_a.iter().enumerate() {
             let traj_a = archive.trajectory(id_a);
             for ka in nn_a..=last {
@@ -302,7 +332,11 @@ pub fn search_references(
             }
         }
 
-        for (&(ai, bi), &(_, ka, kb)) in &best_pairs {
+        // Drain in (ai, bi) order so the spliced refs come out in a
+        // deterministic order regardless of hash-map internals.
+        let mut ordered: Vec<_> = best_pairs.into_iter().collect();
+        ordered.sort_unstable_by_key(|&(key, _)| key);
+        for ((ai, bi), (_, ka, kb)) in ordered {
             let (id_a, nn_a, _) = side_a[ai];
             let (id_b, _, nn_b) = side_b[bi];
             if kb > nn_b {

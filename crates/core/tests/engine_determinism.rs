@@ -156,10 +156,16 @@ fn cache_pressure_does_not_change_results() {
             assert_same(&format!("sp-pressured pass {pass} query {i}"), g, w);
         }
     }
-    let stats2 = sp_pressured.cache_stats();
+    // The SP fallback now runs through the network-level shortest-path
+    // oracle; the baseline engine already warmed its trees, so the
+    // pressured engine's demoted route cache may legitimately see zero
+    // traffic. The oracle's own counters prove the fallback ran.
+    let oracle2 = net2.sp_oracle();
     assert!(
-        stats2.sp_hits + stats2.sp_misses > 0,
-        "empty archive must exercise the SP fallback, got {stats2:?}"
+        oracle2.hits() + oracle2.misses() > 0,
+        "empty archive must exercise the SP fallback, got {}/{}",
+        oracle2.hits(),
+        oracle2.misses()
     );
 
     // Same pressure with full instrumentation and tracing on: metrics must

@@ -62,6 +62,37 @@ fn query_and_batch_counters_are_exact() {
 }
 
 #[test]
+fn sp_oracle_metrics_are_registered_and_live() {
+    let (hris, queries) = scenario();
+    let engine = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder().observability(true).build().unwrap(),
+    );
+    // Registered at engine construction, before any query runs.
+    let snap = engine.observability().unwrap().snapshot();
+    assert_eq!(snap.counter("hris_sp_oracle_hits_total"), Some(0));
+    assert_eq!(snap.counter("hris_sp_oracle_misses_total"), Some(0));
+    let micros = snap
+        .gauge("hris_sp_oracle_preprocessing_micros")
+        .expect("preprocessing gauge registered");
+    assert!(micros >= 0);
+
+    // The registered pair is live: oracle traffic moves the exported
+    // counters without re-registration.
+    let _ = engine.infer_batch(&queries, 2);
+    let oracle = hris.network().sp_oracle();
+    let snap = engine.observability().unwrap().snapshot();
+    assert_eq!(
+        snap.counter("hris_sp_oracle_hits_total"),
+        Some(oracle.hits())
+    );
+    assert_eq!(
+        snap.counter("hris_sp_oracle_misses_total"),
+        Some(oracle.misses())
+    );
+}
+
+#[test]
 fn traces_attribute_cache_traffic_exactly() {
     let (hris, queries) = scenario();
     let engine = QueryEngine::with_config(

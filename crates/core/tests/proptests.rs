@@ -9,7 +9,7 @@ use hris_geo::Point;
 use hris_roadnet::{generator, NetworkConfig, Route, SegmentId};
 use hris_traj::{GpsPoint, TrajId, Trajectory, TrajectoryArchive};
 use proptest::prelude::*;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 // ---------------------------------------------------------------- helpers
 
@@ -59,7 +59,7 @@ fn locals_strategy() -> impl Strategy<Value = Vec<LocalInferenceResult>> {
         pairs
             .into_iter()
             .map(|routes| {
-                let mut edge_refs: HashMap<SegmentId, HashSet<usize>> = HashMap::new();
+                let mut pairs_list: Vec<(SegmentId, usize)> = Vec::new();
                 let mut refs: Vec<RefTrajectory> = Vec::new();
                 let mut route_list = Vec::new();
                 for (seg, cover, sources) in routes {
@@ -72,13 +72,13 @@ fn locals_strategy() -> impl Strategy<Value = Vec<LocalInferenceResult>> {
                                 points: vec![GpsPoint::new(Point::ORIGIN, 0.0)],
                             });
                         }
-                        edge_refs.entry(seg).or_default().insert(r);
+                        pairs_list.push((seg, r));
                     }
                     route_list.push(Route::new(vec![seg]));
                 }
                 LocalInferenceResult {
                     routes: route_list,
-                    edge_index: RefEdgeIndex { edge_refs },
+                    edge_index: RefEdgeIndex::from_pairs(pairs_list),
                     refs: ReferenceSet { refs },
                     stats: LocalStats::default(),
                 }
@@ -197,13 +197,7 @@ proptest! {
     ) {
         let seg = SegmentId(0);
         let route = Route::new(vec![seg]);
-        let mk = |cover: &[usize]| {
-            let mut edge_refs: HashMap<SegmentId, HashSet<usize>> = HashMap::new();
-            if !cover.is_empty() {
-                edge_refs.insert(seg, cover.iter().copied().collect());
-            }
-            RefEdgeIndex { edge_refs }
-        };
+        let mk = |cover: &[usize]| RefEdgeIndex::from_pairs(cover.iter().map(|&r| (seg, r)));
         let fa = route_popularity(&route, &mk(&cover_a), 0.05);
         let fb = route_popularity(&route, &mk(&cover_b), 0.05);
         prop_assert!(fa >= 0.0 && fb >= 0.0);

@@ -17,6 +17,267 @@ pub struct DiGraph {
     edge_count: usize,
 }
 
+/// Flat CSR snapshot of a [`DiGraph`]'s adjacency.
+///
+/// Yen's algorithm runs dozens of spur Dijkstras against one unchanging
+/// graph; scanning three contiguous arrays beats chasing a `Vec` per node.
+/// Per-node edge order is preserved, so relaxation order — and hence heap
+/// tie behaviour — is identical to querying the adjacency lists directly.
+#[derive(Debug, Clone)]
+pub struct CsrView {
+    /// `starts[u]..starts[u + 1]` indexes `targets`/`weights` for node `u`.
+    starts: Vec<u32>,
+    /// Edge target nodes.
+    targets: Vec<u32>,
+    /// Edge weights, parallel to `targets`.
+    weights: Vec<f64>,
+}
+
+impl CsrView {
+    /// Snapshots `g`. O(V + E).
+    #[must_use]
+    pub fn new(g: &DiGraph) -> Self {
+        let n = g.out.len();
+        let mut starts = Vec::with_capacity(n + 1);
+        starts.push(0u32);
+        let mut targets = Vec::with_capacity(g.edge_count);
+        let mut weights = Vec::with_capacity(g.edge_count);
+        for row in &g.out {
+            for &(v, w) in row {
+                targets.push(v as u32);
+                weights.push(w);
+            }
+            starts.push(targets.len() as u32);
+        }
+        CsrView {
+            starts,
+            targets,
+            weights,
+        }
+    }
+
+    /// Builds the CSR directly from `(u, v, weight)` edges already grouped
+    /// by ascending source node — the order [`DiGraph::add_edge`] insertion
+    /// over a sorted edge list would produce, so path algorithms behave
+    /// identically to the [`CsrView::new`] route without materialising the
+    /// intermediate adjacency lists.
+    ///
+    /// # Panics
+    /// Panics when a source node is out of range, runs regress (not grouped
+    /// ascending), or a weight is negative/non-finite.
+    #[must_use]
+    pub fn from_sorted_edges(n: usize, edges: impl Iterator<Item = (u32, u32, f64)>) -> Self {
+        let mut starts = vec![0u32; n + 1];
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        let mut cur = 0usize;
+        for (u, v, w) in edges {
+            let (u, v) = (u as usize, v as usize);
+            assert!(u < n && v < n, "endpoint out of range");
+            assert!(u >= cur, "edges must be grouped by ascending source");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "edge weight must be finite and non-negative, got {w}"
+            );
+            while cur < u {
+                cur += 1;
+                starts[cur] = targets.len() as u32;
+            }
+            targets.push(v as u32);
+            weights.push(w);
+        }
+        while cur < n {
+            cur += 1;
+            starts[cur] = targets.len() as u32;
+        }
+        CsrView {
+            starts,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Cost of hop `u → v`: the cheapest parallel edge, scanned in edge
+    /// order exactly as [`DiGraph::path_cost`] selects it; `f64::INFINITY`
+    /// when no such edge exists.
+    #[inline]
+    fn hop_cost(&self, u: usize, v: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        for e in self.starts[u] as usize..self.starts[u + 1] as usize {
+            if self.targets[e] as usize == v && self.weights[e].total_cmp(&best) == Ordering::Less {
+                best = self.weights[e];
+            }
+        }
+        best
+    }
+
+    /// Dijkstra from `source` to `target` avoiding `banned_nodes_list` and
+    /// `banned_edges`, reusing caller-owned scratch. The single shared
+    /// implementation behind [`DiGraph::shortest_path_avoiding`] and Yen.
+    #[must_use]
+    pub fn shortest_path_avoiding_with(
+        &self,
+        scratch: &mut DijkstraScratch,
+        source: usize,
+        target: usize,
+        banned_nodes_list: &[usize],
+        banned_edges: &[(usize, usize)],
+    ) -> Option<GraphPath> {
+        let n = self.num_nodes();
+        if source >= n || target >= n {
+            return None;
+        }
+        scratch.begin(n);
+        for &b in banned_nodes_list {
+            if b < n {
+                scratch.ban(b);
+            }
+        }
+        if scratch.banned(source) || scratch.banned(target) {
+            return None;
+        }
+        scratch.relax(source, 0.0, usize::MAX);
+        scratch.heap.push(HeapItem {
+            cost: 0.0,
+            node: source,
+        });
+        while let Some(HeapItem { cost, node }) = scratch.heap.pop() {
+            if cost > scratch.dist(node) {
+                continue;
+            }
+            if node == target {
+                break;
+            }
+            for e in self.starts[node] as usize..self.starts[node + 1] as usize {
+                let v = self.targets[e] as usize;
+                let nd = cost + self.weights[e];
+                // Target-bound prune: with non-negative weights, a label
+                // strictly beyond the target's current one can never sit on
+                // the path reconstructed below (equal labels may, through
+                // zero-weight hops, so they pass). Output-identical to the
+                // unpruned search.
+                if nd > scratch.dist(target) {
+                    continue;
+                }
+                if scratch.banned(v) || banned_edges.contains(&(node, v)) {
+                    continue;
+                }
+                if nd < scratch.dist(v) {
+                    scratch.relax(v, nd, node);
+                    scratch.heap.push(HeapItem { cost: nd, node: v });
+                }
+            }
+        }
+        if !scratch.dist(target).is_finite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while cur != source {
+            cur = scratch.prev[cur];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(GraphPath {
+            nodes,
+            cost: scratch.dist(target),
+        })
+    }
+
+    /// Yen's algorithm over the snapshot, reusing caller-owned scratch: up
+    /// to `k` shortest **simple** (loopless) paths from `source` to
+    /// `target`, in non-decreasing cost order. The implementation behind
+    /// [`DiGraph::k_shortest_paths`]; callers running Yen for many endpoint
+    /// pairs of one graph should build the view and scratch once.
+    #[must_use]
+    pub fn k_shortest_paths_with(
+        &self,
+        scratch: &mut DijkstraScratch,
+        source: usize,
+        target: usize,
+        k: usize,
+    ) -> Vec<GraphPath> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let Some(first) = self.shortest_path_avoiding_with(scratch, source, target, &[], &[])
+        else {
+            return Vec::new();
+        };
+        if source == target {
+            return vec![first];
+        }
+        let mut accepted: Vec<GraphPath> = vec![first];
+        // Candidate set; kept sorted on extraction.
+        let mut candidates: Vec<GraphPath> = Vec::new();
+
+        while accepted.len() < k {
+            let last = &accepted[accepted.len() - 1];
+            // Running prefix cost: extended hop by hop with the same
+            // left-to-right additions `path_cost` would perform, so every
+            // spur sees bit-identical root costs.
+            let mut root_cost = 0.0;
+            for i in 0..last.nodes.len() - 1 {
+                let spur_node = last.nodes[i];
+                let root = &last.nodes[..=i];
+
+                // Ban edges leaving the spur node that previous accepted paths
+                // with the same root already use.
+                let mut banned_edges = Vec::new();
+                for p in accepted.iter().chain(candidates.iter()) {
+                    if p.nodes.len() > i && p.nodes[..=i] == *root {
+                        banned_edges.push((p.nodes[i], p.nodes[i + 1]));
+                    }
+                }
+                // Ban root nodes except the spur node (loopless requirement).
+                let banned_nodes = &root[..i];
+
+                if let Some(spur) = self.shortest_path_avoiding_with(
+                    scratch,
+                    spur_node,
+                    target,
+                    banned_nodes,
+                    &banned_edges,
+                ) {
+                    let mut nodes = root.to_vec();
+                    nodes.extend_from_slice(&spur.nodes[1..]);
+                    let total = GraphPath {
+                        cost: root_cost + spur.cost,
+                        nodes,
+                    };
+                    if !candidates.iter().any(|c| c.nodes == total.nodes)
+                        && !accepted.iter().any(|a| a.nodes == total.nodes)
+                    {
+                        candidates.push(total);
+                    }
+                }
+
+                // Extend the prefix by hop (nodes[i], nodes[i+1]) — cheapest
+                // parallel edge, exactly as `path_cost` selects it.
+                root_cost += self.hop_cost(last.nodes[i], last.nodes[i + 1]);
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            // Extract the cheapest candidate.
+            let best = candidates
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            accepted.push(candidates.swap_remove(best));
+        }
+        accepted
+    }
+}
+
 /// A path through a [`DiGraph`]: node sequence plus total weight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphPath {
@@ -26,7 +287,7 @@ pub struct GraphPath {
     pub cost: f64,
 }
 
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct HeapItem {
     cost: f64,
     node: usize,
@@ -40,6 +301,90 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         other.cost.total_cmp(&self.cost)
+    }
+}
+
+/// Reusable buffers for repeated [`DiGraph`] shortest-path runs.
+///
+/// Yen's algorithm performs one spur Dijkstra per (accepted path, spur
+/// node) pair — dozens per `k_shortest_paths` call. Allocating `dist` /
+/// `prev` / banned arrays for each spur dominates the cost on the small
+/// traverse graphs of local inference, so the buffers live here and are
+/// invalidated in O(1) per run by an epoch stamp: an entry is only valid
+/// when its stamp matches the current epoch. Results are byte-identical to
+/// fresh allocation (pinned by `scratch_reuse_matches_fresh` below).
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    prev: Vec<usize>,
+    dist_stamp: Vec<u32>,
+    banned_stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl DijkstraScratch {
+    /// Scratch sized for `g`; growing lazily, any size works for any graph.
+    #[must_use]
+    pub fn for_graph(g: &DiGraph) -> Self {
+        Self::for_nodes(g.num_nodes())
+    }
+
+    /// Scratch pre-sized for `n` nodes (e.g. for a [`CsrView`] built without
+    /// an intermediate [`DiGraph`]); growing lazily, any size works.
+    #[must_use]
+    pub fn for_nodes(n: usize) -> Self {
+        let mut s = DijkstraScratch::default();
+        s.grow(n);
+        s
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, usize::MAX);
+            self.dist_stamp.resize(n, 0);
+            self.banned_stamp.resize(n, 0);
+        }
+    }
+
+    /// Starts a new run: clears the heap and invalidates every stamped
+    /// entry by bumping the epoch (wraparound refills the stamp arrays).
+    fn begin(&mut self, n: usize) {
+        self.grow(n);
+        self.heap.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.dist_stamp.fill(0);
+            self.banned_stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn dist(&self, v: usize) -> f64 {
+        if self.dist_stamp[v] == self.epoch {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn relax(&mut self, v: usize, d: f64, from: usize) {
+        self.dist[v] = d;
+        self.prev[v] = from;
+        self.dist_stamp[v] = self.epoch;
+    }
+
+    #[inline]
+    fn ban(&mut self, v: usize) {
+        self.banned_stamp[v] = self.epoch;
+    }
+
+    #[inline]
+    fn banned(&self, v: usize) -> bool {
+        self.banned_stamp[v] == self.epoch
     }
 }
 
@@ -182,60 +527,38 @@ impl DiGraph {
         banned_nodes_list: &[usize],
         banned_edges: &[(usize, usize)],
     ) -> Option<GraphPath> {
-        let n = self.out.len();
-        if source >= n || target >= n {
-            return None;
-        }
-        let mut banned = vec![false; n];
-        for &b in banned_nodes_list {
-            if b < n {
-                banned[b] = true;
-            }
-        }
-        if banned[source] || banned[target] {
-            return None;
-        }
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev = vec![usize::MAX; n];
-        dist[source] = 0.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(HeapItem {
-            cost: 0.0,
-            node: source,
-        });
-        while let Some(HeapItem { cost, node }) = heap.pop() {
-            if cost > dist[node] {
-                continue;
-            }
-            if node == target {
-                break;
-            }
-            for &(v, w) in &self.out[node] {
-                if banned[v] || banned_edges.contains(&(node, v)) {
-                    continue;
-                }
-                let nd = cost + w;
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    prev[v] = node;
-                    heap.push(HeapItem { cost: nd, node: v });
-                }
-            }
-        }
-        if !dist[target].is_finite() {
-            return None;
-        }
-        let mut nodes = vec![target];
-        let mut cur = target;
-        while cur != source {
-            cur = prev[cur];
-            nodes.push(cur);
-        }
-        nodes.reverse();
-        Some(GraphPath {
-            nodes,
-            cost: dist[target],
-        })
+        let mut scratch = DijkstraScratch::default();
+        self.shortest_path_avoiding_with(
+            &mut scratch,
+            source,
+            target,
+            banned_nodes_list,
+            banned_edges,
+        )
+    }
+
+    /// [`DiGraph::shortest_path_avoiding`] reusing caller-owned scratch
+    /// buffers — the zero-alloc spur primitive of Yen's algorithm.
+    ///
+    /// Snapshots the adjacency into CSR form first; callers issuing many
+    /// searches against one graph (Yen) should build a [`CsrView`] once and
+    /// query it directly.
+    #[must_use]
+    pub fn shortest_path_avoiding_with(
+        &self,
+        scratch: &mut DijkstraScratch,
+        source: usize,
+        target: usize,
+        banned_nodes_list: &[usize],
+        banned_edges: &[(usize, usize)],
+    ) -> Option<GraphPath> {
+        CsrView::new(self).shortest_path_avoiding_with(
+            scratch,
+            source,
+            target,
+            banned_nodes_list,
+            banned_edges,
+        )
     }
 
     // ------------------------------------------------------------ Yen's KSP
@@ -250,63 +573,9 @@ impl DiGraph {
         if k == 0 {
             return Vec::new();
         }
-        let Some(first) = self.shortest_path(source, target) else {
-            return Vec::new();
-        };
-        if source == target {
-            return vec![first];
-        }
-        let mut accepted: Vec<GraphPath> = vec![first];
-        // Candidate set; kept sorted on extraction.
-        let mut candidates: Vec<GraphPath> = Vec::new();
-
-        while accepted.len() < k {
-            let last = &accepted[accepted.len() - 1];
-            for i in 0..last.nodes.len() - 1 {
-                let spur_node = last.nodes[i];
-                let root: Vec<usize> = last.nodes[..=i].to_vec();
-                let root_cost = self.path_cost(&root);
-
-                // Ban edges leaving the spur node that previous accepted paths
-                // with the same root already use.
-                let mut banned_edges = Vec::new();
-                for p in accepted.iter().chain(candidates.iter()) {
-                    if p.nodes.len() > i && p.nodes[..=i] == root[..] {
-                        banned_edges.push((p.nodes[i], p.nodes[i + 1]));
-                    }
-                }
-                // Ban root nodes except the spur node (loopless requirement).
-                let banned_nodes: Vec<usize> = root[..i].to_vec();
-
-                if let Some(spur) =
-                    self.shortest_path_avoiding(spur_node, target, &banned_nodes, &banned_edges)
-                {
-                    let mut nodes = root.clone();
-                    nodes.extend_from_slice(&spur.nodes[1..]);
-                    let total = GraphPath {
-                        cost: root_cost + spur.cost,
-                        nodes,
-                    };
-                    if !candidates.iter().any(|c| c.nodes == total.nodes)
-                        && !accepted.iter().any(|a| a.nodes == total.nodes)
-                    {
-                        candidates.push(total);
-                    }
-                }
-            }
-            if candidates.is_empty() {
-                break;
-            }
-            // Extract the cheapest candidate.
-            let best = candidates
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            accepted.push(candidates.swap_remove(best));
-        }
-        accepted
+        let mut scratch = DijkstraScratch::for_graph(self);
+        // One CSR snapshot serves every spur search of this call.
+        CsrView::new(self).k_shortest_paths_with(&mut scratch, source, target, k)
     }
 
     /// Cost of a concrete node sequence (cheapest parallel edge per hop);
@@ -441,6 +710,30 @@ mod tests {
         g.add_edge(2, 3, 2.0);
         g.add_edge(0, 3, 5.0);
         g
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh() {
+        // One scratch reused across runs — with bans, unreachable targets
+        // and wraparound-adjacent epochs — must equal fresh allocation.
+        let g = diamond();
+        let mut reused = DijkstraScratch::for_graph(&g);
+        type Case = (usize, usize, Vec<usize>, Vec<(usize, usize)>);
+        let cases: Vec<Case> = vec![
+            (0, 3, vec![], vec![]),
+            (0, 3, vec![1], vec![]),
+            (0, 3, vec![], vec![(0, 1)]),
+            (0, 3, vec![1, 2], vec![(0, 3)]),
+            (3, 0, vec![], vec![]),
+            (2, 2, vec![], vec![]),
+        ];
+        for _round in 0..3 {
+            for (s, t, bn, be) in &cases {
+                let got = g.shortest_path_avoiding_with(&mut reused, *s, *t, bn, be);
+                let want = g.shortest_path_avoiding(*s, *t, bn, be);
+                assert_eq!(got, want, "{s}->{t} banned {bn:?}/{be:?}");
+            }
+        }
     }
 
     #[test]

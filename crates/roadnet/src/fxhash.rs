@@ -1,0 +1,120 @@
+//! A tiny, deterministic, non-cryptographic hasher (the rustc "Fx" scheme).
+//!
+//! Profiling the local-inference hot path showed the default SipHash
+//! implementation behind `std::collections::HashMap` accounting for a large
+//! share of per-query CPU (hashing small integer keys millions of times per
+//! second). The keys on the hot path are segment/node ids and interned
+//! indices — short, trusted, and never attacker-controlled — so a fast
+//! multiply-rotate hash is appropriate. This module is self-contained (no
+//! external crate) and its hashes are stable within a process, which is all
+//! the callers rely on: every consumer was audited to be independent of map
+//! iteration order (the previous `RandomState` maps already re-seeded per
+//! process, so order independence was a pre-existing requirement).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx scheme (a gold-ratio derived odd
+/// constant that mixes well for small integer keys).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast multiply-rotate hasher for small trusted keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the Fx hash — drop-in for hot-path integer keys.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the Fx hash.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spreads() {
+        let mut seen = FxHashSet::default();
+        for i in 0u32..1000 {
+            seen.insert(i);
+        }
+        assert_eq!(seen.len(), 1000);
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write_u64(0xdead_bef0);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn byte_writes_match_padding_behaviour() {
+        // 11 bytes: one full chunk + 3-byte zero-padded tail; must not panic
+        // and must differ from the 8-byte prefix alone.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

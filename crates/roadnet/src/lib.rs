@@ -16,17 +16,21 @@
 #![warn(missing_docs)]
 
 pub mod digraph;
+pub mod fxhash;
 pub mod generator;
 pub mod ids;
 pub mod network;
+pub mod oracle;
 pub mod osm;
 pub mod route;
 pub mod shortest;
 
-pub use digraph::DiGraph;
+pub use digraph::{CsrView, DiGraph, DijkstraScratch};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use generator::{NetworkConfig, RoadClass};
 pub use ids::{NodeId, SegmentId};
-pub use network::{RoadNetwork, Segment};
+pub use network::{LambdaSoA, RoadNetwork, Segment};
+pub use oracle::{CsrAdjacency, ScratchBuffers, SpOracle, SptTree};
 pub use osm::{parse_osm_xml, OsmNetwork};
 pub use route::Route;
 pub use shortest::{CostModel, PathResult, SpCache};

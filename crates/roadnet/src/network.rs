@@ -1,13 +1,16 @@
 //! The road network: directed segments with shape, length and speed limits.
 
 use crate::digraph::DiGraph;
+use crate::fxhash::FxHashMap;
 use crate::generator::RoadClass;
 use crate::ids::{NodeId, SegmentId};
+use crate::oracle::SpOracle;
 use crate::shortest::CostModel;
 use hris_geo::{BBox, Point, Polyline};
 use hris_rtree::{RTree, Spatial};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A directed road segment (Definition 2 of the paper).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -64,6 +67,100 @@ impl Spatial for SegEntry {
     }
 }
 
+/// Bound on memoised λ-neighborhood entries before a wholesale flush.
+const LAMBDA_CACHE_CAP: usize = 1 << 17;
+/// Bound on memoised candidate-edge projections before a wholesale flush.
+const CAND_CACHE_CAP: usize = 1 << 16;
+
+/// Lazily built acceleration state derived from the (immutable) network.
+///
+/// Every entry memoises the exact output of a pure function of the network
+/// — the shortest-path oracle, λ-neighborhood hop searches, candidate-edge
+/// projections — so reads through the caches are byte-identical to the
+/// uncached computations and need no invalidation for the network's
+/// lifetime. Cloning a network starts with fresh, empty caches; persistence
+/// stores only ground truth (nodes + segments), never derived state.
+struct NetCaches {
+    oracle: OnceLock<Arc<SpOracle>>,
+    /// `(segment, λ)` → λ-neighborhood with hop counts and chain distances.
+    lambda: Mutex<FxHashMap<(u32, u32), Arc<LambdaSoA>>>,
+    /// `(x bits, y bits, eps bits)` → candidate edges of that query circle.
+    cands: Mutex<CandCache>,
+}
+
+/// Query-circle key (x bits, y bits, eps bits) → its candidate edges.
+type CandCache = FxHashMap<(u64, u64, u64), Arc<Vec<CandidateEdge>>>;
+
+/// A λ-neighborhood in structure-of-arrays layout: the traverse-graph
+/// construction scans `segs` for interned hits and touches `hops`/`dists`
+/// only on a hit, so the common miss path reads 4 bytes per entry instead
+/// of a 24-byte tuple.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LambdaSoA {
+    /// Neighborhood segments, in BFS discovery order.
+    pub segs: Vec<SegmentId>,
+    /// Hop count per segment (parallel to `segs`).
+    pub hops: Vec<u32>,
+    /// Best chain distance per segment (parallel to `segs`).
+    pub dists: Vec<f64>,
+}
+
+impl LambdaSoA {
+    fn from_tuples(tuples: &[(SegmentId, usize, f64)]) -> Self {
+        LambdaSoA {
+            segs: tuples.iter().map(|t| t.0).collect(),
+            hops: tuples.iter().map(|t| t.1 as u32).collect(),
+            dists: tuples.iter().map(|t| t.2).collect(),
+        }
+    }
+
+    /// Number of neighborhood segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// `true` when the neighborhood is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+}
+
+impl NetCaches {
+    fn new() -> Self {
+        NetCaches {
+            oracle: OnceLock::new(),
+            lambda: Mutex::new(FxHashMap::default()),
+            cands: Mutex::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl Clone for NetCaches {
+    /// A cloned network re-derives its own caches (cheap, lazy, and avoids
+    /// sharing lock contention across clones).
+    fn clone(&self) -> Self {
+        NetCaches::new()
+    }
+}
+
+impl std::fmt::Debug for NetCaches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetCaches")
+            .field("oracle_built", &self.oracle.get().is_some())
+            .field(
+                "lambda_entries",
+                &self.lambda.lock().map(|m| m.len()).unwrap_or(0),
+            )
+            .field(
+                "cand_entries",
+                &self.cands.lock().map(|m| m.len()).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
 /// The directed road network (Definition 3): vertices, segments, adjacency
 /// and a spatial index over segment geometry.
 #[derive(Debug, Clone)]
@@ -76,6 +173,7 @@ pub struct RoadNetwork {
     in_segs: Vec<Vec<SegmentId>>,
     seg_index: RTree<SegEntry>,
     max_speed: f64,
+    hot: NetCaches,
 }
 
 /// Incremental constructor for [`RoadNetwork`].
@@ -200,6 +298,7 @@ impl RoadNetworkBuilder {
             in_segs,
             seg_index: RTree::bulk_load(entries),
             max_speed,
+            hot: NetCaches::new(),
         }
     }
 }
@@ -395,6 +494,130 @@ impl RoadNetwork {
             }
         }
         None
+    }
+
+    /// λ-neighborhood of `seg` with per-target hop count and accumulated
+    /// driving distance along the shortest-hop chain (excludes `seg`
+    /// itself). Targets appear in first-visit BFS order; a shorter chain
+    /// discovered later improves the recorded distance in place without
+    /// reordering or updating the hop count — the exact contract the
+    /// traverse-graph construction depends on.
+    #[must_use]
+    pub fn lambda_neighborhood_with_dist(
+        &self,
+        seg: SegmentId,
+        lambda: usize,
+    ) -> Vec<(SegmentId, usize, f64)> {
+        let mut out: Vec<(SegmentId, usize, f64)> = Vec::new();
+        if lambda <= 1 {
+            return out;
+        }
+        let m = self.segments.len();
+        let mut best = vec![f64::INFINITY; m];
+        let mut pos = vec![u32::MAX; m];
+        best[seg.index()] = 0.0;
+        let mut queue: VecDeque<(SegmentId, usize, f64)> = VecDeque::new();
+        queue.push_back((seg, 0, 0.0));
+        while let Some((cur, h, d)) = queue.pop_front() {
+            if h + 1 >= lambda {
+                continue;
+            }
+            for &next in self.next_segments(cur) {
+                let ni = next.index();
+                let nd = d + self.segments[ni].length;
+                if nd < best[ni] {
+                    let first_visit = best[ni].is_infinite();
+                    best[ni] = nd;
+                    if first_visit {
+                        pos[ni] = out.len() as u32;
+                        out.push((next, h + 1, nd));
+                        queue.push_back((next, h + 1, nd));
+                    } else {
+                        out[pos[ni] as usize].2 = nd;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // -------------------------------------------------- hot-path memoisation
+
+    /// The lazily built shortest-path oracle over this network.
+    ///
+    /// Built once on first use (preprocessing cost is reported by
+    /// [`SpOracle::preprocessing_seconds`]) and shared by every caller;
+    /// answers are byte-identical to the `shortest` module's queries.
+    #[must_use]
+    pub fn sp_oracle(&self) -> &Arc<SpOracle> {
+        self.hot
+            .oracle
+            .get_or_init(|| Arc::new(SpOracle::build(self)))
+    }
+
+    /// The oracle, if it has been built already (never triggers the
+    /// preprocessing pass — for metrics surfaces that only want to report).
+    #[must_use]
+    pub fn sp_oracle_if_built(&self) -> Option<&Arc<SpOracle>> {
+        self.hot.oracle.get()
+    }
+
+    /// Memoised [`RoadNetwork::lambda_neighborhood_with_dist`] in
+    /// structure-of-arrays layout.
+    ///
+    /// The traverse-graph construction issues this query once per traverse
+    /// node per candidate pair; the answer only depends on the immutable
+    /// network, so it is computed once per `(segment, λ)` and shared.
+    #[must_use]
+    pub fn lambda_neighborhood_soa(&self, seg: SegmentId, lambda: usize) -> Arc<LambdaSoA> {
+        let key = (seg.0, lambda as u32);
+        if let Some(hit) = self.hot.lambda.lock().expect("lambda cache").get(&key) {
+            return Arc::clone(hit);
+        }
+        let fresh = Arc::new(LambdaSoA::from_tuples(
+            &self.lambda_neighborhood_with_dist(seg, lambda),
+        ));
+        let mut map = self.hot.lambda.lock().expect("lambda cache");
+        if map.len() >= LAMBDA_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Tuple view of [`RoadNetwork::lambda_neighborhood_soa`] — same memo,
+    /// materialised as `(segment, hops, dist)` rows per call.
+    #[must_use]
+    pub fn lambda_neighborhood_dists(
+        &self,
+        seg: SegmentId,
+        lambda: usize,
+    ) -> Arc<Vec<(SegmentId, usize, f64)>> {
+        let soa = self.lambda_neighborhood_soa(seg, lambda);
+        Arc::new(
+            (0..soa.len())
+                .map(|i| (soa.segs[i], soa.hops[i] as usize, soa.dists[i]))
+                .collect(),
+        )
+    }
+
+    /// Memoised [`RoadNetwork::candidate_edges`], keyed by the exact query
+    /// bit patterns. Reference points are re-projected for every candidate
+    /// pair touching them; the projection is a pure function of the network,
+    /// so repeated queries cost one map lookup.
+    #[must_use]
+    pub fn candidate_edges_cached(&self, p: Point, eps: f64) -> Arc<Vec<CandidateEdge>> {
+        let key = (p.x.to_bits(), p.y.to_bits(), eps.to_bits());
+        if let Some(hit) = self.hot.cands.lock().expect("cand cache").get(&key) {
+            return Arc::clone(hit);
+        }
+        let fresh = Arc::new(self.candidate_edges(p, eps));
+        let mut map = self.hot.cands.lock().expect("cand cache");
+        if map.len() >= CAND_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&fresh));
+        fresh
     }
 
     /// Converts the node-level graph into a [`DiGraph`] under a cost model.
@@ -643,6 +866,43 @@ mod tests {
         // Garbage is rejected, not panicked on.
         assert!(RoadNetwork::from_json("{}").is_none());
         assert!(RoadNetwork::from_json("not json").is_none());
+    }
+
+    #[test]
+    fn cached_accessors_match_uncached() {
+        let net = tiny_grid();
+        let p = Point::new(50.0, 10.0);
+        assert_eq!(
+            *net.candidate_edges_cached(p, 15.0),
+            net.candidate_edges(p, 15.0)
+        );
+        // Second read hits the memo and must stay identical.
+        assert_eq!(
+            *net.candidate_edges_cached(p, 15.0),
+            net.candidate_edges(p, 15.0)
+        );
+        let seg = net.out_segments(NodeId(0))[0];
+        assert_eq!(
+            *net.lambda_neighborhood_dists(seg, 4),
+            net.lambda_neighborhood_with_dist(seg, 4)
+        );
+        assert_eq!(
+            *net.lambda_neighborhood_dists(seg, 4),
+            net.lambda_neighborhood_with_dist(seg, 4)
+        );
+        // Hop-only view agrees with the hop-only search.
+        let hops: Vec<(SegmentId, usize)> = net
+            .lambda_neighborhood_with_dist(seg, 4)
+            .into_iter()
+            .map(|(s, h, _)| (s, h))
+            .collect();
+        assert_eq!(hops, net.lambda_neighborhood(seg, 4));
+        // Cloning starts from fresh caches and a lazily rebuilt oracle.
+        assert!(net.sp_oracle_if_built().is_none());
+        let _ = net.sp_oracle();
+        assert!(net.sp_oracle_if_built().is_some());
+        let cloned = net.clone();
+        assert!(cloned.sp_oracle_if_built().is_none());
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Allocation regression probe for the shortest-path oracle hot path.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after the
+//! oracle's trees are warm, the steady-state candidate-pair probe
+//! (`route_cost_between`) must perform **zero** heap allocations — the
+//! whole point of the CSR + cached-tree layout is that the per-pair inner
+//! loop of local inference stops touching the allocator.
+//!
+//! One `#[test]` only: the counter is process-global, and a second test
+//! running concurrently would attribute its allocations to ours.
+
+use hris_roadnet::{generator, CostModel, NetworkConfig, SegmentId, SpOracle};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+/// Process-wide count, plus a per-thread one: the libtest harness threads
+/// allocate on their own schedule, so the assertion below reads the
+/// *thread-local* counter — only allocations made by the probing thread
+/// count. (`const`-initialized so reading it never itself allocates;
+/// `try_with` so allocator calls during TLS teardown stay safe.)
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static THREAD_ALLOCATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn count_one() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(std::cell::Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_pair_probe_allocates_nothing() {
+    let net = generator::generate(&NetworkConfig {
+        blocks_x: 6,
+        blocks_y: 6,
+        removal_frac: 0.1,
+        oneway_frac: 0.2,
+        ..NetworkConfig::small(7)
+    });
+    let oracle = SpOracle::build(&net);
+    let m = net.num_segments() as u32;
+    let pairs: Vec<(SegmentId, SegmentId)> = (0..m)
+        .step_by(3)
+        .map(|r| (SegmentId(r), SegmentId((r * 7 + 13) % m)))
+        .collect();
+
+    // Warm-up: computes and caches every tree the probes below will need
+    // (allocations here are expected — Dijkstra runs, boxes its results).
+    let mut warm = Vec::new();
+    for &(r, s) in &pairs {
+        for model in [CostModel::Distance, CostModel::Time] {
+            warm.push(oracle.route_cost_between(r, s, model));
+        }
+    }
+
+    // Steady state: identical probes answered from the reachability matrix
+    // and cached trees. Not one heap allocation is allowed.
+    let mut check = Vec::with_capacity(warm.len());
+    let before = thread_allocations();
+    for _round in 0..16 {
+        check.clear();
+        for &(r, s) in &pairs {
+            for model in [CostModel::Distance, CostModel::Time] {
+                check.push(oracle.route_cost_between(r, s, model));
+            }
+        }
+    }
+    let after = thread_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state route_cost_between probes must not allocate"
+    );
+    // And the answers are the warm-up's, bit for bit.
+    assert_eq!(warm.len(), check.len());
+    for (w, c) in warm.iter().zip(&check) {
+        match (w, c) {
+            (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+            (None, None) => {}
+            other => panic!("probe answer changed between rounds: {other:?}"),
+        }
+    }
+}

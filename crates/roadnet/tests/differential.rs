@@ -7,8 +7,12 @@
 //! thousands of random (network, source, target) triples is strong evidence
 //! both optimized implementations are exact.
 
-use hris_roadnet::shortest::{astar_path, shortest_costs_from, shortest_path};
-use hris_roadnet::{generator, CostModel, NetworkConfig, NodeId, RoadNetwork};
+use hris_roadnet::shortest::{
+    astar_path, route_between_segments, shortest_costs_from, shortest_path,
+};
+use hris_roadnet::{
+    generator, CostModel, NetworkConfig, NodeId, RoadNetwork, ScratchBuffers, SegmentId, SpOracle,
+};
 use proptest::prelude::*;
 
 /// Textbook O(V²) single-source Dijkstra: linear-scan extraction, no heap,
@@ -131,6 +135,78 @@ proptest! {
                     }
                     None => prop_assert!(want[t as usize].is_infinite()),
                 }
+            }
+        }
+    }
+
+    /// The precomputed oracle's full shortest-path trees agree with the
+    /// naive O(V²) Dijkstra from every source of a random network, and its
+    /// segment-level routes agree with the classic per-pair search —
+    /// including the unreachable cases answered by the reachability matrix.
+    #[test]
+    fn sp_oracle_matches_naive_oracle(
+        seed in 100u64..150,
+        removal in 0.0..0.25f64,
+        oneway in 0.0..0.4f64,
+    ) {
+        let net = small_net(seed, removal, oneway);
+        let oracle = SpOracle::build(&net);
+        let n = net.num_nodes() as u32;
+        for model in [CostModel::Distance, CostModel::Time] {
+            for s in 0..n {
+                let s = NodeId(s);
+                let want = naive_dijkstra(&net, s, model);
+                let spt = oracle.spt(s, model);
+                for (t, &w) in want.iter().enumerate() {
+                    let g = spt.dist_to(NodeId(t as u32));
+                    if g.is_finite() || w.is_finite() {
+                        prop_assert!((g - w).abs() < 1e-6, "s={s:?} t={t}: {g} vs {w}");
+                    }
+                    // The reach matrix must agree with the distances.
+                    prop_assert_eq!(
+                        oracle.reachable(s, NodeId(t as u32)),
+                        w.is_finite(),
+                        "reachability disagrees at s={:?} t={}", s, t
+                    );
+                }
+            }
+        }
+        // Segment-level routes: byte-identical to the classic search.
+        let m = net.num_segments() as u32;
+        for (r, s) in (0..m).zip((0..m).rev()) {
+            let (r, s) = (SegmentId(r), SegmentId(s));
+            for model in [CostModel::Distance, CostModel::Time] {
+                let got = oracle.route_between(r, s, model);
+                let want = route_between_segments(&net, r, s, model);
+                prop_assert_eq!(&got, &want, "route {:?}->{:?} {:?}", r, s, model);
+            }
+        }
+    }
+
+    /// Reusing one `ScratchBuffers` across many point-to-point queries is
+    /// indistinguishable from allocating fresh buffers per query: epoch
+    /// stamping must make stale state invisible.
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation(
+        seed in 150u64..200,
+        removal in 0.0..0.25f64,
+        oneway in 0.0..0.4f64,
+        pairs in prop::collection::vec((0u32..4096, 0u32..4096), 1..24),
+    ) {
+        let net = small_net(seed, removal, oneway);
+        let oracle = SpOracle::build(&net);
+        let n = net.num_nodes() as u32;
+        let mut reused = ScratchBuffers::for_network(&net);
+        for (a, b) in pairs {
+            let (s, t) = (NodeId(a % n), NodeId(b % n));
+            for model in [CostModel::Distance, CostModel::Time] {
+                let mut fresh = ScratchBuffers::for_network(&net);
+                let got = oracle.point_to_point(s, t, model, &mut reused);
+                let want = oracle.point_to_point(s, t, model, &mut fresh);
+                prop_assert_eq!(&got, &want, "{:?}->{:?} {:?}", s, t, model);
+                // And both agree with the classic early-exit Dijkstra.
+                let classic = shortest_path(&net, s, t, model);
+                prop_assert_eq!(&got, &classic);
             }
         }
     }
