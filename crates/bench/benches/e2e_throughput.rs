@@ -16,10 +16,16 @@
 //! An `ingest_throughput` section measures the live path: the back half of
 //! the archive streams through an [`ArchiveWriter`] (publishing an epoch per
 //! chunk) while a live [`EngineHandle`] serves query batches concurrently.
+//!
+//! A `sharded` section routes a partition-respecting workload through a 2×2
+//! [`ShardedEngine`] — after checking every answer byte-identical to the
+//! single-shard engine — and records per-shard qps, the scatter fan-out
+//! ratio and the seam splice count.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hris::prelude::*;
 use hris_bench::{bench_scenario, resampled_queries};
+use hris_router::{RouteKind, ShardPlan, ShardedEngine};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -115,6 +121,192 @@ fn measure_ingest(
     }
 }
 
+/// Numbers from the sharded scatter-gather run.
+struct ShardedNumbers {
+    grid: (usize, usize),
+    margin_m: f64,
+    replication_factor: f64,
+    per_shard_qps: Vec<f64>,
+    sharded_qps: f64,
+    fan_out_ratio: f64,
+    scatter_queries: usize,
+    splices_total: usize,
+    workload_queries: usize,
+}
+
+/// A deterministic `n`-point walk starting at `(x, y)` with per-hop step
+/// `(dx, dy)` and a small seeded wobble — no RNG state to thread around.
+fn walk(id: u32, x: f64, y: f64, dx: f64, dy: f64, n: usize, seed: u64) -> hris_traj::Trajectory {
+    use hris_traj::{GpsPoint, TrajId};
+    hris_traj::Trajectory::new(
+        TrajId(id),
+        (0..n)
+            .map(|i| {
+                let h = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64 * 0x2545_F491_4F6C_DD1D);
+                let wob = ((h >> 33) % 200) as f64 - 100.0;
+                GpsPoint::new(
+                    hris_geo::Point::new(x + i as f64 * dx + wob, y + i as f64 * dy - wob * 0.5),
+                    i as f64 * 120.0,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Routes a partition-respecting workload (in-core walks per shard plus
+/// seam-straddling walks within the margin slack) through a 2×2
+/// [`ShardedEngine`], proves every answer byte-identical to the single-shard
+/// engine, and measures throughput and fan-out.
+fn measure_sharded(s: &hris_eval::scenario::Scenario, rounds: usize) -> ShardedNumbers {
+    let net = Arc::new(s.net.clone());
+    let phi = HrisParams::default().phi_m;
+    // φ + 900 m of slack: seam pairs stepping ≤ 900 m stay
+    // partition-respecting, so even scattered answers are byte-identical.
+    let plan = ShardPlan::grid(&net, 2, 2, phi + 900.0);
+    let num_shards = plan.num_shards();
+    let sharded = ShardedEngine::build(
+        Arc::clone(&net),
+        &s.archive,
+        HrisParams::default(),
+        EngineConfig::default(),
+        plan,
+    );
+    let single = EngineHandle::new(Arc::clone(&net), s.archive.clone(), HrisParams::default());
+
+    // Six walks per shard clustered around the core center — far enough
+    // from every seam that the φ-bbox fits only the home region, so the
+    // router must delegate to that shard — plus six seam walks crossing the
+    // vertical seam in 700 m steps.
+    let mut per_shard: Vec<Vec<hris_traj::Trajectory>> = Vec::new();
+    for sh in 0..num_shards {
+        let c = sharded.plan().core(sh);
+        per_shard.push(
+            (0..6u32)
+                .map(|q| {
+                    walk(
+                        q,
+                        c.center().x - 400.0 + q as f64 * 120.0,
+                        c.center().y - 300.0 + q as f64 * 100.0,
+                        90.0,
+                        70.0,
+                        5,
+                        sh as u64 * 101 + q as u64,
+                    )
+                })
+                .collect(),
+        );
+    }
+    let seam_x = sharded.plan().core(0).max.x;
+    let seam: Vec<hris_traj::Trajectory> = (0..6u32)
+        .map(|q| {
+            let cy = sharded.plan().core(0).center().y + q as f64 * 250.0;
+            walk(
+                100 + q,
+                seam_x - 1_050.0,
+                cy,
+                700.0,
+                40.0,
+                4,
+                900 + q as u64,
+            )
+        })
+        .collect();
+
+    // Correctness gate before any timing: the sharded engine must reproduce
+    // the single-shard engine byte-for-byte on this workload, and the
+    // routing must be what the workload was built to exercise.
+    let mut dispatches = 0usize;
+    let mut scatter_queries = 0usize;
+    let mut splices_total = 0usize;
+    let mut check = |q: &hris_traj::Trajectory, want_single: Option<usize>| {
+        let (got, trace) = sharded.infer_query_traced(q, K);
+        let want = single.infer_query(q, K);
+        assert_eq!(got.outcome, want.outcome, "sharded outcome parity");
+        assert_eq!(got.globals.len(), want.globals.len());
+        for (a, b) in got.globals.iter().zip(&want.globals) {
+            assert!(
+                a.route == b.route && a.log_score.to_bits() == b.log_score.to_bits(),
+                "sharded answer diverged from single-shard"
+            );
+        }
+        match trace.kind {
+            RouteKind::Single(sh) => {
+                if let Some(w) = want_single {
+                    assert_eq!(sh, w, "in-core query routed to its own shard");
+                }
+                dispatches += 1;
+            }
+            RouteKind::Scatter => {
+                let touched: std::collections::HashSet<usize> =
+                    trace.pair_shards.iter().copied().collect();
+                dispatches += touched.len();
+                scatter_queries += 1;
+                splices_total += trace.splice_points.len();
+            }
+            RouteKind::Rejected => panic!("bench workload must not be rejected"),
+        }
+    };
+    for (sh, qs) in per_shard.iter().enumerate() {
+        for q in qs {
+            check(q, Some(sh));
+        }
+    }
+    for q in &seam {
+        check(q, None);
+    }
+    assert!(scatter_queries > 0, "seam workload must scatter");
+
+    let workload_queries = per_shard.iter().map(Vec::len).sum::<usize>() + seam.len();
+    let per_shard_qps: Vec<f64> = per_shard
+        .iter()
+        .map(|qs| {
+            qps(qs.len(), rounds, || {
+                qs.iter()
+                    .map(|q| {
+                        let r = sharded.infer_query(q, K);
+                        r.globals
+                            .into_iter()
+                            .map(|g| ScoredRoute {
+                                route: g.route,
+                                log_score: g.log_score,
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    let all: Vec<&hris_traj::Trajectory> = per_shard.iter().flatten().chain(seam.iter()).collect();
+    let sharded_qps = qps(all.len(), rounds, || {
+        all.iter()
+            .map(|q| {
+                let r = sharded.infer_query(q, K);
+                r.globals
+                    .into_iter()
+                    .map(|g| ScoredRoute {
+                        route: g.route,
+                        log_score: g.log_score,
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+
+    ShardedNumbers {
+        grid: sharded.plan().grid_dims(),
+        margin_m: sharded.plan().margin_m(),
+        replication_factor: sharded.replication_factor(),
+        per_shard_qps,
+        sharded_qps,
+        fan_out_ratio: dispatches as f64 / workload_queries as f64,
+        scatter_queries,
+        splices_total,
+        workload_queries,
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let s = bench_scenario();
     let queries = resampled_queries(&s, 180.0);
@@ -202,6 +394,7 @@ fn bench(c: &mut Criterion) {
         .collect();
 
     let ingest = measure_ingest(&s, &queries);
+    let sharded = measure_sharded(&s, rounds);
 
     // Shortest-path-oracle economics: one-off preprocessing cost, cache
     // behaviour over the run, and the sequential qps movement against the
@@ -254,6 +447,18 @@ fn bench(c: &mut Criterion) {
             "sequential_speedup": qps_seq / QPS_SEQUENTIAL_PR5,
         },
         "outputs_identical_to_sequential": true,
+        "sharded": {
+            "grid": format!("{}x{}", sharded.grid.0, sharded.grid.1),
+            "margin_m": sharded.margin_m,
+            "replication_factor": sharded.replication_factor,
+            "workload_queries": sharded.workload_queries,
+            "per_shard_qps": sharded.per_shard_qps,
+            "sharded_qps": sharded.sharded_qps,
+            "fan_out_ratio": sharded.fan_out_ratio,
+            "scatter_queries": sharded.scatter_queries,
+            "splices_total": sharded.splices_total,
+            "outputs_identical_to_single_shard": true,
+        },
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e2e.json");
     std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
@@ -278,6 +483,23 @@ fn bench(c: &mut Criterion) {
         ingest.points_per_sec,
         ingest.epochs_published,
         ingest.concurrent_batch_qps
+    );
+    println!(
+        "sharded {}x{} (margin {:.0} m, replication {:.2}x): {:.2} qps, \
+         fan-out {:.2}, {} scatter queries / {} splices, per-shard {:?}",
+        sharded.grid.0,
+        sharded.grid.1,
+        sharded.margin_m,
+        sharded.replication_factor,
+        sharded.sharded_qps,
+        sharded.fan_out_ratio,
+        sharded.scatter_queries,
+        sharded.splices_total,
+        sharded
+            .per_shard_qps
+            .iter()
+            .map(|q| (q * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     let mut g = c.benchmark_group("e2e_throughput");

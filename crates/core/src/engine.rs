@@ -62,6 +62,10 @@ pub enum RejectReason {
     EmptyQuery,
     /// Sanitization removed every observation (all points were garbage).
     NoUsablePoints,
+    /// Sharded serving only: every shard holding the query's data is
+    /// unhealthy (corrupt archive or stale snapshot), and no healthy shard
+    /// can stand in.
+    ShardUnavailable,
 }
 
 /// Per-query disposition of the engine's validation/degradation layer.

@@ -116,6 +116,32 @@ impl EngineHandle {
         Self::build(net, params, ArchiveSource::Live(reader), cfg, None, epoch)
     }
 
+    /// [`EngineHandle::from_snapshot`] instrumented onto a caller-owned
+    /// registry (implies `cfg.obs.enabled`). This is the construction shape
+    /// of a shard engine behind a router: each shard pins (or follows) its
+    /// own archive and owns its own registry, and the router federates the
+    /// per-shard registries under a `shard` label (see
+    /// [`MetricsSnapshot::with_labels`](hris_obs::MetricsSnapshot)).
+    #[must_use]
+    pub fn from_snapshot_with_registry(
+        net: Arc<RoadNetwork>,
+        snapshot: Arc<ArchiveSnapshot>,
+        params: HrisParams,
+        mut cfg: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        cfg.obs.enabled = true;
+        let epoch = snapshot.epoch();
+        Self::build(
+            net,
+            params,
+            ArchiveSource::Fixed(snapshot),
+            cfg,
+            Some(registry),
+            epoch,
+        )
+    }
+
     /// [`EngineHandle::live`] instrumented onto a caller-owned registry
     /// (implies `cfg.obs.enabled`), so engine and ingest metrics can share
     /// one exporter.
@@ -304,8 +330,23 @@ impl EngineHandle {
     /// Phases 1–2 against the current epoch (phase 3 input).
     #[must_use]
     pub fn local_inference(&self, query: &hris_traj::Trajectory) -> Vec<LocalInferenceResult> {
+        self.local_inference_pinned(query).0
+    }
+
+    /// Phases 1–2 plus the epoch they were answered against. The snapshot
+    /// is pinned **once** for the whole call, so the returned locals are
+    /// mutually consistent even while ingestion publishes concurrently —
+    /// this is the entrypoint a scatter-gather router uses, and the epoch
+    /// is its proof of snapshot isolation (one whole epoch per shard per
+    /// query).
+    #[must_use]
+    pub fn local_inference_pinned(
+        &self,
+        query: &hris_traj::Trajectory,
+    ) -> (Vec<LocalInferenceResult>, u64) {
         let snap = self.current_snapshot();
-        self.core
+        let locals = self
+            .core
             .local_inference_run(
                 self.ctx(&snap),
                 query,
@@ -314,7 +355,38 @@ impl EngineHandle {
                 false,
                 None,
             )
-            .locals
+            .locals;
+        (locals, snap.epoch())
+    }
+
+    /// [`EngineHandle::local_inference_pinned`] for several sub-queries
+    /// against **one** pinned snapshot. A scatter-gather router whose query
+    /// revisits a shard (an A–B–A pair assignment) calls this once per
+    /// shard, so every sub-query of one routed query observes the same
+    /// epoch even while ingestion publishes concurrently.
+    #[must_use]
+    pub fn local_inference_pinned_batch(
+        &self,
+        queries: &[hris_traj::Trajectory],
+    ) -> (Vec<Vec<LocalInferenceResult>>, u64) {
+        let snap = self.current_snapshot();
+        let locals = queries
+            .iter()
+            .map(|q| {
+                self.core
+                    .local_inference_run(self.ctx(&snap), q, self.config().mode, None, false, None)
+                    .locals
+            })
+            .collect();
+        (locals, snap.epoch())
+    }
+
+    /// Whether this handle follows a live [`SnapshotReader`] (`true`) or is
+    /// pinned to a fixed snapshot (`false`). Staleness watchdogs only make
+    /// sense for live sources — a fixed snapshot ages by construction.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        matches!(self.source, ArchiveSource::Live(_))
     }
 
     /// Seconds since the snapshot the next query would serve against was

@@ -61,6 +61,40 @@ impl MetricsSnapshot {
         self.histogram(name, labels).map(|h| h.sum)
     }
 
+    /// The same snapshot with `extra` label pairs stamped onto every entry
+    /// (label sets stay sorted by label name). This is the federation
+    /// primitive for sharded serving: each shard keeps its own registry, and
+    /// an aggregator relabels each shard's snapshot with `("shard", "<i>")`
+    /// before merging, so identically-named per-shard metrics stay distinct
+    /// series in one exposition.
+    ///
+    /// Entries that already carry one of the `extra` label names keep their
+    /// own value (the stamp never overwrites an explicit label).
+    #[must_use]
+    pub fn with_labels(mut self, extra: &[(&str, &str)]) -> MetricsSnapshot {
+        for e in &mut self.entries {
+            for &(k, v) in extra {
+                if e.labels.iter().any(|(name, _)| name == k) {
+                    continue;
+                }
+                e.labels.push((k.to_string(), v.to_string()));
+            }
+            e.labels.sort();
+        }
+        self
+    }
+
+    /// One snapshot holding every entry of `parts`, in order. Combine with
+    /// [`MetricsSnapshot::with_labels`] to build a single deterministic
+    /// exposition over many registries (exports sort by `(name, labels)`,
+    /// so the concatenation order does not leak into the output).
+    #[must_use]
+    pub fn merged(parts: impl IntoIterator<Item = MetricsSnapshot>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: parts.into_iter().flat_map(|s| s.entries).collect(),
+        }
+    }
+
     /// The entries re-sorted by `(name, labels)` at export time. Registry
     /// snapshots arrive sorted already, but `entries` is a public field a
     /// caller may have assembled by hand — sorting here makes every export
@@ -371,5 +405,59 @@ mod tests {
             Some(h.sum)
         );
         assert!(s.get("lat_seconds", &[]).is_none());
+    }
+}
+
+#[cfg(test)]
+mod federation_tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn with_labels_stamps_every_entry_and_keeps_sorted_order() {
+        let r = MetricsRegistry::new();
+        r.counter("queries_total", "Q.").add(4);
+        r.histogram_with_labels("lat_seconds", "L.", &[1.0], &[("phase", "a")])
+            .observe(0.5);
+        let s = r.snapshot().with_labels(&[("shard", "3")]);
+        assert_eq!(s.get("queries_total", &[("shard", "3")]).is_some(), true);
+        // Existing labels are preserved and the combined set is sorted.
+        let e = s
+            .get("lat_seconds", &[("phase", "a"), ("shard", "3")])
+            .expect("relabelled histogram");
+        assert!(e.labels.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn with_labels_never_overwrites_an_explicit_label() {
+        let r = MetricsRegistry::new();
+        r.counter_with_labels("queries_total", "Q.", &[("shard", "9")])
+            .inc();
+        let s = r.snapshot().with_labels(&[("shard", "0")]);
+        assert!(s.get("queries_total", &[("shard", "9")]).is_some());
+        assert!(s.get("queries_total", &[("shard", "0")]).is_none());
+    }
+
+    #[test]
+    fn merged_federates_shard_registries_into_distinct_series() {
+        let snaps: Vec<MetricsSnapshot> = (0..3)
+            .map(|i| {
+                let r = MetricsRegistry::new();
+                r.counter("queries_total", "Q.").add(i + 1);
+                r.snapshot().with_labels(&[("shard", &i.to_string())])
+            })
+            .collect();
+        let all = MetricsSnapshot::merged(snaps);
+        assert_eq!(all.entries.len(), 3);
+        for i in 0..3u64 {
+            let got = all
+                .get("queries_total", &[("shard", &i.to_string())])
+                .expect("per-shard series");
+            assert_eq!(got.value, SnapshotValue::Counter(i + 1));
+        }
+        // The exposition is deterministic and shows each series once.
+        let text = all.to_prometheus();
+        assert_eq!(text.matches("queries_total{shard=").count(), 3);
+        assert_eq!(text.matches("# HELP queries_total").count(), 1);
     }
 }

@@ -24,6 +24,7 @@ pub mod oracle;
 pub mod osm;
 pub mod route;
 pub mod shortest;
+pub mod subnet;
 
 pub use digraph::{CsrView, DiGraph, DijkstraScratch};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
@@ -34,3 +35,4 @@ pub use oracle::{CsrAdjacency, ScratchBuffers, SpOracle, SptTree};
 pub use osm::{parse_osm_xml, OsmNetwork};
 pub use route::Route;
 pub use shortest::{CostModel, PathResult, SpCache};
+pub use subnet::SubNetwork;

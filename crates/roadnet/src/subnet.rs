@@ -1,0 +1,226 @@
+//! Sub-network extraction: a self-contained [`RoadNetwork`] over a chosen
+//! segment subset, with bidirectional id mappings back to the parent.
+//!
+//! Spatial sharding partitions the road graph into per-shard cells; each
+//! shard can then materialize its owned-plus-replicated segment set as an
+//! independent network (own R-tree, own caches, own shortest-path oracle)
+//! whose memory footprint scales with the cell, not the city. Because the
+//! parent network's ids are dense, the extracted network re-numbers both
+//! nodes and segments; the [`SubNetwork`] wrapper keeps the order-preserving
+//! maps so routes and candidate edges translate losslessly in both
+//! directions.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{NodeId, SegmentId};
+use crate::network::RoadNetwork;
+use crate::route::Route;
+
+/// A [`RoadNetwork`] extracted from a parent network, plus the id mappings
+/// linking the two. Produced by [`RoadNetwork::extract_subnetwork`].
+///
+/// Both mappings are **order-preserving**: ascending local ids correspond to
+/// ascending global ids, so any parent-side ordering by id survives the
+/// round trip unchanged.
+pub struct SubNetwork {
+    /// The extracted network (re-numbered dense ids).
+    pub net: RoadNetwork,
+    /// Local segment id → parent segment id (index = local id).
+    seg_to_global: Vec<SegmentId>,
+    /// Local node id → parent node id (index = local id).
+    node_to_global: Vec<NodeId>,
+    /// Parent segment id → local segment id.
+    global_to_local: FxHashMap<SegmentId, SegmentId>,
+}
+
+impl SubNetwork {
+    /// The parent-side id of a local segment.
+    #[must_use]
+    pub fn global_segment(&self, local: SegmentId) -> SegmentId {
+        self.seg_to_global[local.index()]
+    }
+
+    /// The local id of a parent segment, when it was extracted.
+    #[must_use]
+    pub fn local_segment(&self, global: SegmentId) -> Option<SegmentId> {
+        self.global_to_local.get(&global).copied()
+    }
+
+    /// The parent-side id of a local node.
+    #[must_use]
+    pub fn global_node(&self, local: NodeId) -> NodeId {
+        self.node_to_global[local.index()]
+    }
+
+    /// A local route translated into parent segment ids.
+    #[must_use]
+    pub fn route_to_global(&self, route: &Route) -> Route {
+        Route::new(
+            route
+                .segments()
+                .iter()
+                .map(|&s| self.global_segment(s))
+                .collect(),
+        )
+    }
+
+    /// A parent route translated into local segment ids; `None` when any
+    /// segment of the route lies outside this sub-network.
+    #[must_use]
+    pub fn route_to_local(&self, route: &Route) -> Option<Route> {
+        let segs: Option<Vec<SegmentId>> = route
+            .segments()
+            .iter()
+            .map(|&s| self.local_segment(s))
+            .collect();
+        segs.map(Route::new)
+    }
+}
+
+impl RoadNetwork {
+    /// Extracts the sub-network induced by `segments`: those segments plus
+    /// every node incident to one of them, re-numbered densely while
+    /// preserving relative id order. Duplicate ids in `segments` are
+    /// accepted and collapse to one copy; geometry, speed limits and road
+    /// classes carry over verbatim.
+    ///
+    /// Every node of the result is incident to at least one extracted
+    /// segment — extraction can never produce an orphan node.
+    ///
+    /// # Panics
+    /// Panics when a segment id is out of range for this network.
+    #[must_use]
+    pub fn extract_subnetwork(&self, segments: &[SegmentId]) -> SubNetwork {
+        let mut wanted: Vec<SegmentId> = segments.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+
+        // Incident nodes, ascending by parent id so the local order mirrors
+        // the parent order.
+        let mut nodes: Vec<NodeId> = wanted
+            .iter()
+            .flat_map(|&sid| {
+                let s = self.segment(sid);
+                [s.from, s.to]
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+
+        let mut node_local: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        let mut builder = RoadNetwork::builder();
+        for &nid in &nodes {
+            let local = builder.add_node(self.node(nid));
+            node_local.insert(nid, local);
+        }
+
+        let mut global_to_local: FxHashMap<SegmentId, SegmentId> = FxHashMap::default();
+        for &sid in &wanted {
+            let s = self.segment(sid);
+            let local = builder.add_segment(
+                node_local[&s.from],
+                node_local[&s.to],
+                s.geometry.clone(),
+                s.speed_limit,
+                s.class,
+            );
+            global_to_local.insert(sid, local);
+        }
+
+        SubNetwork {
+            net: builder.build(),
+            seg_to_global: wanted,
+            node_to_global: nodes,
+            global_to_local,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{self, NetworkConfig};
+
+    fn parent() -> RoadNetwork {
+        generator::generate(&NetworkConfig::small(6))
+    }
+
+    #[test]
+    fn extraction_preserves_geometry_and_order() {
+        let net = parent();
+        // Every other segment, out of order and with a duplicate.
+        let mut ids: Vec<SegmentId> = (0..net.num_segments())
+            .step_by(2)
+            .map(|i| SegmentId(i as u32))
+            .rev()
+            .collect();
+        ids.push(ids[0]);
+        let sub = net.extract_subnetwork(&ids);
+
+        assert_eq!(sub.net.num_segments(), ids.len() - 1);
+        for local_idx in 0..sub.net.num_segments() {
+            let local = SegmentId(local_idx as u32);
+            let global = sub.global_segment(local);
+            let (a, b) = (sub.net.segment(local), net.segment(global));
+            assert_eq!(a.length, b.length);
+            assert_eq!(a.speed_limit, b.speed_limit);
+            assert_eq!(a.class, b.class);
+            assert_eq!(sub.net.node(a.from), net.node(b.from));
+            assert_eq!(sub.net.node(a.to), net.node(b.to));
+            assert_eq!(sub.local_segment(global), Some(local));
+        }
+        // Order-preserving: ascending local ids map to ascending global ids.
+        let globals: Vec<u32> = (0..sub.net.num_segments())
+            .map(|i| sub.global_segment(SegmentId(i as u32)).0)
+            .collect();
+        assert!(globals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn extraction_has_no_orphan_nodes() {
+        let net = parent();
+        let ids: Vec<SegmentId> = (0..net.num_segments() / 3)
+            .map(|i| SegmentId(i as u32))
+            .collect();
+        let sub = net.extract_subnetwork(&ids);
+        let mut incident = vec![false; sub.net.num_nodes()];
+        for s in sub.net.segments() {
+            incident[s.from.index()] = true;
+            incident[s.to.index()] = true;
+        }
+        assert!(incident.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn routes_translate_in_both_directions() {
+        let net = parent();
+        let ids: Vec<SegmentId> = (0..net.num_segments())
+            .map(|i| SegmentId(i as u32))
+            .collect();
+        let sub = net.extract_subnetwork(&ids);
+        let route = Route::new(vec![SegmentId(1), SegmentId(4), SegmentId(7)]);
+        let local = sub.route_to_local(&route).expect("full extraction");
+        assert_eq!(sub.route_to_global(&local), route);
+
+        // A partial extraction cannot translate a route it does not cover.
+        let partial = net.extract_subnetwork(&[SegmentId(0)]);
+        assert!(partial.route_to_local(&route).is_none());
+    }
+
+    #[test]
+    fn full_extraction_reproduces_candidate_lookups() {
+        let net = parent();
+        let ids: Vec<SegmentId> = (0..net.num_segments())
+            .map(|i| SegmentId(i as u32))
+            .collect();
+        let sub = net.extract_subnetwork(&ids);
+        assert_eq!(sub.net.num_nodes(), net.num_nodes());
+        let p = net.bbox().center();
+        let a = net.candidate_edges(p, 120.0);
+        let b = sub.net.candidate_edges(p, 120.0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.segment, sub.global_segment(y.segment));
+            assert_eq!(x.dist, y.dist);
+        }
+    }
+}

@@ -1,0 +1,712 @@
+//! The sharded serving front: routes queries to per-shard engines and
+//! scatter-gathers across shard seams.
+//!
+//! # Correctness model
+//!
+//! The HRIS pipeline touches the historical archive **only** through
+//! φ-radius range queries around query points (reference search), and
+//! reference search is stable under order-preserving archive subsetting.
+//! So the router preserves the global engine's answers bit-for-bit in two
+//! regimes:
+//!
+//! * **Single-shard** — the query's φ-inflated bounding box fits inside one
+//!   shard's replication region. That shard's archive holds every
+//!   trajectory any of the query's range queries can hit (the partitioner's
+//!   replication rule), so the whole query is delegated verbatim and the
+//!   answer — routes, scores, statistics, outcome — is byte-identical to a
+//!   global engine over the unpartitioned archive.
+//! * **Cross-shard, partition-respecting pairs** — every *pair* of
+//!   consecutive query points has a φ-inflated bounding box inside some
+//!   region. The router splits the query into maximal same-shard runs,
+//!   collects each shard's phase-1/2 local inferences (pinning one snapshot
+//!   per shard), remaps shard-local trajectory ids back to global ids, and
+//!   runs the phase-3 K-GRI dynamic program itself over the concatenated
+//!   locals. Each per-pair local result equals the global engine's (same
+//!   range-query hits, same deterministic reference search), and the id
+//!   remap makes the cross-pair transition-confidence intersections equal
+//!   too, so the composed top-K is again byte-identical.
+//!
+//! A query with a *wild pair* (one whose φ-box fits no region — possible
+//! only when the replication margin is smaller than φ) is still answered
+//! deterministically: the pair is assigned to the shard owning its
+//! midpoint, and the answer is best-effort rather than provably identical.
+//!
+//! # Faults
+//!
+//! Shards can be marked [`ShardHealth::Unhealthy`] (quarantined load,
+//! corrupt archive) and live shards are additionally auto-checked against
+//! the staleness bound. Work routed at an unhealthy shard is reassigned to
+//! the nearest healthy shard and the outcome is demoted to
+//! [`QueryOutcome::Degraded`] — degraded answers are *labelled*, never
+//! silent. With no healthy shard left the query is rejected with
+//! [`RejectReason::ShardUnavailable`]. The router never panics on a faulty
+//! shard.
+
+use crate::plan::ShardPlan;
+use hris::{
+    k_gri_with, EngineConfig, EngineHandle, HrisParams, LocalInferenceResult, QueryOutcome,
+    QueryResult, RejectReason,
+};
+use hris_geo::BBox;
+use hris_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use hris_roadnet::RoadNetwork;
+use hris_traj::{
+    partition_archive, sanitize_points, ArchiveSnapshot, PointRepairs, SnapshotReader, TrajId,
+    Trajectory, TrajectoryArchive,
+};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Router-side health of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy,
+    /// Quarantined: the shard's data cannot be trusted (corrupt archive,
+    /// failed load). Its work is rerouted and outcomes are demoted.
+    Unhealthy,
+}
+
+/// How the router dispatched one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// Rejected before touching any shard.
+    Rejected,
+    /// Whole query delegated to the contained shard.
+    Single(usize),
+    /// Split into per-pair runs across several shards.
+    Scatter,
+}
+
+/// Introspection record of one routed query (test pinning, debugging).
+#[derive(Debug, Clone)]
+pub struct RouteTrace {
+    /// Dispatch shape.
+    pub kind: RouteKind,
+    /// Scatter only: the shard that served each consecutive-point pair,
+    /// after health rerouting. Empty for single-shard and rejected queries.
+    pub pair_shards: Vec<usize>,
+    /// Scatter only: seam positions — each entry `i` means pairs `i` and
+    /// `i + 1` ran on different shards, i.e. the gather splices at query
+    /// point `i + 1`.
+    pub splice_points: Vec<usize>,
+    /// `(shard, epoch)` actually served, in first-touch order. One entry
+    /// per touched shard: a query observes exactly one whole epoch per
+    /// shard (snapshot isolation).
+    pub epochs: Vec<(usize, u64)>,
+    /// Pairs served away from their routed shard because it was unhealthy.
+    pub rerouted_pairs: usize,
+}
+
+impl RouteTrace {
+    fn rejected() -> RouteTrace {
+        RouteTrace {
+            kind: RouteKind::Rejected,
+            pair_shards: Vec::new(),
+            splice_points: Vec::new(),
+            epochs: Vec::new(),
+            rerouted_pairs: 0,
+        }
+    }
+}
+
+/// Router-side counters, all on the router's own registry.
+struct RouterMetrics {
+    queries: Counter,
+    single: Counter,
+    scatter: Counter,
+    splices: Counter,
+    rerouted: Counter,
+    rejected: Counter,
+    /// Per shard, labelled `shard="<i>"`: queries (or sub-queries) served.
+    shard_queries: Vec<Counter>,
+    /// Per shard, labelled `shard="<i>"`: point pairs served.
+    shard_pairs: Vec<Counter>,
+}
+
+impl RouterMetrics {
+    fn new(reg: &MetricsRegistry, num_shards: usize) -> RouterMetrics {
+        let mk = |name: &str, help: &str| {
+            (0..num_shards)
+                .map(|s| reg.counter_with_labels(name, help, &[("shard", &s.to_string())]))
+                .collect()
+        };
+        RouterMetrics {
+            queries: reg.counter("hris_router_queries_total", "Queries routed."),
+            single: reg.counter(
+                "hris_router_single_shard_total",
+                "Queries delegated whole to one shard.",
+            ),
+            scatter: reg.counter(
+                "hris_router_scatter_total",
+                "Queries split across shard seams.",
+            ),
+            splices: reg.counter(
+                "hris_router_splices_total",
+                "Shard seams crossed by scattered queries.",
+            ),
+            rerouted: reg.counter(
+                "hris_router_rerouted_pairs_total",
+                "Pairs served away from an unhealthy shard.",
+            ),
+            rejected: reg.counter(
+                "hris_router_rejected_total",
+                "Queries rejected by the router (validation or no healthy shard).",
+            ),
+            shard_queries: mk(
+                "hris_router_shard_queries_total",
+                "Queries or sub-queries served by this shard.",
+            ),
+            shard_pairs: mk(
+                "hris_router_shard_pairs_total",
+                "Point pairs served by this shard.",
+            ),
+        }
+    }
+}
+
+/// What validation/sanitization made of the incoming query.
+enum Routable<'q> {
+    /// Clean (or validation disabled on a well-formed query): route and
+    /// serve the original.
+    Clean(&'q Trajectory),
+    /// Sanitized copy; serve this, report the repairs.
+    Repaired(Trajectory, PointRepairs),
+    /// Validation is off and the query is malformed (the engines accept it
+    /// as-is, but it cannot be sliced): delegate whole.
+    Opaque(&'q Trajectory),
+}
+
+impl Routable<'_> {
+    fn query(&self) -> &Trajectory {
+        match self {
+            Routable::Clean(q) | Routable::Opaque(q) => q,
+            Routable::Repaired(q, _) => q,
+        }
+    }
+
+    fn repairs(&self) -> Option<PointRepairs> {
+        match self {
+            Routable::Repaired(_, r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// An N-shard HRIS engine behind a scatter-gather router.
+///
+/// Construction partitions the archive over a [`ShardPlan`] (boundary
+/// replication included) and builds one [`EngineHandle`] per shard, each
+/// with its own snapshot lifecycle, caches, and metrics registry. All
+/// shards share one `Arc<RoadNetwork>`: the network-level quantities the
+/// pipeline uses (speed bound, shortest-path oracle, candidate lookup) are
+/// global and pure, so sharing them is both correct and cheap —
+/// [`ShardPlan::replicated_segments`] +
+/// [`hris_roadnet::RoadNetwork::extract_subnetwork`] exist for deployments
+/// that need per-shard memory isolation instead.
+pub struct ShardedEngine {
+    net: Arc<RoadNetwork>,
+    params: HrisParams,
+    cfg: EngineConfig,
+    plan: ShardPlan,
+    shards: Vec<EngineHandle>,
+    /// Fixed mode: shard-local → parent archive ids. Live mode: `None`,
+    /// ids are namespaced per shard instead (see [`ShardedEngine::live`]).
+    id_maps: Option<Vec<Vec<TrajId>>>,
+    replication_factor: f64,
+    health: Vec<AtomicU8>,
+    shard_registries: Vec<Arc<MetricsRegistry>>,
+    router_registry: Arc<MetricsRegistry>,
+    m: RouterMetrics,
+}
+
+impl ShardedEngine {
+    /// Partitions `archive` over `plan` and builds the per-shard engines.
+    ///
+    /// Every shard gets `params` and `cfg` verbatim (observability is
+    /// forced on so the per-shard registries are populated). The plan's
+    /// margin should be ≥ `params.phi_m` for single-shard routing to apply
+    /// to every in-core query; see [`ShardPlan::grid`].
+    #[must_use]
+    pub fn build(
+        net: Arc<RoadNetwork>,
+        archive: &TrajectoryArchive,
+        params: HrisParams,
+        cfg: EngineConfig,
+        plan: ShardPlan,
+    ) -> ShardedEngine {
+        let part = partition_archive(archive, plan.cores(), plan.margin_m());
+        let replication_factor = part.replication_factor();
+        let mut shards = Vec::with_capacity(plan.num_shards());
+        let mut shard_registries = Vec::with_capacity(plan.num_shards());
+        for shard_archive in part.shards {
+            let reg = Arc::new(MetricsRegistry::new());
+            shards.push(EngineHandle::from_snapshot_with_registry(
+                Arc::clone(&net),
+                Arc::new(ArchiveSnapshot::new(0, shard_archive)),
+                params.clone(),
+                cfg.clone(),
+                Arc::clone(&reg),
+            ));
+            shard_registries.push(reg);
+        }
+        Self::assemble(
+            net,
+            params,
+            cfg,
+            plan,
+            shards,
+            Some(part.id_maps),
+            replication_factor,
+            shard_registries,
+        )
+    }
+
+    /// A sharded engine over live per-shard ingestion: `readers[s]` is the
+    /// published-snapshot reader of shard `s`'s [`ArchiveWriter`]
+    /// (`hris_traj::ArchiveWriter`). Each query pins at most one epoch per
+    /// touched shard.
+    ///
+    /// Live shards have no parent archive, so cross-seam id remapping is
+    /// *namespaced* instead of translated: shard `s`'s trajectory `i`
+    /// reports as id `s · 2²⁴ + i`. Seam transition confidence therefore
+    /// conservatively sees disjoint reference sets across shards; feed
+    /// partition-respecting workloads (or accept the deterministic
+    /// best-effort seam) when running live.
+    ///
+    /// # Panics
+    /// Panics unless `readers.len() == plan.num_shards()`, or with 2²⁴ or
+    /// more shards.
+    #[must_use]
+    pub fn live(
+        net: Arc<RoadNetwork>,
+        readers: Vec<SnapshotReader>,
+        params: HrisParams,
+        cfg: EngineConfig,
+        plan: ShardPlan,
+    ) -> ShardedEngine {
+        assert_eq!(
+            readers.len(),
+            plan.num_shards(),
+            "one snapshot reader per shard"
+        );
+        assert!(plan.num_shards() < (1 << 8), "id namespace: < 256 shards");
+        let mut shards = Vec::with_capacity(plan.num_shards());
+        let mut shard_registries = Vec::with_capacity(plan.num_shards());
+        for reader in readers {
+            let reg = Arc::new(MetricsRegistry::new());
+            shards.push(EngineHandle::live_with_registry(
+                Arc::clone(&net),
+                reader,
+                params.clone(),
+                cfg.clone(),
+                Arc::clone(&reg),
+            ));
+            shard_registries.push(reg);
+        }
+        Self::assemble(net, params, cfg, plan, shards, None, 1.0, shard_registries)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        net: Arc<RoadNetwork>,
+        params: HrisParams,
+        cfg: EngineConfig,
+        plan: ShardPlan,
+        shards: Vec<EngineHandle>,
+        id_maps: Option<Vec<Vec<TrajId>>>,
+        replication_factor: f64,
+        shard_registries: Vec<Arc<MetricsRegistry>>,
+    ) -> ShardedEngine {
+        let router_registry = Arc::new(MetricsRegistry::new());
+        let m = RouterMetrics::new(&router_registry, plan.num_shards());
+        let health = (0..plan.num_shards()).map(|_| AtomicU8::new(0)).collect();
+        ShardedEngine {
+            net,
+            params,
+            cfg,
+            plan,
+            shards,
+            id_maps,
+            replication_factor,
+            health,
+            shard_registries,
+            router_registry,
+            m,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard plan.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Shard `s`'s engine handle (inspection, direct shard queries).
+    #[must_use]
+    pub fn shard(&self, s: usize) -> &EngineHandle {
+        &self.shards[s]
+    }
+
+    /// Stored-copies-per-trajectory ratio of the partition (1.0 in live
+    /// mode, where shards ingest independently).
+    #[must_use]
+    pub fn replication_factor(&self) -> f64 {
+        self.replication_factor
+    }
+
+    /// Marks shard `s` (administratively) healthy or unhealthy.
+    pub fn set_shard_health(&self, s: usize, health: ShardHealth) {
+        self.health[s].store(
+            match health {
+                ShardHealth::Healthy => 0,
+                ShardHealth::Unhealthy => 1,
+            },
+            Ordering::Release,
+        );
+    }
+
+    /// The administrative health mark of shard `s` (does not include the
+    /// automatic staleness check of [`ShardedEngine::shard_is_servable`]).
+    #[must_use]
+    pub fn shard_health(&self, s: usize) -> ShardHealth {
+        if self.health[s].load(Ordering::Acquire) == 0 {
+            ShardHealth::Healthy
+        } else {
+            ShardHealth::Unhealthy
+        }
+    }
+
+    /// Whether the router would currently hand work to shard `s`: marked
+    /// healthy, and — for live shards — the published snapshot is within
+    /// the staleness bound (`cfg.obs.staleness_bound_s`). Fixed snapshots
+    /// are pinned deliberately and never auto-stale.
+    #[must_use]
+    pub fn shard_is_servable(&self, s: usize) -> bool {
+        self.shard_health(s) == ShardHealth::Healthy
+            && (!self.shards[s].is_live()
+                || self.shards[s].snapshot_age_seconds() <= self.cfg.obs.staleness_bound_s)
+    }
+
+    /// Federated metrics: the router's own series plus every shard's
+    /// engine series, each stamped with its `shard` label. Deterministic
+    /// ordering (export sorts by name, then labels).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::merged(
+            std::iter::once(self.router_registry.snapshot()).chain(
+                self.shard_registries
+                    .iter()
+                    .enumerate()
+                    .map(|(s, reg)| reg.snapshot().with_labels(&[("shard", &s.to_string())])),
+            ),
+        )
+    }
+
+    /// Routes and answers one query. **Canonical entrypoint** — same
+    /// contract as [`EngineHandle::infer_query`], byte-identical to it for
+    /// partition-respecting queries (see the module docs).
+    #[must_use]
+    pub fn infer_query(&self, query: &Trajectory, k: usize) -> QueryResult {
+        self.infer_query_traced(query, k).0
+    }
+
+    /// [`ShardedEngine::infer_query`] plus the [`RouteTrace`] describing
+    /// how the query was dispatched (which shards, which epochs, which
+    /// splice points).
+    #[must_use]
+    pub fn infer_query_traced(&self, query: &Trajectory, k: usize) -> (QueryResult, RouteTrace) {
+        self.m.queries.inc();
+
+        // Stage 1 — mirror the engine's validation ladder so routing sees
+        // the same points the shard engines will serve.
+        let routable = match self.screen(query) {
+            Ok(r) => r,
+            Err(reason) => {
+                self.m.rejected.inc();
+                return (
+                    QueryResult {
+                        globals: Vec::new(),
+                        stats: Vec::new(),
+                        outcome: QueryOutcome::Rejected { reason },
+                    },
+                    RouteTrace::rejected(),
+                );
+            }
+        };
+
+        // Stage 2 — spatial dispatch on the (possibly repaired) points.
+        let pts = &routable.query().points;
+        let single_home = if matches!(routable, Routable::Opaque(_)) || pts.len() <= 1 {
+            // Whole-query delegation: opaque queries cannot be sliced, and
+            // ≤1-point queries have no pairs (any shard answers them from
+            // the network alone).
+            Some(pts.first().map_or(0, |p| self.plan.shard_of_point(p.pos)))
+        } else {
+            let qb = BBox::covering(pts.iter().map(|p| p.pos)).inflated(self.params.phi_m);
+            self.plan.home_shard(&qb)
+        };
+
+        match single_home {
+            Some(s) => self.run_single(query, k, s),
+            None => self.run_scatter(&routable, k),
+        }
+    }
+
+    /// The engine's validation screen, reproduced router-side: the router
+    /// must know the *post-repair* points to route them, and must reject
+    /// exactly when every shard engine would.
+    fn screen<'q>(&self, query: &'q Trajectory) -> Result<Routable<'q>, RejectReason> {
+        if !self.cfg.validation.enabled {
+            return Ok(if query.validate().is_ok() {
+                Routable::Clean(query)
+            } else {
+                Routable::Opaque(query)
+            });
+        }
+        if query.is_empty() {
+            return Err(RejectReason::EmptyQuery);
+        }
+        let lim = &self.cfg.validation.limits;
+        let valid = query.validate().is_ok()
+            && query.points.iter().all(|p| {
+                p.pos.x.abs() <= lim.max_abs_coord_m
+                    && p.pos.y.abs() <= lim.max_abs_coord_m
+                    && p.t.abs() <= lim.max_abs_time_s
+            });
+        if valid {
+            return Ok(Routable::Clean(query));
+        }
+        let mut pts = query.points.clone();
+        let repairs = sanitize_points(&mut pts, lim);
+        if pts.is_empty() {
+            return Err(RejectReason::NoUsablePoints);
+        }
+        Ok(Routable::Repaired(Trajectory::new(query.id, pts), repairs))
+    }
+
+    /// Whole-query delegation to shard `s` — byte-identical path. If `s`
+    /// is not servable the query moves whole to the nearest servable shard
+    /// and the outcome is demoted to `Degraded`.
+    fn run_single(&self, query: &Trajectory, k: usize, s: usize) -> (QueryResult, RouteTrace) {
+        let n_pairs = query.points.len().saturating_sub(1);
+        let (target, rerouted) = if self.shard_is_servable(s) {
+            (s, 0)
+        } else {
+            let Some(t) = self.nearest_servable(BBox::covering(query.points.iter().map(|p| p.pos)))
+            else {
+                return self.reject_unavailable();
+            };
+            (t, n_pairs.max(1))
+        };
+
+        self.m.single.inc();
+        self.m.shard_queries[target].inc();
+        self.m.shard_pairs[target].add(n_pairs as u64);
+        // The shard engine re-runs the same validation ladder on the
+        // original query, so repairs/outcomes match the global engine.
+        let mut result = self.shards[target].infer_query(query, k);
+        if rerouted > 0 {
+            self.m.rerouted.add(rerouted as u64);
+            result.outcome = demote_to_degraded(result.outcome, rerouted);
+        }
+        let trace = RouteTrace {
+            kind: RouteKind::Single(target),
+            pair_shards: Vec::new(),
+            splice_points: Vec::new(),
+            epochs: vec![(target, self.shards[target].epoch())],
+            rerouted_pairs: rerouted,
+        };
+        (result, trace)
+    }
+
+    /// Scatter-gather: assign each pair to a shard, run maximal same-shard
+    /// runs as sub-queries (one pinned epoch per shard), remap trajectory
+    /// ids to the global namespace, and run K-GRI over the gathered locals.
+    fn run_scatter(&self, routable: &Routable<'_>, k: usize) -> (QueryResult, RouteTrace) {
+        let q = routable.query();
+        let phi = self.params.phi_m;
+        let n_pairs = q.points.len() - 1;
+
+        // Pair → shard. Pairs whose φ-box fits a region go there (lowest
+        // index); wild pairs go to the shard owning their midpoint.
+        let mut pair_shards: Vec<usize> = (0..n_pairs)
+            .map(|i| {
+                let pb = BBox::covering([q.points[i].pos, q.points[i + 1].pos]).inflated(phi);
+                self.plan
+                    .home_shard(&pb)
+                    .unwrap_or_else(|| self.plan.shard_of_point(pb.center()))
+            })
+            .collect();
+
+        // Health rerouting.
+        let mut rerouted = 0usize;
+        for (i, s) in pair_shards.iter_mut().enumerate() {
+            if !self.shard_is_servable(*s) {
+                let pb = BBox::covering([q.points[i].pos, q.points[i + 1].pos]);
+                let Some(t) = self.nearest_servable(pb) else {
+                    return self.reject_unavailable();
+                };
+                *s = t;
+                rerouted += 1;
+            }
+        }
+        self.m.scatter.inc();
+        if rerouted > 0 {
+            self.m.rerouted.add(rerouted as u64);
+        }
+
+        // Maximal same-shard runs: (shard, first pair, last pair).
+        let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+        for (i, &s) in pair_shards.iter().enumerate() {
+            match runs.last_mut() {
+                Some((rs, _, hi)) if *rs == s && *hi + 1 == i => *hi = i,
+                _ => runs.push((s, i, i)),
+            }
+        }
+        let splice_points: Vec<usize> = runs.iter().skip(1).map(|&(_, lo, _)| lo - 1).collect();
+        self.m.splices.add(splice_points.len() as u64);
+
+        // Execute one pinned batch per distinct shard (first-touch order),
+        // so a query observes exactly one whole epoch per shard even when
+        // its runs revisit a shard.
+        let mut shard_runs: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (ri, &(s, _, _)) in runs.iter().enumerate() {
+            match shard_runs.iter_mut().find(|(rs, _)| *rs == s) {
+                Some((_, idxs)) => idxs.push(ri),
+                None => shard_runs.push((s, vec![ri])),
+            }
+        }
+        let mut run_locals: Vec<Vec<LocalInferenceResult>> =
+            (0..runs.len()).map(|_| Vec::new()).collect();
+        let mut epochs = Vec::with_capacity(shard_runs.len());
+        for (s, run_idxs) in &shard_runs {
+            let subs: Vec<Trajectory> = run_idxs
+                .iter()
+                .map(|&ri| {
+                    let (_, lo, hi) = runs[ri];
+                    Trajectory::new(q.id, q.points[lo..=hi + 1].to_vec())
+                })
+                .collect();
+            self.m.shard_queries[*s].inc();
+            self.m.shard_pairs[*s].add(subs.iter().map(|t| t.points.len() as u64 - 1).sum());
+            let (locals, epoch) = self.shards[*s].local_inference_pinned_batch(&subs);
+            epochs.push((*s, epoch));
+            for (&ri, mut locals) in run_idxs.iter().zip(locals) {
+                self.remap_sources(*s, &mut locals);
+                run_locals[ri] = locals;
+            }
+        }
+
+        // Gather: concatenate locals in pair order, then phase 3 exactly as
+        // the engine runs it.
+        let locals: Vec<LocalInferenceResult> = run_locals.into_iter().flatten().collect();
+        debug_assert_eq!(locals.len(), n_pairs, "one local inference per pair");
+        let globals = k_gri_with(
+            &self.net,
+            &locals,
+            k,
+            self.params.entropy_floor,
+            self.params.popularity_model,
+        );
+        let stats = locals.iter().map(|l| l.stats.clone()).collect();
+        let outcome = if rerouted > 0 {
+            QueryOutcome::Degraded {
+                repairs: routable.repairs().unwrap_or_default(),
+                pairs_fell_back: rerouted,
+            }
+        } else if let Some(repairs) = routable.repairs() {
+            QueryOutcome::Repaired { repairs }
+        } else {
+            QueryOutcome::Ok
+        };
+        (
+            QueryResult {
+                globals,
+                stats,
+                outcome,
+            },
+            RouteTrace {
+                kind: RouteKind::Scatter,
+                pair_shards,
+                splice_points,
+                epochs,
+                rerouted_pairs: rerouted,
+            },
+        )
+    }
+
+    /// Shard-local → global trajectory ids, in place, on every reference's
+    /// source list (the only place shard-local ids escape a shard — K-GRI's
+    /// transition confidence intersects them across pairs).
+    fn remap_sources(&self, s: usize, locals: &mut [LocalInferenceResult]) {
+        for local in locals {
+            for r in &mut local.refs.refs {
+                for id in &mut r.sources {
+                    *id = match &self.id_maps {
+                        Some(maps) => maps[s][id.index()],
+                        None => TrajId((s as u32) << 24 | (id.0 & 0x00FF_FFFF)),
+                    };
+                }
+            }
+        }
+    }
+
+    /// The servable shard whose region is nearest to `b`'s center (ties to
+    /// the lowest index); `None` when every shard is down.
+    fn nearest_servable(&self, b: BBox) -> Option<usize> {
+        let c = b.center();
+        (0..self.num_shards())
+            .filter(|&s| self.shard_is_servable(s))
+            .min_by(|&a, &bi| {
+                self.plan
+                    .region(a)
+                    .min_dist(c)
+                    .partial_cmp(&self.plan.region(bi).min_dist(c))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    fn reject_unavailable(&self) -> (QueryResult, RouteTrace) {
+        self.m.rejected.inc();
+        (
+            QueryResult {
+                globals: Vec::new(),
+                stats: Vec::new(),
+                outcome: QueryOutcome::Rejected {
+                    reason: RejectReason::ShardUnavailable,
+                },
+            },
+            RouteTrace::rejected(),
+        )
+    }
+}
+
+/// Demotes a delegated shard outcome to `Degraded`, preserving whatever
+/// repairs the shard reported. A rejection stays a rejection.
+fn demote_to_degraded(outcome: QueryOutcome, rerouted: usize) -> QueryOutcome {
+    match outcome {
+        QueryOutcome::Ok => QueryOutcome::Degraded {
+            repairs: PointRepairs::default(),
+            pairs_fell_back: rerouted,
+        },
+        QueryOutcome::Repaired { repairs } => QueryOutcome::Degraded {
+            repairs,
+            pairs_fell_back: rerouted,
+        },
+        QueryOutcome::Degraded {
+            repairs,
+            pairs_fell_back,
+        } => QueryOutcome::Degraded {
+            repairs,
+            pairs_fell_back: pairs_fell_back.max(rerouted),
+        },
+        rejected @ QueryOutcome::Rejected { .. } => rejected,
+    }
+}

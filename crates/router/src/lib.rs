@@ -1,0 +1,26 @@
+//! Spatial sharding for the HRIS engine: shard plans, per-shard engines,
+//! and a scatter-gather query router.
+//!
+//! The single-process [`EngineHandle`](hris::EngineHandle) serves a whole
+//! city from one archive. This crate scales that out: a [`ShardPlan`] cuts
+//! the network extent into grid cells with explicit boundary-replication
+//! rules, [`hris_traj::partition_archive`] splits the historical archive
+//! accordingly, and a [`ShardedEngine`] routes each query to the one shard
+//! that can answer it exactly — falling back to scatter-gather across shard
+//! seams, with splicing done by the same deterministic machinery the
+//! single-shard engine uses.
+//!
+//! The headline property, enforced by the differential shard-equivalence
+//! suite (`tests/shard_equivalence.rs` at the workspace root): for
+//! partition-respecting workloads an N-shard engine returns **byte-identical**
+//! results to the single-shard engine — same routes, same score bits, same
+//! outcomes. See the [`engine`] module docs for the correctness argument,
+//! and DESIGN.md §5i for the full sharding model.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod plan;
+
+pub use engine::{RouteKind, RouteTrace, ShardHealth, ShardedEngine};
+pub use plan::ShardPlan;

@@ -1,0 +1,303 @@
+//! Router fault-injection suite: shard faults must surface as
+//! [`QueryOutcome::Degraded`] or [`QueryOutcome::Rejected`] — never a
+//! panic, and never a silently wrong answer from a *healthy* shard.
+//!
+//! Covers: the 100-case seeded dirty-query corpus routed through a sharded
+//! engine, administrative shard quarantine (the corrupt-archive path: a
+//! tolerant load that drops records flags the shard), staleness-based
+//! auto-quarantine of live shards, and total unavailability.
+
+use hris::{EngineConfig, EngineHandle, HrisParams, QueryOutcome, RejectReason};
+use hris_geo::Point;
+use hris_roadnet::{generator, NetworkConfig, RoadNetwork};
+use hris_router::{RouteKind, ShardHealth, ShardPlan, ShardedEngine};
+use hris_traj::{
+    encode_trips, fault_corpus, resample_to_interval, ArchiveWriter, FaultInjector, GpsPoint,
+    SimConfig, Simulator, TolerantLoadOptions, TrajId, Trajectory, TrajectoryArchive,
+};
+use std::sync::Arc;
+
+fn net() -> Arc<RoadNetwork> {
+    Arc::new(generator::generate(&NetworkConfig {
+        blocks_x: 16,
+        blocks_y: 16,
+        block_m: 300.0,
+        seed: 23,
+        ..NetworkConfig::default()
+    }))
+}
+
+fn scenario(net: &RoadNetwork) -> (TrajectoryArchive, Vec<Trajectory>) {
+    let mut sim = Simulator::new(
+        net,
+        SimConfig {
+            num_trips: 120,
+            num_od_patterns: 9,
+            min_trip_dist_m: 600.0,
+            seed: 14,
+            ..SimConfig::default()
+        },
+    );
+    let (archive, routes) = sim.generate_archive();
+    let mut queries = Vec::new();
+    for (i, r) in routes.iter().step_by(routes.len() / 4).take(4).enumerate() {
+        let pts = hris_traj::simulator::drive_route(net, r, 0.0, 20.0, 0.8).unwrap();
+        queries.push(resample_to_interval(
+            &Trajectory::new(TrajId(i as u32), pts),
+            240.0,
+        ));
+    }
+    (archive, queries)
+}
+
+fn sharded(
+    net: &Arc<RoadNetwork>,
+    archive: &TrajectoryArchive,
+    nx: usize,
+    ny: usize,
+) -> ShardedEngine {
+    let params = HrisParams::default();
+    let plan = ShardPlan::grid(net, nx, ny, params.phi_m);
+    ShardedEngine::build(
+        Arc::clone(net),
+        archive,
+        params,
+        EngineConfig::default(),
+        plan,
+    )
+}
+
+/// A 4-point query confined to shard `s`'s core cell.
+fn query_in_core(engine: &ShardedEngine, s: usize, id: u32) -> Trajectory {
+    let c = engine.plan().core(s);
+    let cx = c.center().x;
+    let cy = c.center().y;
+    let r = 0.3 * c.width().min(c.height());
+    Trajectory::new(
+        TrajId(id),
+        (0..4)
+            .map(|i| {
+                GpsPoint::new(
+                    Point::new(cx - r + i as f64 * (2.0 * r / 3.0), cy + i as f64 * 30.0),
+                    i as f64 * 120.0,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// The 100-case dirty-query corpus through a 2×2 sharded engine: a verdict
+/// for every case, no panics, deterministic on a re-run, and every query
+/// the router delegates single-shard is byte-identical to the global
+/// engine even under fault load.
+#[test]
+fn hundred_case_fault_corpus_through_router() {
+    let net = net();
+    let (archive, clean) = scenario(&net);
+    let engine = sharded(&net, &archive, 2, 2);
+    let global = EngineHandle::new(Arc::clone(&net), archive.clone(), HrisParams::default());
+
+    let corpus = fault_corpus(42, &clean, 100);
+    assert_eq!(corpus.len(), 100);
+
+    let mut labels = Vec::new();
+    for (kind, q) in &corpus {
+        let (r, trace) = engine.infer_query_traced(q, 3);
+        labels.push(r.outcome.label());
+        if *kind == hris_traj::FaultKind::Empty {
+            assert_eq!(
+                r.outcome,
+                QueryOutcome::Rejected {
+                    reason: RejectReason::EmptyQuery
+                }
+            );
+        }
+        if matches!(r.outcome, QueryOutcome::Rejected { .. }) {
+            assert!(r.globals.is_empty() && r.stats.is_empty());
+        }
+        // Single-shard dispatches answer exactly like the global engine,
+        // dirty input or not (the shard re-runs the same repair ladder).
+        if let RouteKind::Single(_) = trace.kind {
+            let want = global.infer_query(q, 3);
+            assert_eq!(r.outcome, want.outcome, "single-shard outcome parity");
+            assert_eq!(r.globals.len(), want.globals.len());
+            for (a, b) in r.globals.iter().zip(&want.globals) {
+                assert_eq!(a.route, b.route);
+                assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+            }
+        }
+    }
+
+    // Fixed seed → identical outcome labels on a fresh engine.
+    let engine2 = sharded(&net, &archive, 2, 2);
+    let labels2: Vec<_> = corpus
+        .iter()
+        .map(|(_, q)| engine2.infer_query(q, 3).outcome.label())
+        .collect();
+    assert_eq!(labels, labels2, "fault corpus is deterministic");
+}
+
+/// Quarantining one shard degrades its queries (labelled, not silent) and
+/// leaves the other shards' answers bit-for-bit untouched; quarantining
+/// every shard rejects with `ShardUnavailable`; recovery restores the
+/// original answers exactly.
+#[test]
+fn unhealthy_shard_degrades_and_healthy_shards_are_untouched() {
+    let net = net();
+    let (archive, _) = scenario(&net);
+    let engine = sharded(&net, &archive, 2, 1);
+
+    let q0 = query_in_core(&engine, 0, 900);
+    let q1 = query_in_core(&engine, 1, 901);
+    let base0 = engine.infer_query(&q0, 3);
+    let base1 = engine.infer_query(&q1, 3);
+
+    engine.set_shard_health(0, ShardHealth::Unhealthy);
+    assert!(!engine.shard_is_servable(0));
+
+    // Shard-0 queries still answer — served elsewhere, demoted to Degraded.
+    let (deg, trace) = engine.infer_query_traced(&q0, 3);
+    match deg.outcome {
+        QueryOutcome::Degraded {
+            pairs_fell_back, ..
+        } => assert!(pairs_fell_back > 0, "rerouted pairs are accounted"),
+        other => panic!("expected Degraded under shard fault, got {other:?}"),
+    }
+    assert_eq!(
+        trace.kind,
+        RouteKind::Single(1),
+        "rerouted to the healthy shard"
+    );
+
+    // The healthy shard's answers are byte-identical to before the fault.
+    let still1 = engine.infer_query(&q1, 3);
+    assert_eq!(still1.outcome, base1.outcome);
+    assert_eq!(still1.globals.len(), base1.globals.len());
+    for (a, b) in still1.globals.iter().zip(&base1.globals) {
+        assert_eq!(a.route, b.route);
+        assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+    }
+
+    // No healthy shard left → explicit rejection, not a wrong answer.
+    engine.set_shard_health(1, ShardHealth::Unhealthy);
+    let down = engine.infer_query(&q0, 3);
+    assert_eq!(
+        down.outcome,
+        QueryOutcome::Rejected {
+            reason: RejectReason::ShardUnavailable
+        }
+    );
+    assert!(down.globals.is_empty());
+
+    // Recovery restores byte-identical service.
+    engine.set_shard_health(0, ShardHealth::Healthy);
+    engine.set_shard_health(1, ShardHealth::Healthy);
+    let back0 = engine.infer_query(&q0, 3);
+    assert_eq!(back0.outcome, base0.outcome);
+    assert_eq!(back0.globals.len(), base0.globals.len());
+    for (a, b) in back0.globals.iter().zip(&base0.globals) {
+        assert_eq!(a.route, b.route);
+        assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+    }
+}
+
+/// The corrupt-archive path end-to-end: a shard whose archive blob was
+/// truncated in transit loads tolerantly with dropped records; the load
+/// report drives quarantine, and the router degrades instead of serving
+/// the incomplete shard.
+#[test]
+fn truncated_archive_blob_quarantines_the_shard() {
+    let net = net();
+    let (archive, _) = scenario(&net);
+    let engine = sharded(&net, &archive, 2, 1);
+
+    // Simulate shard 0's archive segment arriving truncated.
+    let trips: Vec<Trajectory> = archive.trajectories().to_vec();
+    let blob = encode_trips(&trips);
+    let truncated = FaultInjector::new(7).truncate_blob(&blob);
+    let (partial, report) =
+        TrajectoryArchive::from_bytes_tolerant(truncated, &TolerantLoadOptions::default());
+    let lossy = report.truncated
+        || report.trajectories_quarantined > 0
+        || partial.num_trajectories() < trips.len();
+    assert!(
+        lossy,
+        "truncation must lose data for this test to be meaningful"
+    );
+
+    // Operator policy: a lossy load quarantines the shard.
+    engine.set_shard_health(0, ShardHealth::Unhealthy);
+
+    let q0 = query_in_core(&engine, 0, 902);
+    let r = engine.infer_query(&q0, 3);
+    assert!(
+        matches!(
+            r.outcome,
+            QueryOutcome::Degraded { .. } | QueryOutcome::Rejected { .. }
+        ),
+        "faulted shard must degrade or reject, got {:?}",
+        r.outcome
+    );
+}
+
+/// Live shards whose snapshot exceeds the staleness bound are auto-excluded
+/// from routing: queries degrade to fresh shards, and once every shard is
+/// stale the router rejects rather than serving stale data.
+#[test]
+fn stale_live_shards_auto_degrade_then_reject() {
+    let net = net();
+    let params = HrisParams::default();
+    let plan = ShardPlan::grid(&net, 2, 1, params.phi_m);
+    let cfg = EngineConfig::builder()
+        .staleness_bound_s(0.005)
+        .build()
+        .expect("valid config");
+
+    let writer0 = ArchiveWriter::new(TrajectoryArchive::empty());
+    let mut writer1 = ArchiveWriter::new(TrajectoryArchive::empty());
+    let engine = ShardedEngine::live(
+        Arc::clone(&net),
+        vec![writer0.reader(), writer1.reader()],
+        params,
+        cfg,
+        plan,
+    );
+
+    // Both snapshots age past the 5 ms bound.
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    let q0 = query_in_core(&engine, 0, 903);
+    assert!(!engine.shard_is_servable(0), "stale shard is not servable");
+    let r = engine.infer_query(&q0, 3);
+    assert_eq!(
+        r.outcome,
+        QueryOutcome::Rejected {
+            reason: RejectReason::ShardUnavailable
+        },
+        "all shards stale → explicit rejection"
+    );
+
+    // Shard 1 publishes fresh data → it takes the traffic, degraded.
+    // (A publish with nothing appended is a no-op, so append one trip.)
+    writer1
+        .append(Trajectory::new(
+            TrajId(1),
+            vec![
+                GpsPoint::new(Point::new(100.0, 100.0), 0.0),
+                GpsPoint::new(Point::new(400.0, 120.0), 60.0),
+            ],
+        ))
+        .unwrap();
+    writer1.publish();
+    assert!(engine.shard_is_servable(1));
+    let (r2, trace) = engine.infer_query_traced(&q0, 3);
+    assert_eq!(
+        trace.kind,
+        RouteKind::Single(1),
+        "rerouted to the fresh shard"
+    );
+    assert!(
+        matches!(r2.outcome, QueryOutcome::Degraded { .. }),
+        "stale-shard traffic is served degraded, got {:?}",
+        r2.outcome
+    );
+}

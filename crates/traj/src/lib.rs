@@ -14,6 +14,7 @@ pub mod archive;
 pub mod faults;
 pub mod geojson;
 pub mod ingest;
+pub mod partition;
 pub mod resample;
 pub mod similarity;
 pub mod simulator;
@@ -25,6 +26,7 @@ pub use faults::{fault_corpus, FaultInjector, FaultKind};
 pub use ingest::{
     ArchiveSnapshot, ArchiveWriter, IngestOptions, IngestQueue, IngestReport, SnapshotReader,
 };
+pub use partition::{partition_archive, ArchivePartition};
 pub use resample::{add_gps_noise, resample_to_interval};
 pub use similarity::{dtw, edr, lcss};
 pub use simulator::{SimConfig, Simulator, TripRecord};

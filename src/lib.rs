@@ -16,5 +16,6 @@ pub use hris_eval;
 pub use hris_geo;
 pub use hris_mapmatch;
 pub use hris_roadnet;
+pub use hris_router;
 pub use hris_rtree;
 pub use hris_traj;

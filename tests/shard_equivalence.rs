@@ -1,0 +1,326 @@
+//! Differential shard-equivalence suite: the headline guarantee of the
+//! sharded engine.
+//!
+//! An N-shard [`ShardedEngine`] must return **byte-identical** results to a
+//! single global [`EngineHandle`] over the unpartitioned archive for every
+//! partition-respecting query — identical routes, identical score *bits*,
+//! identical outcomes. Deterministic tests pin N ∈ {1, 2, 4, 9, 16};
+//! proptests sweep random grids, archives, and workloads. Cross-shard
+//! queries with test-pinned splice points are checked byte-identically when
+//! the replication margin covers the seam pairs, and for determinism plus
+//! pinned splice positions otherwise.
+
+use hris::{EngineHandle, HrisParams, QueryResult};
+use hris_geo::{BBox, Point};
+use hris_roadnet::{generator, NetworkConfig, RoadNetwork};
+use hris_router::{RouteKind, ShardPlan, ShardedEngine};
+use hris_traj::{GpsPoint, SimConfig, Simulator, TrajId, Trajectory, TrajectoryArchive};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn net() -> Arc<RoadNetwork> {
+    // ~6 km × 6 km: large enough that a 4×4 grid's cells (~1.5 km) dwarf
+    // the φ = 500 m replication margin, so sharding is non-trivial.
+    Arc::new(generator::generate(&NetworkConfig {
+        blocks_x: 20,
+        blocks_y: 20,
+        block_m: 300.0,
+        seed: 19,
+        ..NetworkConfig::default()
+    }))
+}
+
+fn sim_archive(net: &RoadNetwork, trips: usize, seed: u64) -> TrajectoryArchive {
+    let mut sim = Simulator::new(
+        net,
+        SimConfig {
+            num_trips: trips,
+            num_od_patterns: 7,
+            min_trip_dist_m: 400.0,
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    sim.generate_archive().0
+}
+
+/// A random-walk archive spread over the network bounds (proptest fodder —
+/// cheaper than the simulator and adversarially unstructured).
+fn random_archive(net: &RoadNetwork, trips: usize, seed: u64) -> TrajectoryArchive {
+    let b = net.bbox();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..trips {
+        let n = rng.gen_range(2..10);
+        let mut x = rng.gen_range(b.min.x..b.max.x);
+        let mut y = rng.gen_range(b.min.y..b.max.y);
+        let mut t = rng.gen_range(0.0..86_400.0);
+        let mut pts = Vec::with_capacity(n);
+        for _ in 0..n {
+            pts.push(GpsPoint::new(Point::new(x, y), t));
+            x += rng.gen_range(-500.0..500.0);
+            y += rng.gen_range(-500.0..500.0);
+            x = x.clamp(b.min.x, b.max.x);
+            y = y.clamp(b.min.y, b.max.y);
+            t += rng.gen_range(30.0..240.0);
+        }
+        out.push(Trajectory::new(TrajId(0), pts));
+    }
+    TrajectoryArchive::new(out)
+}
+
+/// A low-sampling-rate query random-walking **inside** `cell` (inset a
+/// little so the walk has room): with margin ≥ φ its φ-inflated bbox fits
+/// the cell's region, i.e. it is partition-respecting by construction.
+fn query_in_cell(cell: &BBox, seed: u64, n_pts: usize) -> Trajectory {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inset_x = 0.05 * cell.width();
+    let inset_y = 0.05 * cell.height();
+    let (lo_x, hi_x) = (cell.min.x + inset_x, cell.max.x - inset_x);
+    let (lo_y, hi_y) = (cell.min.y + inset_y, cell.max.y - inset_y);
+    let mut x = rng.gen_range(lo_x..hi_x);
+    let mut y = rng.gen_range(lo_y..hi_y);
+    let mut t = rng.gen_range(0.0..3_600.0);
+    let pts = (0..n_pts)
+        .map(|_| {
+            let p = GpsPoint::new(Point::new(x, y), t);
+            x += rng.gen_range(-600.0..600.0);
+            y += rng.gen_range(-600.0..600.0);
+            x = x.clamp(lo_x, hi_x);
+            y = y.clamp(lo_y, hi_y);
+            t += rng.gen_range(60.0..180.0);
+            p
+        })
+        .collect();
+    Trajectory::new(TrajId(9_000_000 + seed as u32), pts)
+}
+
+/// Byte-level equality: same routes, same score bits, same outcome.
+fn assert_identical(a: &QueryResult, b: &QueryResult, ctx: &str) {
+    assert_eq!(a.globals.len(), b.globals.len(), "{ctx}: top-K length");
+    for (i, (ga, gb)) in a.globals.iter().zip(&b.globals).enumerate() {
+        assert_eq!(ga.route, gb.route, "{ctx}: route {i}");
+        assert_eq!(
+            ga.log_score.to_bits(),
+            gb.log_score.to_bits(),
+            "{ctx}: score bits of route {i}"
+        );
+        assert_eq!(ga.local_indices, gb.local_indices, "{ctx}: assignment {i}");
+    }
+    assert_eq!(a.outcome, b.outcome, "{ctx}: outcome");
+    assert_eq!(a.stats.len(), b.stats.len(), "{ctx}: per-pair stats length");
+}
+
+/// N ∈ {1, 2, 4, 9, 16}: every in-core query answers byte-identically to
+/// the global single-shard engine, and routes as single-shard.
+#[test]
+fn sharded_engines_match_global_engine_for_all_grid_sizes() {
+    let net = net();
+    let archive = sim_archive(&net, 90, 11);
+    let params = HrisParams::default();
+    let global = EngineHandle::new(Arc::clone(&net), archive.clone(), params.clone());
+
+    for (nx, ny) in [(1, 1), (2, 1), (2, 2), (3, 3), (4, 4)] {
+        let plan = ShardPlan::grid(&net, nx, ny, params.phi_m);
+        let sharded = ShardedEngine::build(
+            Arc::clone(&net),
+            &archive,
+            params.clone(),
+            hris::EngineConfig::default(),
+            plan,
+        );
+        assert_eq!(sharded.num_shards(), nx * ny);
+        assert!(sharded.replication_factor() >= 1.0);
+
+        for s in 0..sharded.num_shards() {
+            for qi in 0..3 {
+                let q = query_in_cell(&sharded.plan().core(s), (s * 31 + qi) as u64, 4 + qi % 3);
+                let (got, trace) = sharded.infer_query_traced(&q, 3);
+                let want = global.infer_query(&q, 3);
+                assert_eq!(
+                    trace.kind,
+                    RouteKind::Single(s),
+                    "{nx}x{ny} shard {s}: in-core query must route single-shard"
+                );
+                assert_eq!(trace.epochs.len(), 1, "one epoch pinned");
+                assert_identical(&got, &want, &format!("{nx}x{ny} shard {s} q{qi}"));
+            }
+        }
+    }
+}
+
+/// Cross-shard queries whose every *pair* respects the partition (the
+/// margin exceeds φ by the seam straddle) are byte-identical too, with the
+/// splice pinned exactly where the pair assignment changes shards.
+#[test]
+fn cross_shard_splice_is_byte_identical_with_margin_slack() {
+    let net = net();
+    let archive = sim_archive(&net, 90, 12);
+    let params = HrisParams::default();
+    let global = EngineHandle::new(Arc::clone(&net), archive.clone(), params.clone());
+
+    // 2×1 grid; margin φ + 900 m lets pairs straddle up to 900 m past the
+    // seam while still fitting one region.
+    let plan = ShardPlan::grid(&net, 2, 1, params.phi_m + 900.0);
+    let seam_x = plan.core(0).max.x;
+    let sharded = ShardedEngine::build(
+        Arc::clone(&net),
+        &archive,
+        params.clone(),
+        hris::EngineConfig::default(),
+        plan,
+    );
+
+    let b = net.bbox();
+    let y = b.center().y;
+    for (qi, step) in [(0u32, 500.0), (1, 700.0), (2, 600.0)] {
+        // Walk left-to-right across the seam; flank points stay within the
+        // margin slack so every pair's φ-box fits region 0 or region 1.
+        let xs = [
+            seam_x - 2.0 * step,
+            seam_x - step,
+            seam_x + step,
+            seam_x + 2.0 * step,
+        ];
+        let q = Trajectory::new(
+            TrajId(8_000_000 + qi),
+            xs.iter()
+                .enumerate()
+                .map(|(i, &x)| GpsPoint::new(Point::new(x, y + i as f64 * 40.0), i as f64 * 120.0))
+                .collect(),
+        );
+        let (got, trace) = sharded.infer_query_traced(&q, 3);
+        let want = global.infer_query(&q, 3);
+
+        assert_eq!(trace.kind, RouteKind::Scatter, "seam query scatters");
+        // Pin the splice: pairs (0,1) sit left of the seam, pair 2 right of
+        // it — exactly one seam, between pair 1 and pair 2.
+        assert_eq!(trace.pair_shards, vec![0, 0, 1], "pinned pair routing");
+        assert_eq!(trace.splice_points, vec![1], "pinned splice position");
+        assert_eq!(trace.epochs.len(), 2, "both shards pinned one epoch");
+        assert_identical(&got, &want, &format!("seam query {qi}"));
+    }
+}
+
+/// With margin exactly φ, seam-straddling pairs are *wild* (fit no region):
+/// the answer is not provably identical but must be deterministic, with
+/// splice points pinned by the plan's midpoint rule.
+#[test]
+fn wild_pairs_route_deterministically_with_pinned_splices() {
+    let net = net();
+    let archive = sim_archive(&net, 70, 13);
+    let params = HrisParams::default();
+    let plan = ShardPlan::grid(&net, 2, 1, params.phi_m);
+    let seam_x = plan.core(0).max.x;
+    let sharded = ShardedEngine::build(
+        Arc::clone(&net),
+        &archive,
+        params.clone(),
+        hris::EngineConfig::default(),
+        plan,
+    );
+
+    let y = net.bbox().center().y;
+    let q = Trajectory::new(
+        TrajId(7_000_000),
+        [
+            seam_x - 2_000.0,
+            seam_x - 600.0,
+            seam_x + 600.0,
+            seam_x + 2_000.0,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| GpsPoint::new(Point::new(x, y), i as f64 * 150.0))
+        .collect(),
+    );
+    let (r1, t1) = sharded.infer_query_traced(&q, 3);
+    let (r2, t2) = sharded.infer_query_traced(&q, 3);
+    assert_eq!(t1.kind, RouteKind::Scatter);
+    // The wild middle pair straddles the seam; its midpoint is on the seam
+    // and the midpoint rule sends it to the right cell (half-open cells).
+    assert_eq!(t1.pair_shards, vec![0, 1, 1], "pinned wild-pair routing");
+    assert_eq!(t1.splice_points, vec![0], "pinned splice position");
+    assert_eq!(t1.pair_shards, t2.pair_shards);
+    assert_identical(&r1, &r2, "wild-pair determinism");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random grid shapes × random archives × random in-core workloads:
+    /// single-shard routing is byte-identical to the global engine.
+    #[test]
+    fn random_grids_are_byte_identical_on_partition_respecting_workloads(
+        nx in 1usize..5,
+        ny in 1usize..5,
+        arch_seed in 0u64..40,
+        q_seed in 0u64..1_000,
+        n_pts in 2usize..6,
+    ) {
+        let net = net();
+        let archive = random_archive(&net, 40, arch_seed);
+        let params = HrisParams::default();
+        let global = EngineHandle::new(Arc::clone(&net), archive.clone(), params.clone());
+        let plan = ShardPlan::grid(&net, nx, ny, params.phi_m);
+        let sharded = ShardedEngine::build(
+            Arc::clone(&net),
+            &archive,
+            params.clone(),
+            hris::EngineConfig::default(),
+            plan,
+        );
+
+        let s = (q_seed as usize) % (nx * ny);
+        let q = query_in_cell(&sharded.plan().core(s), q_seed, n_pts);
+        let (got, trace) = sharded.infer_query_traced(&q, 3);
+        let want = global.infer_query(&q, 3);
+        prop_assert_eq!(trace.kind, RouteKind::Single(s));
+        assert_identical(&got, &want, &format!("{nx}x{ny} seed {arch_seed}/{q_seed}"));
+    }
+
+    /// Random seam workloads under a slack margin: scatter-gather splicing
+    /// reproduces the global engine bit-for-bit.
+    #[test]
+    fn random_seam_queries_are_byte_identical_under_slack_margin(
+        arch_seed in 0u64..30,
+        q_seed in 0u64..1_000,
+        straddle in 100.0..850.0f64,
+    ) {
+        let net = net();
+        let archive = random_archive(&net, 40, arch_seed);
+        let params = HrisParams::default();
+        let global = EngineHandle::new(Arc::clone(&net), archive.clone(), params.clone());
+        let plan = ShardPlan::grid(&net, 2, 2, params.phi_m + 900.0);
+        let seam_x = plan.core(0).max.x;
+        let sharded = ShardedEngine::build(
+            Arc::clone(&net),
+            &archive,
+            params.clone(),
+            hris::EngineConfig::default(),
+            plan,
+        );
+
+        let mut rng = ChaCha8Rng::seed_from_u64(q_seed);
+        let b = net.bbox();
+        let y = rng.gen_range(
+            b.min.y + 0.1 * b.height()..b.min.y + 0.4 * b.height(),
+        );
+        let q = Trajectory::new(
+            TrajId(6_000_000 + q_seed as u32),
+            [seam_x - straddle - 700.0, seam_x - straddle, seam_x + straddle]
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| GpsPoint::new(Point::new(x, y), i as f64 * 130.0))
+                .collect(),
+        );
+        let (got, trace) = sharded.infer_query_traced(&q, 2);
+        let want = global.infer_query(&q, 2);
+        if trace.kind == RouteKind::Scatter {
+            prop_assert_eq!(&trace.splice_points, &vec![0usize], "one pinned seam");
+        }
+        assert_identical(&got, &want, &format!("seam {arch_seed}/{q_seed}"));
+    }
+}
