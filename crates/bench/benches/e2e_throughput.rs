@@ -21,6 +21,13 @@
 //! [`ShardedEngine`] — after checking every answer byte-identical to the
 //! single-shard engine — and records per-shard qps, the scatter fan-out
 //! ratio and the seam splice count.
+//!
+//! A `capacity` section (PR-8) measures the columnar snapshot's storage
+//! diet on a city-scale archive and the admission-controlled soak numbers.
+
+// The vendored `serde_json::json!` recurses once per key; the capacity
+// report pushes the default limit.
+#![recursion_limit = "256"]
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hris::prelude::*;
@@ -307,6 +314,137 @@ fn measure_sharded(s: &hris_eval::scenario::Scenario, rounds: usize) -> ShardedN
     }
 }
 
+/// Numbers from the storage-diet + soak capacity run.
+struct CapacityNumbers {
+    trips: usize,
+    points: usize,
+    materialized_bytes: usize,
+    flat_bytes: usize,
+    columnar_bytes: usize,
+    encode_s: f64,
+    decode_s: f64,
+    soak: hris_eval::SoakReport,
+}
+
+/// Measures the columnar snapshot's storage diet on a city-scale synthetic
+/// archive (10× the bench fleet, coordinates quantized to mm and
+/// timestamps to ms — the precision GPS hardware actually delivers, and
+/// what lets the FIXED column path engage), proves the decode
+/// bit-identical, then runs a short warm → overload → recover soak against
+/// a gated live handle for the shed-accounting numbers.
+fn measure_capacity(
+    s: &hris_eval::scenario::Scenario,
+    queries: &[hris_traj::Trajectory],
+) -> CapacityNumbers {
+    use hris_traj::{encode_snapshot, ColumnarSnapshot, SimConfig, Simulator};
+
+    let mut sim = Simulator::new(
+        &s.net,
+        SimConfig {
+            num_trips: 8_000,
+            num_od_patterns: 60,
+            min_trip_dist_m: 2_000.0,
+            seed: 4_242,
+            ..SimConfig::default()
+        },
+    );
+    let (raw, _) = sim.generate_archive();
+    let trips: Vec<hris_traj::Trajectory> = raw
+        .trajectories()
+        .iter()
+        .map(|t| {
+            let q = |v: f64| (v * 1_000.0).round() / 1_000.0;
+            hris_traj::Trajectory::new(
+                t.id,
+                t.points
+                    .iter()
+                    .map(|p| {
+                        hris_traj::GpsPoint::new(
+                            hris_geo::Point::new(q(p.pos.x), q(p.pos.y)),
+                            q(p.t),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let archive = TrajectoryArchive::new(trips);
+
+    let materialized_bytes = archive.memory_footprint();
+    let flat_bytes = archive.to_bytes().len();
+    let t0 = Instant::now();
+    let blob = encode_snapshot(&archive, 1);
+    let encode_s = t0.elapsed().as_secs_f64();
+    let columnar_bytes = blob.len();
+    let t0 = Instant::now();
+    let decoded = ColumnarSnapshot::open(blob)
+        .expect("open capacity snapshot")
+        .decode_archive()
+        .expect("decode capacity snapshot");
+    let decode_s = t0.elapsed().as_secs_f64();
+
+    // Correctness gate before the numbers count: bit-identical decode.
+    assert_eq!(decoded.num_trajectories(), archive.num_trajectories());
+    assert_eq!(decoded.num_points(), archive.num_points());
+    for (a, b) in decoded.trajectories().iter().zip(archive.trajectories()) {
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert!(
+                pa.t.to_bits() == pb.t.to_bits()
+                    && pa.pos.x.to_bits() == pb.pos.x.to_bits()
+                    && pa.pos.y.to_bits() == pb.pos.y.to_bits(),
+                "columnar decode diverged from the source archive"
+            );
+        }
+    }
+    assert!(
+        materialized_bytes as f64 / columnar_bytes as f64 >= 2.0,
+        "columnar snapshot must at least halve resident archive bytes: \
+         {materialized_bytes} materialized vs {columnar_bytes} columnar"
+    );
+
+    // Replay soak against the bench scenario's engine with a small gate.
+    let cfg = EngineConfig::builder()
+        .observability(true)
+        .admission(2, 8)
+        .build()
+        .expect("static engine configuration");
+    let handle = Arc::new(EngineHandle::with_config(
+        Arc::new(s.net.clone()),
+        s.archive.clone(),
+        HrisParams::default(),
+        cfg,
+    ));
+    let soak = hris_eval::run_soak(
+        &handle,
+        queries,
+        &hris_eval::SoakConfig {
+            warm_qps: 10.0,
+            warm_s: 0.5,
+            overload_qps: 500.0,
+            overload_s: 1.5,
+            recover_timeout_s: 15.0,
+            k: K,
+        },
+    );
+    assert!(soak.overload.shed > 0, "overload burst must shed");
+    assert!(
+        soak.queued_high_watermark <= soak.max_queued,
+        "waiting room exceeded its bound"
+    );
+
+    CapacityNumbers {
+        trips: archive.num_trajectories(),
+        points: archive.num_points(),
+        materialized_bytes,
+        flat_bytes,
+        columnar_bytes,
+        encode_s,
+        decode_s,
+        soak,
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let s = bench_scenario();
     let queries = resampled_queries(&s, 180.0);
@@ -395,6 +533,7 @@ fn bench(c: &mut Criterion) {
 
     let ingest = measure_ingest(&s, &queries);
     let sharded = measure_sharded(&s, rounds);
+    let capacity = measure_capacity(&s, &queries);
 
     // Shortest-path-oracle economics: one-off preprocessing cost, cache
     // behaviour over the run, and the sequential qps movement against the
@@ -459,6 +598,39 @@ fn bench(c: &mut Criterion) {
             "splices_total": sharded.splices_total,
             "outputs_identical_to_single_shard": true,
         },
+        "capacity": {
+            "archive": {
+                "trips": capacity.trips,
+                "points": capacity.points,
+            },
+            "storage": {
+                "materialized_bytes": capacity.materialized_bytes,
+                "flat_bytes": capacity.flat_bytes,
+                "columnar_bytes": capacity.columnar_bytes,
+                "reduction_vs_materialized":
+                    capacity.materialized_bytes as f64 / capacity.columnar_bytes as f64,
+                "reduction_vs_flat":
+                    capacity.flat_bytes as f64 / capacity.columnar_bytes as f64,
+                "columnar_bytes_per_point":
+                    capacity.columnar_bytes as f64 / capacity.points as f64,
+                "encode_s": capacity.encode_s,
+                "decode_s": capacity.decode_s,
+                "decode_byte_identical": true,
+            },
+            "soak": {
+                "warm_qps_offered": capacity.soak.warm.achieved_qps,
+                "warm_shed": capacity.soak.warm.shed,
+                "overload_offered": capacity.soak.overload.offered,
+                "overload_shed": capacity.soak.overload.shed,
+                "overload_shed_rate": capacity.soak.overload.shed_rate(),
+                "shed_total": capacity.soak.shed_total,
+                "queued_high_watermark": capacity.soak.queued_high_watermark,
+                "max_queued": capacity.soak.max_queued,
+                "saw_unhealthy_under_overload": capacity.soak.saw_unhealthy_under_overload,
+                "recovery_s": capacity.soak.recovery_s,
+                "resident_growth_bytes": capacity.soak.resident_growth_bytes(),
+            },
+        },
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e2e.json");
     std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
@@ -500,6 +672,25 @@ fn bench(c: &mut Criterion) {
             .iter()
             .map(|q| (q * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
+    );
+
+    println!(
+        "capacity: {} trips / {} points; {:.1} MiB materialized -> {:.1} MiB columnar \
+         ({:.2}x; flat {:.2}x), {:.3} B/point; soak shed {}/{} ({:.0}%), \
+         watermark {}/{}, recovery {:?}s",
+        capacity.trips,
+        capacity.points,
+        capacity.materialized_bytes as f64 / (1024.0 * 1024.0),
+        capacity.columnar_bytes as f64 / (1024.0 * 1024.0),
+        capacity.materialized_bytes as f64 / capacity.columnar_bytes as f64,
+        capacity.flat_bytes as f64 / capacity.columnar_bytes as f64,
+        capacity.columnar_bytes as f64 / capacity.points as f64,
+        capacity.soak.overload.shed,
+        capacity.soak.overload.offered,
+        100.0 * capacity.soak.overload.shed_rate(),
+        capacity.soak.queued_high_watermark,
+        capacity.soak.max_queued,
+        capacity.soak.recovery_s,
     );
 
     let mut g = c.benchmark_group("e2e_throughput");

@@ -66,6 +66,10 @@ pub enum RejectReason {
     /// unhealthy (corrupt archive or stale snapshot), and no healthy shard
     /// can stand in.
     ShardUnavailable,
+    /// Admission control shed the query: every execution slot and the
+    /// whole waiting room were occupied. The caller should back off and
+    /// retry — the 429 of this API.
+    Overloaded,
 }
 
 /// Per-query disposition of the engine's validation/degradation layer.
@@ -317,6 +321,7 @@ pub struct EngineObs {
     workers_busy: Gauge,
     slo_good: Counter,
     slo_breach: Counter,
+    shed: Counter,
     traces: TraceRing,
     next_query_id: AtomicU64,
     slow_threshold_s: f64,
@@ -408,6 +413,10 @@ impl EngineObs {
             slo_breach: registry.counter(
                 "hris_engine_slo_breach_total",
                 "Queries breaching the slow-query SLO threshold (burn counter).",
+            ),
+            shed: registry.counter(
+                "hris_engine_shed_total",
+                "Queries shed by admission control (waiting room full).",
             ),
             traces: TraceRing::new(opts.trace_capacity),
             next_query_id: AtomicU64::new(0),
@@ -615,6 +624,18 @@ impl EngineObs {
                 self.rejected.inc();
             }
         }
+    }
+
+    /// Records an admission-control shed. A shed query is a served-badly
+    /// query, not an invisible one: it counts as a query, a rejection,
+    /// an SLO breach (burn), and a shed. The SLO partition stays exact —
+    /// every counted query lands in exactly one of `slo_good_total` /
+    /// `slo_breach_total`.
+    pub(crate) fn record_shed(&self) {
+        self.queries.inc();
+        self.rejected.inc();
+        self.slo_breach.inc();
+        self.shed.inc();
     }
 }
 

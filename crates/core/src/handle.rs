@@ -19,12 +19,14 @@
 //! they started with — ingestion never changes an answer mid-query, and a
 //! batch is answered entirely against the single epoch it started on.
 
-use crate::engine::{EngineCacheStats, EngineCore, EngineCtx, EngineObs, QueryResult};
+use crate::engine::{
+    EngineCacheStats, EngineCore, EngineCtx, EngineObs, QueryOutcome, QueryResult, RejectReason,
+};
 use crate::global::GlobalRoute;
 use crate::local::{LocalInferenceResult, LocalStats};
 use crate::params::{EngineConfig, HrisParams};
 use crate::pipeline::ScoredRoute;
-use hris_obs::{Health, MetricsRegistry, MetricsServer, ServeState};
+use hris_obs::{Admission, AdmissionGate, Health, MetricsRegistry, MetricsServer, ServeState};
 use hris_roadnet::RoadNetwork;
 use hris_traj::{ArchiveSnapshot, SnapshotReader, TrajectoryArchive};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +62,10 @@ pub struct EngineHandle {
     core: EngineCore,
     /// Epoch of the snapshot the caches were last (in)validated for.
     cached_epoch: AtomicU64,
+    /// Bounded admission gate; `None` when `cfg.admission` is disabled
+    /// (the zero-cost default: queries never touch a lock they don't
+    /// need).
+    gate: Option<AdmissionGate>,
 }
 
 impl EngineHandle {
@@ -175,6 +181,10 @@ impl EngineHandle {
     ) -> Self {
         let registry =
             registry.or_else(|| cfg.obs.enabled.then(|| Arc::new(MetricsRegistry::new())));
+        let gate = cfg
+            .admission
+            .enabled
+            .then(|| AdmissionGate::new(cfg.admission.max_inflight, cfg.admission.max_queued));
         let core = EngineCore::build(cfg, registry);
         core.register_oracle_metrics(&net);
         EngineHandle {
@@ -183,6 +193,7 @@ impl EngineHandle {
             source,
             core,
             cached_epoch: AtomicU64::new(epoch),
+            gate,
         }
     }
 
@@ -246,12 +257,47 @@ impl EngineHandle {
         self.core.cache_stats()
     }
 
+    /// The handle's admission gate, when admission control is enabled.
+    /// Exposes live queue-depth/shed numbers to harnesses and the varz
+    /// endpoint.
+    #[must_use]
+    pub fn admission_gate(&self) -> Option<&AdmissionGate> {
+        self.gate.as_ref()
+    }
+
+    /// Builds the empty result an admission shed returns, counting it on
+    /// the way out (`n` queries' worth — a shed batch counts each query).
+    fn shed_result(&self, n: usize) -> QueryResult {
+        if let Some(obs) = self.core.observability() {
+            for _ in 0..n {
+                obs.record_shed();
+            }
+        }
+        QueryResult {
+            globals: Vec::new(),
+            stats: Vec::new(),
+            outcome: QueryOutcome::Rejected {
+                reason: RejectReason::Overloaded,
+            },
+        }
+    }
+
     /// One query through the validation screen against the current epoch:
     /// answer plus its [`QueryOutcome`](crate::QueryOutcome).
+    ///
+    /// With admission control enabled the query first passes the gate:
+    /// it may wait in the bounded waiting room, and when that is full
+    /// too it is shed immediately with
+    /// [`RejectReason::Overloaded`](crate::RejectReason).
     ///
     /// **This is the canonical single-query entrypoint.**
     #[must_use]
     pub fn infer_query(&self, query: &hris_traj::Trajectory, k: usize) -> QueryResult {
+        let _permit = match self.gate.as_ref().map(AdmissionGate::admit) {
+            Some(Admission::Shed) => return self.shed_result(1),
+            Some(Admission::Admitted(p)) => Some(p),
+            None => None,
+        };
         let snap = self.current_snapshot();
         self.core
             .infer_query_mode(self.ctx(&snap), query, k, self.config().mode)
@@ -294,6 +340,10 @@ impl EngineHandle {
     /// once at batch start, so a batch's answers are mutually consistent
     /// even while ingestion publishes mid-batch.
     ///
+    /// With admission control enabled the whole batch takes **one**
+    /// permit — a batch is admitted or shed as a unit, never half-shed
+    /// (a shed returns one `Rejected{Overloaded}` result per query).
+    ///
     /// **This is the canonical batch entrypoint.**
     #[must_use]
     pub fn infer_batch_detailed(
@@ -301,6 +351,13 @@ impl EngineHandle {
         queries: &[hris_traj::Trajectory],
         k: usize,
     ) -> Vec<QueryResult> {
+        let _permit = match self.gate.as_ref().map(AdmissionGate::admit) {
+            Some(Admission::Shed) => {
+                return queries.iter().map(|_| self.shed_result(1)).collect();
+            }
+            Some(Admission::Admitted(p)) => Some(p),
+            None => None,
+        };
         let snap = self.current_snapshot();
         self.core.infer_batch_detailed(self.ctx(&snap), queries, k)
     }
@@ -431,7 +488,7 @@ impl EngineHandle {
         let on_scrape = Arc::clone(self);
         let on_health = Arc::clone(self);
         let on_varz = Arc::clone(self);
-        ServeState::new(registry)
+        let mut state = ServeState::new(Arc::clone(&registry))
             .with_traces(obs.trace_ring())
             .pre_scrape(move || {
                 // The gauge is integral; health checks below use the exact
@@ -452,8 +509,54 @@ impl EngineHandle {
                 on_varz
                     .observability()
                     .map_or_else(|| "null".to_string(), EngineObs::rolling_latency_json)
-            })
-            .serve(addr)
+            });
+        if let Some(gate) = &self.gate {
+            let inflight_gauge = registry.gauge(
+                "hris_admission_inflight",
+                "Queries currently holding an admission execution slot.",
+            );
+            let queued_gauge = registry.gauge(
+                "hris_admission_queued",
+                "Queries currently waiting for an admission slot (bounded).",
+            );
+            let watermark_gauge = registry.gauge(
+                "hris_admission_queued_high_watermark",
+                "Highest waiting-room occupancy observed since startup.",
+            );
+            let on_gate_scrape = gate.clone();
+            let on_gate_health = gate.clone();
+            let on_gate_varz = gate.clone();
+            state = state
+                .pre_scrape(move || {
+                    inflight_gauge.set(on_gate_scrape.inflight() as i64);
+                    queued_gauge.set(on_gate_scrape.queued() as i64);
+                    watermark_gauge.set(on_gate_scrape.queued_high_watermark() as i64);
+                })
+                .health_check("admission_pressure", move || {
+                    if on_gate_health.saturated() {
+                        Health::Unhealthy(format!(
+                            "admission waiting room saturated ({} inflight, {} queued)",
+                            on_gate_health.inflight(),
+                            on_gate_health.queued()
+                        ))
+                    } else {
+                        Health::Ok
+                    }
+                })
+                .varz_section("admission", move || {
+                    format!(
+                        "{{\"inflight\":{},\"queued\":{},\"max_inflight\":{},\"max_queued\":{},\
+                         \"queued_high_watermark\":{},\"shed_total\":{}}}",
+                        on_gate_varz.inflight(),
+                        on_gate_varz.queued(),
+                        on_gate_varz.max_inflight(),
+                        on_gate_varz.max_queued(),
+                        on_gate_varz.queued_high_watermark(),
+                        on_gate_varz.shed_total()
+                    )
+                });
+        }
+        state.serve(addr)
     }
 
     fn ctx<'e>(&'e self, snap: &'e ArchiveSnapshot) -> EngineCtx<'e> {

@@ -52,8 +52,8 @@ pub use global::{brute_force_top_k, brute_force_top_k_with, k_gri, k_gri_with, G
 pub use handle::EngineHandle;
 pub use local::{LocalInferenceResult, LocalRoute};
 pub use params::{
-    ConfigError, EngineConfig, EngineConfigBuilder, ExecMode, HrisParams, HybridPolarity,
-    LocalAlgorithm, ObsOptions, PopularityModel, ValidationOptions,
+    AdmissionOptions, ConfigError, EngineConfig, EngineConfigBuilder, ExecMode, HrisParams,
+    HybridPolarity, LocalAlgorithm, ObsOptions, PopularityModel, ValidationOptions,
 };
 pub use pipeline::{Hris, HrisMatcher, ScoredRoute};
 pub use reference::{search_references, RefKind, RefTrajectory, ReferenceSet};

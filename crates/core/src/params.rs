@@ -242,6 +242,39 @@ impl Default for ValidationOptions {
     }
 }
 
+/// Admission-control policy for the owned serving fronts
+/// ([`EngineHandle`](crate::handle::EngineHandle) and the sharded router).
+///
+/// Off by default: the engine then behaves exactly as before this option
+/// existed — every request runs, none shed. Enabled, at most
+/// `max_inflight` queries execute concurrently, up to `max_queued` more
+/// wait in a bounded waiting room, and anything beyond that is shed
+/// immediately with `Rejected{Overloaded}` (counted in
+/// `hris_engine_shed_total` and the SLO burn counters). Batches are
+/// admitted as a unit — one permit per `infer_batch` call — so a batch
+/// is never half-shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionOptions {
+    /// Master switch; off means unbounded (pre-admission behaviour).
+    pub enabled: bool,
+    /// Concurrent requests allowed to execute. Must be ≥ 1 when enabled
+    /// (validated at build time).
+    pub max_inflight: usize,
+    /// Requests allowed to wait for an execution slot; `0` sheds as soon
+    /// as all slots are busy.
+    pub max_queued: usize,
+}
+
+impl Default for AdmissionOptions {
+    fn default() -> Self {
+        AdmissionOptions {
+            enabled: false,
+            max_inflight: 64,
+            max_queued: 256,
+        }
+    }
+}
+
 /// Tuning knobs of the [`QueryEngine`](crate::engine::QueryEngine); separate
 /// from [`HrisParams`] because none of them may change any inferred route
 /// *for valid inputs* — they only trade memory and threads for throughput,
@@ -269,6 +302,9 @@ pub struct EngineConfig {
     /// Input validation and degraded-mode handling (on by default; clean
     /// inputs are unaffected byte for byte).
     pub validation: ValidationOptions,
+    /// Admission control / load shedding (off by default; zero cost and
+    /// zero behaviour change when off).
+    pub admission: AdmissionOptions,
 }
 
 impl Default for EngineConfig {
@@ -281,6 +317,7 @@ impl Default for EngineConfig {
             batch_parallel: true,
             obs: ObsOptions::default(),
             validation: ValidationOptions::default(),
+            admission: AdmissionOptions::default(),
         }
     }
 }
@@ -298,6 +335,7 @@ impl EngineConfig {
             batch_parallel: false,
             obs: ObsOptions::default(),
             validation: ValidationOptions::default(),
+            admission: AdmissionOptions::default(),
         }
     }
 
@@ -336,6 +374,9 @@ pub enum ConfigError {
     /// The ingest staleness bound must be a positive, finite number of
     /// seconds; the offending value is carried along.
     NonPositiveStalenessBound(f64),
+    /// Admission control was enabled with `max_inflight == 0` — a gate
+    /// nobody can enter would shed every request.
+    ZeroAdmissionSlots,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -350,6 +391,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::NonPositiveStalenessBound(v) => {
                 write!(f, "staleness_bound_s must be positive and finite, got {v}")
+            }
+            ConfigError::ZeroAdmissionSlots => {
+                f.write_str("admission control needs max_inflight >= 1")
             }
         }
     }
@@ -493,6 +537,27 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables admission control with the given execution-slot and
+    /// waiting-room bounds. `max_inflight` must be ≥ 1 (validated at
+    /// build time); `max_queued` of 0 sheds the moment all slots are
+    /// busy.
+    #[must_use]
+    pub fn admission(mut self, max_inflight: usize, max_queued: usize) -> Self {
+        self.cfg.admission = AdmissionOptions {
+            enabled: true,
+            max_inflight,
+            max_queued,
+        };
+        self
+    }
+
+    /// Disables admission control (the default: never shed).
+    #[must_use]
+    pub fn without_admission(mut self) -> Self {
+        self.cfg.admission.enabled = false;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -510,6 +575,9 @@ impl EngineConfigBuilder {
         let staleness = self.cfg.obs.staleness_bound_s;
         if !(staleness.is_finite() && staleness > 0.0) {
             return Err(ConfigError::NonPositiveStalenessBound(staleness));
+        }
+        if self.cfg.admission.enabled && self.cfg.admission.max_inflight == 0 {
+            return Err(ConfigError::ZeroAdmissionSlots);
         }
         Ok(self.cfg)
     }

@@ -208,6 +208,94 @@ fn concurrent_readers_never_observe_half_applied_epochs() {
 }
 
 #[test]
+fn columnar_export_under_concurrent_ingest_is_never_torn() {
+    use hris_traj::ColumnarSnapshot;
+
+    let (_net, initial, stream, _queries) = scenario();
+    let mut writer = ArchiveWriter::new(hris_traj::TrajectoryArchive::new(initial));
+    let reader = writer.reader();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Exporter threads: snapshot -> columnar blob -> decode, continuously,
+    // while the writer publishes. Each decode must reproduce exactly the
+    // trajectories of the epoch it was exported from — a torn export would
+    // mix trips from two epochs or disagree on counts.
+    let mut threads = Vec::new();
+    let observed: Arc<Mutex<HashMap<u64, EpochFacts>>> = Arc::new(Mutex::new(HashMap::new()));
+    for _ in 0..2 {
+        let reader = reader.clone();
+        let done = Arc::clone(&done);
+        let observed = Arc::clone(&observed);
+        threads.push(thread::spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                let snap = reader.latest();
+                let blob = snap.to_columnar();
+                let col = ColumnarSnapshot::open(blob).expect("open mid-ingest");
+                assert_eq!(col.epoch(), snap.epoch(), "embedded epoch drifted");
+                let decoded = col.decode_archive().expect("decode mid-ingest");
+                assert_eq!(decoded.num_trajectories(), snap.num_trajectories());
+                assert_eq!(decoded.num_points(), snap.num_points());
+                for (a, b) in decoded.trajectories().iter().zip(snap.trajectories()) {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(a.points.len(), b.points.len());
+                    for (pa, pb) in a.points.iter().zip(&b.points) {
+                        assert_eq!(pa.t.to_bits(), pb.t.to_bits());
+                        assert_eq!(pa.pos.x.to_bits(), pb.pos.x.to_bits());
+                        assert_eq!(pa.pos.y.to_bits(), pb.pos.y.to_bits());
+                    }
+                }
+                let facts = EpochFacts {
+                    num_trajectories: decoded.num_trajectories(),
+                    num_points: decoded.num_points(),
+                };
+                let mut seen = observed.lock().unwrap();
+                if let Some(prev) = seen.insert(col.epoch(), facts) {
+                    assert_eq!(
+                        prev,
+                        facts,
+                        "epoch {} exported different contents twice",
+                        col.epoch()
+                    );
+                }
+                thread::yield_now();
+            }
+        }));
+    }
+
+    let mut published: Vec<(u64, EpochFacts)> =
+        vec![(writer.epoch(), facts_of(&writer.snapshot()))];
+    for chunk in stream.chunks(5) {
+        writer.append_batch(chunk.to_vec());
+        let snap = writer.publish();
+        published.push((snap.epoch(), facts_of(&snap)));
+        // Writer-side export must also see its own just-published epoch.
+        let col = ColumnarSnapshot::open(writer.export_columnar()).unwrap();
+        assert_eq!(col.epoch(), snap.epoch());
+        assert_eq!(col.num_points() as usize, snap.num_points());
+        thread::yield_now();
+    }
+    done.store(true, Ordering::Release);
+    for t in threads {
+        t.join().expect("exporter thread panicked");
+    }
+
+    // Every epoch any exporter decoded must be one the writer published,
+    // with exactly the published contents.
+    let published: HashMap<u64, EpochFacts> = published.into_iter().collect();
+    let observed = observed.lock().unwrap();
+    assert!(!observed.is_empty());
+    for (epoch, facts) in observed.iter() {
+        let want = published
+            .get(epoch)
+            .unwrap_or_else(|| panic!("exported unpublished epoch {epoch}"));
+        assert_eq!(
+            facts, want,
+            "epoch {epoch}: exported contents differ from published"
+        );
+    }
+}
+
+#[test]
 fn frozen_epoch_results_are_byte_identical_to_cold_rebuild() {
     let (net, initial, stream, queries) = scenario();
     let mut writer = ArchiveWriter::new(hris_traj::TrajectoryArchive::new(initial));

@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod export;
 mod histogram;
 mod registry;
@@ -63,6 +64,7 @@ mod span;
 mod timer;
 mod trace;
 
+pub use admission::{Admission, AdmissionGate, AdmissionPermit};
 pub use export::MetricsSnapshot;
 pub use histogram::{Histogram, HistogramSnapshot, DEFAULT_TIME_BOUNDS, FINE_TIME_BOUNDS};
 pub use registry::{Counter, Gauge, MetricsRegistry, PairedCounter, SnapshotEntry, SnapshotValue};

@@ -48,7 +48,7 @@ use hris::{
     QueryResult, RejectReason,
 };
 use hris_geo::BBox;
-use hris_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use hris_obs::{Admission, AdmissionGate, Counter, MetricsRegistry, MetricsSnapshot};
 use hris_roadnet::RoadNetwork;
 use hris_traj::{
     partition_archive, sanitize_points, ArchiveSnapshot, PointRepairs, SnapshotReader, TrajId,
@@ -118,6 +118,7 @@ struct RouterMetrics {
     splices: Counter,
     rerouted: Counter,
     rejected: Counter,
+    shed: Counter,
     /// Per shard, labelled `shard="<i>"`: queries (or sub-queries) served.
     shard_queries: Vec<Counter>,
     /// Per shard, labelled `shard="<i>"`: point pairs served.
@@ -152,6 +153,13 @@ impl RouterMetrics {
             rejected: reg.counter(
                 "hris_router_rejected_total",
                 "Queries rejected by the router (validation or no healthy shard).",
+            ),
+            // Same name as the engine-level counter: in the federated
+            // snapshot the shard copies carry a `shard` label and this one
+            // does not, so they sum cleanly.
+            shed: reg.counter(
+                "hris_engine_shed_total",
+                "Queries shed by admission control (waiting room full).",
             ),
             shard_queries: mk(
                 "hris_router_shard_queries_total",
@@ -218,6 +226,12 @@ pub struct ShardedEngine {
     shard_registries: Vec<Arc<MetricsRegistry>>,
     router_registry: Arc<MetricsRegistry>,
     m: RouterMetrics,
+    /// Router-level admission gate (`cfg.admission`); sheds before any
+    /// shard is touched. The per-shard handles carry their own gates for
+    /// direct shard access, but the router's scatter path pins shards
+    /// below their `infer_query` entrypoints, so this gate is the
+    /// admission point for routed traffic.
+    gate: Option<AdmissionGate>,
 }
 
 impl ShardedEngine {
@@ -321,6 +335,10 @@ impl ShardedEngine {
         let router_registry = Arc::new(MetricsRegistry::new());
         let m = RouterMetrics::new(&router_registry, plan.num_shards());
         let health = (0..plan.num_shards()).map(|_| AtomicU8::new(0)).collect();
+        let gate = cfg
+            .admission
+            .enabled
+            .then(|| AdmissionGate::new(cfg.admission.max_inflight, cfg.admission.max_queued));
         ShardedEngine {
             net,
             params,
@@ -333,7 +351,14 @@ impl ShardedEngine {
             shard_registries,
             router_registry,
             m,
+            gate,
         }
+    }
+
+    /// The router's admission gate, when admission control is enabled.
+    #[must_use]
+    pub fn admission_gate(&self) -> Option<&AdmissionGate> {
+        self.gate.as_ref()
     }
 
     /// Number of shards.
@@ -423,6 +448,27 @@ impl ShardedEngine {
     #[must_use]
     pub fn infer_query_traced(&self, query: &Trajectory, k: usize) -> (QueryResult, RouteTrace) {
         self.m.queries.inc();
+
+        // Stage 0 — admission. Shedding here costs a mutex lock and
+        // nothing else: no validation, no shard is touched.
+        let _permit = match self.gate.as_ref().map(AdmissionGate::admit) {
+            Some(Admission::Shed) => {
+                self.m.rejected.inc();
+                self.m.shed.inc();
+                return (
+                    QueryResult {
+                        globals: Vec::new(),
+                        stats: Vec::new(),
+                        outcome: QueryOutcome::Rejected {
+                            reason: RejectReason::Overloaded,
+                        },
+                    },
+                    RouteTrace::rejected(),
+                );
+            }
+            Some(Admission::Admitted(p)) => Some(p),
+            None => None,
+        };
 
         // Stage 1 — mirror the engine's validation ladder so routing sees
         // the same points the shard engines will serve.

@@ -1,0 +1,115 @@
+//! Admission control at the router: routed traffic is gated *before*
+//! scatter (shards are pinned below `infer_query`, so the router gate is
+//! the admission point), sheds surface as `Rejected { Overloaded }`, and
+//! the router's own `hris_engine_shed_total` copy shows up in the
+//! federated metrics snapshot alongside the shard-labelled engine copies.
+
+use hris::{EngineConfig, HrisParams, QueryOutcome, RejectReason};
+use hris_geo::Point;
+use hris_obs::Admission;
+use hris_roadnet::{generator, NetworkConfig, RoadNetwork};
+use hris_router::{ShardPlan, ShardedEngine};
+use hris_traj::{GpsPoint, TrajId, Trajectory, TrajectoryArchive};
+use std::sync::Arc;
+
+fn net() -> Arc<RoadNetwork> {
+    Arc::new(generator::generate(&NetworkConfig {
+        blocks_x: 12,
+        blocks_y: 12,
+        block_m: 300.0,
+        seed: 9,
+        ..NetworkConfig::default()
+    }))
+}
+
+fn query() -> Trajectory {
+    Trajectory::new(
+        TrajId(0),
+        (0..4)
+            .map(|i| GpsPoint::new(Point::new(400.0 + i as f64 * 350.0, 500.0), i as f64 * 60.0))
+            .collect(),
+    )
+}
+
+#[test]
+fn router_gate_sheds_routed_traffic_and_federates_the_counter() {
+    let net = net();
+    let params = HrisParams::default();
+    let plan = ShardPlan::grid(&net, 2, 1, params.phi_m + 600.0);
+    let cfg = EngineConfig::builder()
+        .observability(true)
+        .admission(1, 0)
+        .build()
+        .unwrap();
+    let engine = ShardedEngine::build(
+        Arc::clone(&net),
+        &TrajectoryArchive::empty(),
+        params,
+        cfg,
+        plan,
+    );
+
+    let gate = engine.admission_gate().expect("router gate configured");
+    let permit = match gate.admit() {
+        Admission::Admitted(p) => p,
+        Admission::Shed => panic!("idle gate must admit"),
+    };
+
+    let (result, trace) = engine.infer_query_traced(&query(), 2);
+    assert!(
+        matches!(
+            result.outcome,
+            QueryOutcome::Rejected {
+                reason: RejectReason::Overloaded
+            }
+        ),
+        "router must shed while its gate is full, got {:?}",
+        result.outcome
+    );
+    assert!(result.globals.is_empty());
+    assert!(
+        trace.epochs.is_empty(),
+        "a shed query must not scatter to any shard"
+    );
+
+    // The unlabelled router copy federates next to the shard copies.
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.counter("hris_engine_shed_total"), Some(1));
+
+    // Slot freed: routed traffic flows again and the counter is stable.
+    drop(permit);
+    let (ok, _) = engine.infer_query_traced(&query(), 2);
+    assert!(!matches!(
+        ok.outcome,
+        QueryOutcome::Rejected {
+            reason: RejectReason::Overloaded
+        }
+    ));
+    assert_eq!(
+        engine.metrics_snapshot().counter("hris_engine_shed_total"),
+        Some(1)
+    );
+    assert_eq!(gate.shed_total(), 1);
+}
+
+#[test]
+fn router_without_admission_has_no_gate() {
+    let net = net();
+    let params = HrisParams::default();
+    let plan = ShardPlan::grid(&net, 2, 1, params.phi_m + 600.0);
+    let engine = ShardedEngine::build(
+        Arc::clone(&net),
+        &TrajectoryArchive::empty(),
+        params,
+        EngineConfig::builder().observability(true).build().unwrap(),
+        plan,
+    );
+    assert!(engine.admission_gate().is_none());
+    let (r, _) = engine.infer_query_traced(&query(), 2);
+    assert!(!matches!(
+        r.outcome,
+        QueryOutcome::Rejected {
+            reason: RejectReason::Overloaded
+        }
+    ));
+}

@@ -85,6 +85,24 @@ impl TrajectoryArchive {
         self.num_points
     }
 
+    /// Estimated heap bytes of the fully materialized archive: every
+    /// trip's point vector plus the R-tree arena (which stores each point
+    /// a second time as an [`ArchivePoint`]). This is the "before" number
+    /// the columnar snapshot format is measured against in the capacity
+    /// section of `BENCH_e2e.json`.
+    #[must_use]
+    pub fn memory_footprint(&self) -> usize {
+        let trips: usize = self
+            .trajectories
+            .iter()
+            .map(|t| {
+                std::mem::size_of::<Trajectory>()
+                    + t.points.capacity() * std::mem::size_of::<GpsPoint>()
+            })
+            .sum();
+        trips + self.index.heap_bytes_estimate()
+    }
+
     /// A trajectory by id.
     #[inline]
     #[must_use]

@@ -18,6 +18,7 @@ pub mod partition;
 pub mod resample;
 pub mod similarity;
 pub mod simulator;
+pub mod snapshot;
 pub mod staypoint;
 pub mod types;
 
@@ -30,6 +31,10 @@ pub use partition::{partition_archive, ArchivePartition};
 pub use resample::{add_gps_noise, resample_to_interval};
 pub use similarity::{dtw, edr, lcss};
 pub use simulator::{SimConfig, Simulator, TripRecord};
+pub use snapshot::{
+    encode_snapshot, encode_snapshot_with_routes, ColumnarSnapshot, SnapshotError, SnapshotHeader,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use staypoint::{detect_stay_points, partition_trips, StayPoint, StayPointConfig};
 pub use types::{
     sanitize_points, GpsPoint, PointRepairs, SanitizeLimits, TrajId, Trajectory, TrajectoryError,
