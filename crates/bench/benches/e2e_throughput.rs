@@ -531,6 +531,43 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
 
+    // Learned re-ranking: off is the default (already proven byte-identical
+    // to sequential `Hris` above — re-ranking never ran); on pays feature
+    // extraction + model scoring per candidate, and may only permute each
+    // query's top-K.
+    let rr_cfg = hris_eval::TrainConfig {
+        interval_s: 180.0,
+        max_trips: 40,
+        ..hris_eval::TrainConfig::default()
+    };
+    let rr_pairs = hris_eval::training_pairs(&s, &HrisParams::default(), &rr_cfg);
+    let rr_model = hris::train_logistic(&rr_pairs, &rr_cfg.sgd);
+    let rerank_engine = QueryEngine::with_config(
+        &hris,
+        EngineConfig::builder()
+            .rerank(rr_model)
+            .build()
+            .expect("static engine configuration"),
+    );
+    let run_rerank = || -> Vec<Vec<ScoredRoute>> { rerank_engine.infer_batch(&queries, K) };
+    let rerank_results = run_rerank();
+    let mut rerank_reordered = 0usize;
+    for (qi, (g, w)) in rerank_results.iter().zip(&baseline).enumerate() {
+        let key = |r: &ScoredRoute| (r.route.segments().to_vec(), r.log_score.to_bits());
+        let mut a: Vec<_> = g.iter().map(key).collect();
+        let mut b: Vec<_> = w.iter().map(key).collect();
+        if a != b {
+            rerank_reordered += 1;
+        }
+        a.sort();
+        b.sort();
+        assert_eq!(
+            a, b,
+            "rerank must permute query {qi}'s top-K, not rescore it"
+        );
+    }
+    let qps_rerank_on = qps(queries.len(), rounds, run_rerank);
+
     let ingest = measure_ingest(&s, &queries);
     let sharded = measure_sharded(&s, rounds);
     let capacity = measure_capacity(&s, &queries);
@@ -586,6 +623,15 @@ fn bench(c: &mut Criterion) {
             "sequential_speedup": qps_seq / QPS_SEQUENTIAL_PR5,
         },
         "outputs_identical_to_sequential": true,
+        "rerank": {
+            "train_pairs": rr_pairs.len(),
+            "qps_off": qps_batch,
+            "qps_on": qps_rerank_on,
+            "overhead": 1.0 - qps_rerank_on / qps_batch,
+            "queries_reordered": rerank_reordered,
+            "outputs_identical_when_off": true,
+            "on_is_permutation_of_off": true,
+        },
         "sharded": {
             "grid": format!("{}x{}", sharded.grid.0, sharded.grid.1),
             "margin_m": sharded.margin_m,
@@ -642,6 +688,16 @@ fn bench(c: &mut Criterion) {
          batch+spans {qps_spans:.2} ({:.2}% overhead)",
         100.0 * (1.0 - qps_observed / qps_batch),
         100.0 * (1.0 - qps_spans / qps_batch)
+    );
+    println!(
+        "rerank: {:.2} qps on vs {:.2} qps off ({:.2}% overhead), \
+         {} pairs trained, {}/{} queries reordered",
+        qps_rerank_on,
+        qps_batch,
+        100.0 * (1.0 - qps_rerank_on / qps_batch),
+        rr_pairs.len(),
+        rerank_reordered,
+        queries.len()
     );
     print!("phase seconds/query:");
     for (phase, s) in &phase_breakdown {

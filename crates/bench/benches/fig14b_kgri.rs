@@ -2,7 +2,7 @@
 //! top-K global route inference, as the number of query pairs grows.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hris::{brute_force_top_k, k_gri, Hris, HrisParams};
+use hris::{Hris, HrisParams, PaperScorer, RouteScorer, ScoringCtx};
 use hris_bench::bench_scenario;
 use hris_traj::resample_to_interval;
 
@@ -23,13 +23,14 @@ fn bench(c: &mut Criterion) {
             break;
         }
         let slice = &locals[..n];
+        let scorer = PaperScorer::from_params(&params);
         g.bench_with_input(BenchmarkId::new("k_gri", n), &slice, |b, slice| {
-            b.iter(|| black_box(k_gri(&s.net, slice, 2, params.entropy_floor)));
+            b.iter(|| black_box(scorer.top_k(&ScoringCtx::new(&s.net, slice, 2))));
         });
         let combos: f64 = slice.iter().map(|l| l.routes.len() as f64).product();
         if combos <= 1e6 {
             g.bench_with_input(BenchmarkId::new("brute_force", n), &slice, |b, slice| {
-                b.iter(|| black_box(brute_force_top_k(&s.net, slice, 2, params.entropy_floor)));
+                b.iter(|| black_box(scorer.top_k_brute_force(&ScoringCtx::new(&s.net, slice, 2))));
             });
         }
     }

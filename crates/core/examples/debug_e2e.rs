@@ -66,7 +66,7 @@ fn main() {
             l.stats.augmentation_links,
         );
         for (ri, r) in l.routes.iter().enumerate().take(4) {
-            let f = hris::global::popularity(r, l, 0.05);
+            let f = hris::local::route_popularity(r, &l.edge_index, 0.05);
             println!(
                 "   route {ri}: {} segs {:.0} m, pop {:.2}, cov vs truth {:.2}",
                 r.len(),

@@ -33,12 +33,13 @@
 //! `tests/engine_determinism.rs` and `tests/engine_observability.rs` pin
 //! this down.
 
-use crate::global::{k_gri_with, GlobalRoute};
+use crate::global::GlobalRoute;
 use crate::local::{LocalInferenceResult, LocalStats};
 use crate::params::{EngineConfig, ExecMode, HrisParams, ObsOptions};
 use crate::pipeline::{
     degenerate_local, infer_pair, infer_pair_chain, DegenerateQuery, Hris, ScoredRoute,
 };
+use crate::scoring::{LearnedScorer, PaperScorer, RerankModel, RouteScorer, ScoringCtx};
 use hris_obs::{
     synthetic_tree, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, PairedCounter,
     SlidingHistogram, Span, SpanCollector, SpanGuard, SpanSampler, TraceRecord, TraceRing,
@@ -322,6 +323,10 @@ pub struct EngineObs {
     slo_good: Counter,
     slo_breach: Counter,
     shed: Counter,
+    rerank_queries: Counter,
+    rerank_routes: Counter,
+    rerank_reordered: Counter,
+    rerank_seconds: Histogram,
     traces: TraceRing,
     next_query_id: AtomicU64,
     slow_threshold_s: f64,
@@ -417,6 +422,25 @@ impl EngineObs {
             shed: registry.counter(
                 "hris_engine_shed_total",
                 "Queries shed by admission control (waiting room full).",
+            ),
+            // Registered whether or not re-ranking is configured, so the
+            // exported metric set does not depend on the rerank option.
+            rerank_queries: registry.counter(
+                "hris_rerank_queries_total",
+                "Queries whose top-K output went through the learned re-ranker.",
+            ),
+            rerank_routes: registry.counter(
+                "hris_rerank_routes_total",
+                "Candidate global routes scored by the learned re-ranker.",
+            ),
+            rerank_reordered: registry.counter(
+                "hris_rerank_reordered_total",
+                "Re-ranked queries whose top-1 route changed from the paper order.",
+            ),
+            rerank_seconds: registry.histogram(
+                "hris_rerank_seconds",
+                "Wall seconds spent re-ranking per query (refine phase).",
+                &DEFAULT_TIME_BOUNDS,
             ),
             traces: TraceRing::new(opts.trace_capacity),
             next_query_id: AtomicU64::new(0),
@@ -693,6 +717,35 @@ impl EngineCore {
         &self.cfg
     }
 
+    /// The re-ranking model to apply, if any. Enabled options without a
+    /// model (only constructible by hand — the builder validates) behave
+    /// as disabled rather than guessing.
+    fn rerank_model(&self) -> Option<&RerankModel> {
+        if self.cfg.rerank.enabled {
+            self.cfg.rerank.model.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Phase 3 through the configured scorer: the paper's K-GRI DP, plus
+    /// the learned re-rank of its top-K output when
+    /// [`EngineConfig::rerank`] is enabled. With re-ranking off this is
+    /// byte-identical to the legacy `k_gri_with` call it replaced.
+    fn score_globals(
+        &self,
+        ctx: EngineCtx<'_>,
+        locals: &[LocalInferenceResult],
+        k: usize,
+    ) -> Vec<GlobalRoute> {
+        let paper = PaperScorer::from_params(ctx.params);
+        let sctx = ScoringCtx::new(ctx.net, locals, k);
+        match self.rerank_model() {
+            None => paper.top_k(&sctx),
+            Some(model) => LearnedScorer::new(paper, model).top_k(&sctx),
+        }
+    }
+
     /// Registers the network-level shortest-path oracle on the engine's
     /// registry: `hris_sp_oracle_{hits,misses}_total` (probes answered from
     /// precomputed state vs. probes that ran Dijkstra) and the one-off
@@ -897,13 +950,7 @@ impl EngineCore {
         let EngineCtx { net, params, .. } = ctx;
         let finish = |locals: Vec<LocalInferenceResult>, fell_back: usize| {
             let stats = locals.iter().map(|l| l.stats.clone()).collect();
-            let globals = k_gri_with(
-                net,
-                &locals,
-                k,
-                params.entropy_floor,
-                params.popularity_model,
-            );
+            let globals = self.score_globals(ctx, &locals, k);
             (globals, stats, fell_back)
         };
         match degenerate_local(net, query) {
@@ -952,13 +999,7 @@ impl EngineCore {
             // Uninstrumented fast path: no clocks, no tallies, no spans.
             let run = self.local_inference_run(ctx, query, mode, None, false, None);
             let stats = run.locals.iter().map(|l| l.stats.clone()).collect();
-            let globals = k_gri_with(
-                ctx.net,
-                &run.locals,
-                k,
-                params.entropy_floor,
-                params.popularity_model,
-            );
+            let globals = self.score_globals(ctx, &run.locals, k);
             return (globals, stats);
         };
 
@@ -979,23 +1020,34 @@ impl EngineCore {
 
         let mut global_guard = spanctx.map(|(c, root)| c.child(root, "global"));
         let global_span_id = global_guard.as_ref().map_or(0, SpanGuard::id);
+        let paper = PaperScorer::from_params(params);
+        let sctx = ScoringCtx::new(ctx.net, &run.locals, k);
         let t_global = Instant::now();
-        let globals = k_gri_with(
-            ctx.net,
-            &run.locals,
-            k,
-            params.entropy_floor,
-            params.popularity_model,
-        );
+        let mut globals = paper.top_k(&sctx);
         let global_s = t_global.elapsed().as_secs_f64();
         if let Some(g) = global_guard.as_mut() {
             g.attr("routes", globals.len());
         }
         let _ = global_guard.map(SpanGuard::finish);
 
-        let refine_guard = spanctx.map(|(c, root)| c.child(root, "refine"));
+        let mut refine_guard = spanctx.map(|(c, root)| c.child(root, "refine"));
         let refine_span_id = refine_guard.as_ref().map_or(0, SpanGuard::id);
         let t_refine = Instant::now();
+        // Learned re-ranking lives in the refine phase: the DP output is
+        // the raw material, the model only permutes it.
+        if let Some(model) = self.rerank_model() {
+            let t_rerank = Instant::now();
+            let outcome = LearnedScorer::new(paper, model).rerank_in_place(&sctx, &mut globals);
+            obs.rerank_seconds.observe(t_rerank.elapsed().as_secs_f64());
+            obs.rerank_queries.inc();
+            obs.rerank_routes.add(outcome.rescored as u64);
+            if outcome.top1_changed {
+                obs.rerank_reordered.inc();
+            }
+            if let Some(g) = refine_guard.as_mut() {
+                g.attr("reranked", outcome.rescored);
+            }
+        }
         let stats: Vec<LocalStats> = run.locals.iter().map(|l| l.stats.clone()).collect();
         let refine_s = t_refine.elapsed().as_secs_f64();
         let _ = refine_guard.map(SpanGuard::finish);

@@ -44,12 +44,16 @@ pub struct GlobalRoute {
 /// long. The `entropy_floor` (default 0.05, documented in DESIGN.md) keeps
 /// such routes rankable while preserving the ordering among multi-segment
 /// routes.
+#[deprecated(note = "use `hris::local::route_popularity` (or score through \
+                     `hris::scoring::PaperScorer`)")]
 #[must_use]
 pub fn popularity(route: &Route, local: &LocalInferenceResult, entropy_floor: f64) -> f64 {
     crate::local::route_popularity(route, &local.edge_index, entropy_floor)
 }
 
 /// [`popularity`] with an explicit [`PopularityModel`] (ablation).
+#[deprecated(note = "use `hris::local::route_popularity_with` (or score through \
+                     `hris::scoring::PaperScorer`)")]
 #[must_use]
 pub fn popularity_with(
     route: &Route,
@@ -89,8 +93,9 @@ pub fn log_transition_confidence(ids_a: &HashSet<TrajId>, ids_b: &HashSet<TrajId
 
 /// Sorted, deduplicated trajectory ids on `route` — same contents as
 /// [`route_traj_ids`], laid out for the merge-walk Jaccard in the DP inner
-/// loop (no hashing per transition).
-fn route_traj_ids_sorted(route: &Route, local: &LocalInferenceResult) -> Vec<TrajId> {
+/// loop (no hashing per transition). Shared with the feature extractor in
+/// [`crate::scoring`].
+pub(crate) fn route_traj_ids_sorted(route: &Route, local: &LocalInferenceResult) -> Vec<TrajId> {
     let mut out: Vec<TrajId> = Vec::new();
     for ref_idx in local.edge_index.refs_on_route(route) {
         out.extend(local.refs.refs[ref_idx].sources.iter().copied());
@@ -105,7 +110,7 @@ fn route_traj_ids_sorted(route: &Route, local: &LocalInferenceResult) -> Vec<Tra
 /// Computes the same intersection/union counts via a linear merge walk, so
 /// the resulting Jaccard (and hence the score) is bit-identical to the
 /// hash-set version.
-fn log_transition_confidence_sorted(a: &[TrajId], b: &[TrajId]) -> f64 {
+pub(crate) fn log_transition_confidence_sorted(a: &[TrajId], b: &[TrajId]) -> f64 {
     let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -146,7 +151,11 @@ fn precompute(
             log_f: l
                 .routes
                 .iter()
-                .map(|r| popularity_with(r, l, entropy_floor, model).max(1e-9).ln())
+                .map(|r| {
+                    crate::local::route_popularity_with(r, &l.edge_index, entropy_floor, model)
+                        .max(1e-9)
+                        .ln()
+                })
                 .collect(),
             ids: l
                 .routes
@@ -162,6 +171,8 @@ fn precompute(
 /// `locals` must have at least one local route per pair; pairs with no
 /// routes make the result empty (the pipeline inserts shortest-path
 /// fallbacks before calling this).
+#[deprecated(note = "construct a `hris::scoring::PaperScorer` and call \
+                     `RouteScorer::top_k`")]
 #[must_use]
 pub fn k_gri(
     net: &RoadNetwork,
@@ -169,12 +180,27 @@ pub fn k_gri(
     k: usize,
     entropy_floor: f64,
 ) -> Vec<GlobalRoute> {
-    k_gri_with(net, locals, k, entropy_floor, PopularityModel::ScaleFree)
+    k_gri_impl(net, locals, k, entropy_floor, PopularityModel::ScaleFree)
 }
 
 /// [`k_gri`] with an explicit [`PopularityModel`] (ablation).
+#[deprecated(note = "construct a `hris::scoring::PaperScorer` and call \
+                     `RouteScorer::top_k`")]
 #[must_use]
 pub fn k_gri_with(
+    net: &RoadNetwork,
+    locals: &[LocalInferenceResult],
+    k: usize,
+    entropy_floor: f64,
+    model: PopularityModel,
+) -> Vec<GlobalRoute> {
+    k_gri_impl(net, locals, k, entropy_floor, model)
+}
+
+/// The K-GRI dynamic program itself — [`crate::scoring::PaperScorer`]
+/// calls this; the deprecated [`k_gri_with`] shim delegates here so the
+/// two are bit-identical by construction.
+pub(crate) fn k_gri_impl(
     net: &RoadNetwork,
     locals: &[LocalInferenceResult],
     k: usize,
@@ -230,6 +256,8 @@ pub fn k_gri_with(
 /// Brute-force oracle: enumerates all `Π |ℛ_i|` combinations.
 ///
 /// Exponential — used for Figure 14b and to validate K-GRI in tests.
+#[deprecated(note = "construct a `hris::scoring::PaperScorer` and call \
+                     `RouteScorer::top_k_brute_force`")]
 #[must_use]
 pub fn brute_force_top_k(
     net: &RoadNetwork,
@@ -237,12 +265,26 @@ pub fn brute_force_top_k(
     k: usize,
     entropy_floor: f64,
 ) -> Vec<GlobalRoute> {
-    brute_force_top_k_with(net, locals, k, entropy_floor, PopularityModel::ScaleFree)
+    brute_force_top_k_impl(net, locals, k, entropy_floor, PopularityModel::ScaleFree)
 }
 
 /// [`brute_force_top_k`] with an explicit [`PopularityModel`] (ablation).
+#[deprecated(note = "construct a `hris::scoring::PaperScorer` and call \
+                     `RouteScorer::top_k_brute_force`")]
 #[must_use]
 pub fn brute_force_top_k_with(
+    net: &RoadNetwork,
+    locals: &[LocalInferenceResult],
+    k: usize,
+    entropy_floor: f64,
+    model: PopularityModel,
+) -> Vec<GlobalRoute> {
+    brute_force_top_k_impl(net, locals, k, entropy_floor, model)
+}
+
+/// The exhaustive enumeration behind [`brute_force_top_k_with`], shared
+/// with [`crate::scoring::PaperScorer`].
+pub(crate) fn brute_force_top_k_impl(
     net: &RoadNetwork,
     locals: &[LocalInferenceResult],
     k: usize,
@@ -330,6 +372,7 @@ fn stitch(net: &RoadNetwork, locals: &[LocalInferenceResult], indices: &[usize])
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests deliberately pin the legacy shims
 mod tests {
     use super::*;
     use crate::local::{LocalStats, RefEdgeIndex};

@@ -43,20 +43,27 @@ pub mod local;
 pub mod params;
 pub mod pipeline;
 pub mod reference;
+pub mod scoring;
 
 pub use engine::{
     EngineCacheStats, EngineObs, QueryEngine, QueryOutcome, QueryResult, RejectReason,
 };
 pub use freespace::{infer_polyline, FreespaceParams};
-pub use global::{brute_force_top_k, brute_force_top_k_with, k_gri, k_gri_with, GlobalRoute};
+pub use global::GlobalRoute;
+#[allow(deprecated)] // legacy shims stay importable from the crate root
+pub use global::{brute_force_top_k, brute_force_top_k_with, k_gri, k_gri_with};
 pub use handle::EngineHandle;
 pub use local::{LocalInferenceResult, LocalRoute};
 pub use params::{
     AdmissionOptions, ConfigError, EngineConfig, EngineConfigBuilder, ExecMode, HrisParams,
-    HybridPolarity, LocalAlgorithm, ObsOptions, PopularityModel, ValidationOptions,
+    HybridPolarity, LocalAlgorithm, ObsOptions, PopularityModel, RerankOptions, ValidationOptions,
 };
 pub use pipeline::{Hris, HrisMatcher, ScoredRoute};
 pub use reference::{search_references, RefKind, RefTrajectory, ReferenceSet};
+pub use scoring::{
+    configured_scorer, extract_features, train_logistic, ConfiguredScorer, LearnedScorer,
+    PaperScorer, RerankModel, RerankOutcome, RouteFeatures, RouteScorer, ScoringCtx, SgdConfig,
+};
 
 // The telemetry-server surface of `EngineHandle::serve_metrics`, re-exported
 // so consumers need not name hris-obs directly.
@@ -85,9 +92,10 @@ pub mod prelude {
     pub use crate::handle::EngineHandle;
     pub use crate::params::{
         ConfigError, EngineConfig, EngineConfigBuilder, ExecMode, HrisParams, ObsOptions,
-        ValidationOptions,
+        RerankOptions, ValidationOptions,
     };
     pub use crate::pipeline::{Hris, HrisMatcher, ScoredRoute};
+    pub use crate::scoring::{LearnedScorer, PaperScorer, RerankModel, RouteScorer, ScoringCtx};
     pub use hris_traj::{
         ArchiveSnapshot, ArchiveWriter, IngestOptions, IngestQueue, IngestReport, SnapshotReader,
         TrajectoryArchive,

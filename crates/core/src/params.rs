@@ -275,6 +275,30 @@ impl Default for AdmissionOptions {
     }
 }
 
+/// Learned re-ranking of the K-GRI top-K output
+/// ([`LearnedScorer`](crate::scoring::LearnedScorer)).
+///
+/// Off by default: the engine then scores with
+/// [`PaperScorer`](crate::scoring::PaperScorer) alone and behaves exactly
+/// as before this option existed, byte for byte. Enabled, the refine
+/// phase re-orders the top-K list by the logistic model's score (stable —
+/// ties keep the paper order); `log_score` fields keep the honest paper
+/// scores. The sharded router applies the same options at its seam
+/// splice, so sharded and single-engine outputs stay identical.
+///
+/// Enabling requires a [`RerankModel`](crate::scoring::RerankModel);
+/// [`EngineConfigBuilder::rerank`] sets both and
+/// [`EngineConfigBuilder::build`] validates the model's shape and
+/// finiteness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RerankOptions {
+    /// Master switch; off means pure paper scoring (the default).
+    pub enabled: bool,
+    /// The learned weights. Required when `enabled` (validated at build
+    /// time); ignored otherwise.
+    pub model: Option<crate::scoring::RerankModel>,
+}
+
 /// Tuning knobs of the [`QueryEngine`](crate::engine::QueryEngine); separate
 /// from [`HrisParams`] because none of them may change any inferred route
 /// *for valid inputs* — they only trade memory and threads for throughput,
@@ -305,6 +329,9 @@ pub struct EngineConfig {
     /// Admission control / load shedding (off by default; zero cost and
     /// zero behaviour change when off).
     pub admission: AdmissionOptions,
+    /// Learned re-ranking of the top-K output (off by default; the paper
+    /// scorer alone, byte-identical to the pre-rerank engine).
+    pub rerank: RerankOptions,
 }
 
 impl Default for EngineConfig {
@@ -318,6 +345,7 @@ impl Default for EngineConfig {
             obs: ObsOptions::default(),
             validation: ValidationOptions::default(),
             admission: AdmissionOptions::default(),
+            rerank: RerankOptions::default(),
         }
     }
 }
@@ -336,6 +364,7 @@ impl EngineConfig {
             obs: ObsOptions::default(),
             validation: ValidationOptions::default(),
             admission: AdmissionOptions::default(),
+            rerank: RerankOptions::default(),
         }
     }
 
@@ -377,6 +406,11 @@ pub enum ConfigError {
     /// Admission control was enabled with `max_inflight == 0` — a gate
     /// nobody can enter would shed every request.
     ZeroAdmissionSlots,
+    /// Re-ranking was enabled without a model to rank with.
+    RerankWithoutModel,
+    /// The supplied re-ranking model is structurally invalid: wrong
+    /// dimensions, non-finite parameters, or non-positive scales.
+    InvalidRerankModel,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -395,6 +429,13 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroAdmissionSlots => {
                 f.write_str("admission control needs max_inflight >= 1")
             }
+            ConfigError::RerankWithoutModel => {
+                f.write_str("re-ranking needs a model (pass one to rerank())")
+            }
+            ConfigError::InvalidRerankModel => f.write_str(
+                "re-ranking model is invalid: expect NUM_FEATURES weights/means/scales, \
+                 all finite, scales positive",
+            ),
         }
     }
 }
@@ -558,6 +599,25 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables learned re-ranking of the top-K output with the given
+    /// model. The model's shape and finiteness are validated at build
+    /// time.
+    #[must_use]
+    pub fn rerank(mut self, model: crate::scoring::RerankModel) -> Self {
+        self.cfg.rerank = RerankOptions {
+            enabled: true,
+            model: Some(model),
+        };
+        self
+    }
+
+    /// Disables learned re-ranking (the default: paper scoring alone).
+    #[must_use]
+    pub fn without_rerank(mut self) -> Self {
+        self.cfg.rerank.enabled = false;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -578,6 +638,13 @@ impl EngineConfigBuilder {
         }
         if self.cfg.admission.enabled && self.cfg.admission.max_inflight == 0 {
             return Err(ConfigError::ZeroAdmissionSlots);
+        }
+        if self.cfg.rerank.enabled {
+            match &self.cfg.rerank.model {
+                None => return Err(ConfigError::RerankWithoutModel),
+                Some(model) if !model.is_valid() => return Err(ConfigError::InvalidRerankModel),
+                Some(_) => {}
+            }
         }
         Ok(self.cfg)
     }
@@ -678,6 +745,43 @@ mod tests {
         // Span sampling accepts any period, 0 meaning "live capture off".
         let cfg = EngineConfig::builder().span_sampling(0).build().unwrap();
         assert_eq!(cfg.obs.span_sample_every, 0);
+    }
+
+    #[test]
+    fn builder_validates_rerank_model() {
+        use crate::scoring::RerankModel;
+        let cfg = EngineConfig::builder()
+            .rerank(RerankModel::zeroed())
+            .build()
+            .expect("zeroed model is structurally valid");
+        assert!(cfg.rerank.enabled);
+        assert!(cfg.rerank.model.is_some());
+
+        let mut bad = RerankModel::zeroed();
+        bad.weights[0] = f64::NAN;
+        let err = EngineConfig::builder()
+            .rerank(bad)
+            .build()
+            .expect_err("non-finite weights must be rejected");
+        assert_eq!(err, ConfigError::InvalidRerankModel);
+        assert!(!err.to_string().is_empty());
+
+        let mut short = RerankModel::zeroed();
+        short.weights.pop();
+        assert_eq!(
+            EngineConfig::builder().rerank(short).build().unwrap_err(),
+            ConfigError::InvalidRerankModel
+        );
+
+        // Enabling then disabling wins, like without_sp_cache().
+        let mut zero_scale = RerankModel::zeroed();
+        zero_scale.scales[0] = 0.0;
+        let cfg = EngineConfig::builder()
+            .rerank(zero_scale)
+            .without_rerank()
+            .build()
+            .expect("disabled re-ranking skips model validation");
+        assert!(!cfg.rerank.enabled);
     }
 
     #[test]

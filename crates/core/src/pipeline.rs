@@ -14,10 +14,11 @@
 //! edges is inserted as the fallback local route, so the system degrades
 //! gracefully instead of failing the whole query.
 
-use crate::global::{k_gri_with, GlobalRoute};
+use crate::global::GlobalRoute;
 use crate::local::{infer_local_routes, LocalInferenceResult, LocalStats, RefEdgeIndex};
 use crate::params::HrisParams;
 use crate::reference::{search_references, ReferenceSet};
+use crate::scoring::{PaperScorer, RouteScorer, ScoringCtx};
 use hris_mapmatch::{MapMatcher, MatchResult};
 use hris_roadnet::network::CandidateEdge;
 use hris_roadnet::{CostModel, RoadNetwork, Route, SegmentId};
@@ -134,13 +135,8 @@ impl<'a> Hris<'a> {
     ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
         let locals = self.local_inference(query);
         let stats = locals.iter().map(|l| l.stats.clone()).collect();
-        let globals = k_gri_with(
-            self.net,
-            &locals,
-            k,
-            self.params.entropy_floor,
-            self.params.popularity_model,
-        );
+        let globals =
+            PaperScorer::from_params(&self.params).top_k(&ScoringCtx::new(self.net, &locals, k));
         (globals, stats)
     }
 

@@ -2,9 +2,9 @@
 //! (Definitions 6–7), popularity-scoring bounds, and K-GRI vs the
 //! brute-force oracle on randomly generated local-route universes.
 
-use hris::global::{brute_force_top_k, k_gri};
 use hris::local::{route_popularity, LocalInferenceResult, LocalStats, RefEdgeIndex};
 use hris::reference::{search_references, RefKind, RefSearchConfig, RefTrajectory, ReferenceSet};
+use hris::{PaperScorer, PopularityModel, RouteScorer, ScoringCtx};
 use hris_geo::Point;
 use hris_roadnet::{generator, NetworkConfig, Route, SegmentId};
 use hris_traj::{GpsPoint, TrajId, Trajectory, TrajectoryArchive};
@@ -216,8 +216,10 @@ proptest! {
     #[test]
     fn kgri_equals_brute_force(locals in locals_strategy(), k in 1usize..6) {
         let net = test_net();
-        let dp = k_gri(&net, &locals, k, 0.05);
-        let bf = brute_force_top_k(&net, &locals, k, 0.05);
+        let scorer = PaperScorer::new(0.05, PopularityModel::ScaleFree);
+        let sctx = ScoringCtx::new(&net, &locals, k);
+        let dp = scorer.top_k(&sctx);
+        let bf = scorer.top_k_brute_force(&sctx);
         prop_assert_eq!(dp.len(), bf.len());
         for (d, b) in dp.iter().zip(bf.iter()) {
             prop_assert!((d.log_score - b.log_score).abs() < 1e-9,
@@ -236,7 +238,8 @@ proptest! {
     #[test]
     fn kgri_indices_are_valid(locals in locals_strategy(), k in 1usize..4) {
         let net = test_net();
-        for g in k_gri(&net, &locals, k, 0.05) {
+        let scorer = PaperScorer::new(0.05, PopularityModel::ScaleFree);
+        for g in scorer.top_k(&ScoringCtx::new(&net, &locals, k)) {
             prop_assert_eq!(g.local_indices.len(), locals.len());
             for (i, &j) in g.local_indices.iter().enumerate() {
                 prop_assert!(j < locals[i].routes.len());

@@ -70,7 +70,7 @@ fn main() {
         );
         println!();
         for (ri, r) in l.routes.iter().enumerate() {
-            let pop = hris::global::popularity(r, l, 0.05);
+            let pop = hris::local::route_popularity(r, &l.edge_index, 0.05);
             let ov = r.common_length(&q.truth, &s.net) / r.length(&s.net).max(1.0);
             println!(
                 "    r{ri}: {} segs {:.2} km pop {:.1} overlap {:.2}",

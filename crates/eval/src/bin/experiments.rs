@@ -4,7 +4,8 @@
 //! experiments [FIGURE ...] [--full] [--seed N] [--out DIR] [--metrics-out FILE]
 //!
 //! FIGURE: table2 fig8a fig8b fig9a fig9b fig10a fig10b fig11a fig11b
-//!         fig12a fig12b fig13a fig13b fig14a fig14b all   (default: all)
+//!         fig12a fig12b fig13a fig13b fig14a fig14b ablation temporal
+//!         freespace rerank all   (default: all)
 //! --full : paper-scale scenario (~25 km city, thousands of trips);
 //!          default is the laptop-quick scenario.
 //! --out  : also write each figure's CSV into DIR.
@@ -92,6 +93,7 @@ fn main() {
         "fig14b",
         "ablation",
         "freespace",
+        "rerank",
     ]
     .iter()
     .any(|f| want(f))
@@ -162,6 +164,9 @@ fn main() {
         if want("freespace") {
             run(&mut outputs, || ex::freespace(s));
         }
+        if want("rerank") {
+            run(&mut outputs, || ex::rerank_uplift(s));
+        }
     }
 
     // The temporal extension needs a diurnal-demand scenario.
@@ -215,12 +220,23 @@ fn main() {
         eprintln!("running robustness pass (100-case fault corpus) ...");
         let rob = hris_eval::evaluate_robustness(s, &hris::HrisParams::default(), args.seed, 100);
         println!("{}", rob.summary());
-        // Same top-level keys as before, plus the robustness block.
+        eprintln!("running rerank uplift pass (fleet-trained model) ...");
+        let rr = hris_eval::train_and_evaluate(
+            s,
+            &hris::HrisParams::default(),
+            &hris_eval::TrainConfig {
+                interval_s,
+                ..hris_eval::TrainConfig::default()
+            },
+        );
+        println!("{}", rr.summary());
+        // Same top-level keys as before, plus the robustness/rerank blocks.
         let obs_json = report.to_json();
         let combined = format!(
-            "{},\"robustness\":{}}}",
+            "{},\"robustness\":{},\"rerank\":{}}}",
             obs_json.trim_end_matches('}'),
-            rob.to_json()
+            rob.to_json(),
+            rr.to_json()
         );
         std::fs::write(path, combined).expect("write metrics json");
         eprintln!("wrote {path}");

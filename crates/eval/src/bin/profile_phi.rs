@@ -1,7 +1,7 @@
 //! Phase-level profiling of the φ sweep (diagnostic for Figure 9b).
 
 use hris::reference::search_references;
-use hris::{Hris, HrisParams};
+use hris::{Hris, HrisParams, RouteScorer};
 use hris_eval::scenario::{Scenario, ScenarioConfig};
 use hris_traj::resample_to_interval;
 use std::time::Instant;
@@ -48,7 +48,8 @@ fn main() {
                 }
             }
             let t0 = Instant::now();
-            let _ = hris::global::k_gri(&s.net, &locals, 2, params.entropy_floor);
+            let _ = hris::PaperScorer::from_params(&params)
+                .top_k(&hris::ScoringCtx::new(&s.net, &locals, 2));
             t_global += t0.elapsed().as_secs_f64();
         }
         println!(

@@ -8,7 +8,7 @@
 use crate::runner::{evaluate_hris, evaluate_hris_topk, evaluate_matcher};
 use crate::scenario::Scenario;
 use crate::table::Table;
-use hris::{brute_force_top_k, k_gri, Hris, HrisParams, LocalAlgorithm};
+use hris::{Hris, HrisParams, LocalAlgorithm, PaperScorer, RouteScorer, ScoringCtx};
 use hris_mapmatch::{IncrementalMatcher, IvmmMatcher, StMatcher};
 use hris_traj::resample_to_interval;
 use std::time::Instant;
@@ -404,16 +404,18 @@ pub fn fig14b(s: &Scenario) -> Table {
             break;
         }
         let slice = &locals[..n];
+        let scorer = PaperScorer::from_params(&params);
+        let sctx = ScoringCtx::new(&s.net, slice, params.k3);
         let reps = 5;
         let t0 = Instant::now();
         for _ in 0..reps {
-            let _ = k_gri(&s.net, slice, params.k3, params.entropy_floor);
+            let _ = scorer.top_k(&sctx);
         }
         let dp_time = t0.elapsed().as_secs_f64() / reps as f64;
         let combos: f64 = slice.iter().map(|l| l.routes.len() as f64).product();
         let bf_time = if combos <= 1e7 {
             let t0 = Instant::now();
-            let _ = brute_force_top_k(&s.net, slice, params.k3, params.entropy_floor);
+            let _ = scorer.top_k_brute_force(&sctx);
             t0.elapsed().as_secs_f64()
         } else {
             f64::NAN
@@ -550,6 +552,40 @@ pub fn freespace(s: &Scenario) -> Table {
         }
         let n = n.max(1) as f64;
         t.push_row(sr, vec![d_straight / n, d_free / n, d_net / n]);
+    }
+    t
+}
+
+/// Extension experiment — learned re-ranking of the paper's top-K (the
+/// `A_L`-uplift figure). For each sampling interval, a logistic re-ranker
+/// is trained on the simulator fleet (whose ground truth is exact) and
+/// evaluated on the held-out queries: paper top-1 vs re-ranked top-1, with
+/// the top-K oracle as the ceiling any re-ranker could reach.
+#[must_use]
+pub fn rerank_uplift(s: &Scenario) -> Table {
+    use crate::rerank::{train_and_evaluate, TrainConfig};
+    let mut t = Table::new(
+        "Extension: rerank",
+        "learned re-ranking uplift over the paper top-1 (A_L)",
+        "SR(min)",
+        vec![
+            "paper top-1".into(),
+            "reranked top-1".into(),
+            "top-K oracle".into(),
+        ],
+    );
+    let params = HrisParams::default();
+    for sr in [3.0, 6.0, 9.0] {
+        let cfg = TrainConfig {
+            interval_s: minutes(sr),
+            ..TrainConfig::default()
+        };
+        let r = train_and_evaluate(s, &params, &cfg);
+        eprintln!(
+            "  rerank SR={sr}min: base {:.4} -> reranked {:.4} (oracle {:.4}, {} pairs)",
+            r.baseline_al, r.reranked_al, r.oracle_al, r.train_pairs
+        );
+        t.push_row(sr, vec![r.baseline_al, r.reranked_al, r.oracle_al]);
     }
     t
 }

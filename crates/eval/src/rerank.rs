@@ -1,0 +1,282 @@
+//! Training and evaluation harness for the learned re-ranker.
+//!
+//! The simulator fleet gives exact ground truth for every archive trip, so
+//! labelled training pairs come for free: resample an archive trip down to
+//! the experiment's interval, run local inference + the paper's K-GRI over
+//! it, and label each candidate global route by whether it is the most
+//! accurate candidate of its top-K (and accurate enough in absolute terms).
+//! The evaluation queries of a [`Scenario`] are generated *outside* the
+//! archive, so the uplift numbers below are held-out.
+
+use crate::metrics::accuracy_al;
+use crate::scenario::Scenario;
+use hris::{
+    extract_features, train_logistic, Hris, HrisParams, LearnedScorer, PaperScorer, RerankModel,
+    RouteFeatures, RouteScorer, ScoringCtx, SgdConfig,
+};
+use hris_traj::resample_to_interval;
+
+/// Knobs of the training-pair generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Sampling interval the archive trips are thinned to, seconds.
+    pub interval_s: f64,
+    /// Candidates per trip: the paper's top-K that the model learns to
+    /// re-rank. Larger than the serving `k3` so the model sees routes the
+    /// DP ranked poorly.
+    pub k: usize,
+    /// Upper bound on archive trips used (spread deterministically over
+    /// the archive). Keeps training tractable on the full fleet.
+    pub max_trips: usize,
+    /// A candidate only counts as positive if its `A_L` reaches this, so
+    /// trips where every candidate is wrong contribute only negatives.
+    pub min_positive_al: f64,
+    /// SGD settings for [`train_logistic`].
+    pub sgd: SgdConfig,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            interval_s: 180.0,
+            k: 8,
+            max_trips: 80,
+            min_positive_al: 0.8,
+            sgd: SgdConfig::default(),
+        }
+    }
+}
+
+/// Labelled training pairs from the simulator fleet: one `(features,
+/// is_best)` pair per top-K candidate of each sampled archive trip.
+#[must_use]
+pub fn training_pairs(
+    s: &Scenario,
+    params: &HrisParams,
+    cfg: &TrainConfig,
+) -> Vec<(RouteFeatures, bool)> {
+    let hris = Hris::new(&s.net, s.archive.clone(), params.clone());
+    let scorer = PaperScorer::from_params(params);
+    let trips = s.archive.trajectories();
+    let step = (trips.len() / cfg.max_trips.max(1)).max(1);
+    let mut pairs = Vec::new();
+    for (trip, truth) in trips
+        .iter()
+        .zip(&s.archive_truth)
+        .step_by(step)
+        .take(cfg.max_trips)
+    {
+        let query = resample_to_interval(trip, cfg.interval_s);
+        if query.len() < 2 {
+            continue;
+        }
+        let locals = hris.local_inference(&query);
+        let sctx = ScoringCtx::new(&s.net, &locals, cfg.k);
+        let globals = scorer.top_k(&sctx);
+        if globals.len() < 2 {
+            continue; // nothing to re-rank, no signal
+        }
+        let accs: Vec<f64> = globals
+            .iter()
+            .map(|g| accuracy_al(truth, &g.route, &s.net))
+            .collect();
+        let best = accs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if best < cfg.min_positive_al {
+            continue; // all candidates wrong: ranking them is noise
+        }
+        for (g, &acc) in globals.iter().zip(&accs) {
+            let features =
+                extract_features(&sctx, g, params.entropy_floor, params.popularity_model);
+            pairs.push((features, (best - acc).abs() < 1e-9));
+        }
+    }
+    pairs
+}
+
+/// Trains a re-ranking model on the scenario's simulator fleet.
+#[must_use]
+pub fn train_reranker(s: &Scenario, params: &HrisParams, cfg: &TrainConfig) -> RerankModel {
+    train_logistic(&training_pairs(s, params, cfg), &cfg.sgd)
+}
+
+/// Held-out uplift of learned re-ranking over the paper's top-1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpliftReport {
+    /// Mean `A_L` of the paper's top-1 route.
+    pub baseline_al: f64,
+    /// Mean `A_L` of the re-ranked top-1 route.
+    pub reranked_al: f64,
+    /// Mean `A_L` of the best candidate in the top-K (the ceiling any
+    /// re-ranker could reach).
+    pub oracle_al: f64,
+    /// Evaluation queries scored.
+    pub queries: usize,
+    /// Training pairs the model was fitted on.
+    pub train_pairs: usize,
+}
+
+impl UpliftReport {
+    /// Absolute uplift of re-ranking over the paper baseline.
+    #[must_use]
+    pub fn uplift(&self) -> f64 {
+        self.reranked_al - self.baseline_al
+    }
+
+    /// Human-readable summary block.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "== Learned re-ranking (held-out, {} queries, {} training pairs) ==\n\
+             paper top-1 A_L    : {:.4}\n\
+             reranked top-1 A_L : {:.4}   (uplift {:+.4})\n\
+             top-K oracle A_L   : {:.4}\n",
+            self.queries,
+            self.train_pairs,
+            self.baseline_al,
+            self.reranked_al,
+            self.uplift(),
+            self.oracle_al,
+        )
+    }
+
+    /// The `"rerank"` JSON block of the metrics file.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"baseline_al\":{},\"reranked_al\":{},\"uplift\":{},\"oracle_al\":{},\
+             \"queries\":{},\"train_pairs\":{}}}",
+            self.baseline_al,
+            self.reranked_al,
+            self.uplift(),
+            self.oracle_al,
+            self.queries,
+            self.train_pairs,
+        )
+    }
+}
+
+/// Scores the held-out evaluation queries with and without re-ranking.
+///
+/// Both arms rank the same paper top-K (`cfg.k` candidates); the baseline
+/// takes the DP's first candidate, the learned arm takes the re-ranked
+/// first candidate. `train_pairs` is carried into the report for context.
+#[must_use]
+pub fn evaluate_uplift(
+    s: &Scenario,
+    params: &HrisParams,
+    model: &RerankModel,
+    cfg: &TrainConfig,
+    train_pairs: usize,
+) -> UpliftReport {
+    let hris = Hris::new(&s.net, s.archive.clone(), params.clone());
+    let paper = PaperScorer::from_params(params);
+    let learned = LearnedScorer::new(paper, model);
+    let (mut base, mut rer, mut oracle) = (0.0, 0.0, 0.0);
+    let mut n = 0usize;
+    for q in &s.queries {
+        let query = resample_to_interval(&q.dense, cfg.interval_s);
+        if query.len() < 2 {
+            continue;
+        }
+        let locals = hris.local_inference(&query);
+        let sctx = ScoringCtx::new(&s.net, &locals, cfg.k);
+        let mut globals = paper.top_k(&sctx);
+        let Some(first) = globals.first() else {
+            continue;
+        };
+        base += accuracy_al(&q.truth, &first.route, &s.net);
+        oracle += globals
+            .iter()
+            .map(|g| accuracy_al(&q.truth, &g.route, &s.net))
+            .fold(0.0f64, f64::max);
+        let _ = learned.rerank_in_place(&sctx, &mut globals);
+        rer += accuracy_al(&q.truth, &globals[0].route, &s.net);
+        n += 1;
+    }
+    let denom = n.max(1) as f64;
+    UpliftReport {
+        baseline_al: base / denom,
+        reranked_al: rer / denom,
+        oracle_al: oracle / denom,
+        queries: n,
+        train_pairs,
+    }
+}
+
+/// Trains on the fleet and evaluates on the held-out queries in one call.
+#[must_use]
+pub fn train_and_evaluate(s: &Scenario, params: &HrisParams, cfg: &TrainConfig) -> UpliftReport {
+    let pairs = training_pairs(s, params, cfg);
+    let model = train_logistic(&pairs, &cfg.sgd);
+    evaluate_uplift(s, params, &model, cfg, pairs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    fn tiny() -> Scenario {
+        let mut cfg = ScenarioConfig::quick(23);
+        cfg.sim.num_trips = 250;
+        cfg.num_queries = 3;
+        Scenario::build(cfg)
+    }
+
+    #[test]
+    fn training_pairs_have_positives_and_negatives() {
+        let s = tiny();
+        let cfg = TrainConfig {
+            max_trips: 30,
+            ..TrainConfig::default()
+        };
+        let pairs = training_pairs(&s, &HrisParams::default(), &cfg);
+        assert!(!pairs.is_empty(), "fleet must yield training pairs");
+        assert!(pairs.iter().any(|(_, y)| *y), "no positive labels");
+        assert!(pairs.iter().any(|(_, y)| !*y), "no negative labels");
+        for (f, _) in &pairs {
+            for v in f.to_array() {
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn uplift_report_is_bounded_and_consistent() {
+        let s = tiny();
+        let cfg = TrainConfig {
+            max_trips: 25,
+            ..TrainConfig::default()
+        };
+        let report = train_and_evaluate(&s, &HrisParams::default(), &cfg);
+        assert!(report.queries > 0);
+        assert!((0.0..=1.0).contains(&report.baseline_al));
+        assert!((0.0..=1.0).contains(&report.reranked_al));
+        assert!((0.0..=1.0).contains(&report.oracle_al));
+        // The oracle bounds both arms: re-ranking can only permute the
+        // candidates the oracle maxes over.
+        assert!(report.oracle_al >= report.baseline_al - 1e-9);
+        assert!(report.oracle_al >= report.reranked_al - 1e-9);
+        let json = report.to_json();
+        for key in [
+            "baseline_al",
+            "reranked_al",
+            "uplift",
+            "oracle_al",
+            "queries",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn zero_model_has_zero_uplift() {
+        let s = tiny();
+        let cfg = TrainConfig {
+            max_trips: 10,
+            ..TrainConfig::default()
+        };
+        let report = evaluate_uplift(&s, &HrisParams::default(), &RerankModel::zeroed(), &cfg, 0);
+        assert_eq!(report.uplift(), 0.0, "zero model must not move top-1");
+    }
+}

@@ -44,8 +44,8 @@
 
 use crate::plan::ShardPlan;
 use hris::{
-    k_gri_with, EngineConfig, EngineHandle, HrisParams, LocalInferenceResult, QueryOutcome,
-    QueryResult, RejectReason,
+    configured_scorer, EngineConfig, EngineHandle, HrisParams, LocalInferenceResult, QueryOutcome,
+    QueryResult, RejectReason, RouteScorer, ScoringCtx,
 };
 use hris_geo::BBox;
 use hris_obs::{Admission, AdmissionGate, Counter, MetricsRegistry, MetricsSnapshot};
@@ -654,13 +654,12 @@ impl ShardedEngine {
         // the engine runs it.
         let locals: Vec<LocalInferenceResult> = run_locals.into_iter().flatten().collect();
         debug_assert_eq!(locals.len(), n_pairs, "one local inference per pair");
-        let globals = k_gri_with(
-            &self.net,
-            &locals,
-            k,
-            self.params.entropy_floor,
-            self.params.popularity_model,
-        );
+        // The seam splice scores through the exact scorer the shard engines
+        // were configured with — same `HrisParams`, same `RerankOptions` —
+        // so a sharded deployment can never diverge from a single engine
+        // under the same configuration.
+        let scorer = configured_scorer(&self.params, &self.cfg.rerank);
+        let globals = scorer.top_k(&ScoringCtx::new(&self.net, &locals, k));
         let stats = locals.iter().map(|l| l.stats.clone()).collect();
         let outcome = if rerouted > 0 {
             QueryOutcome::Degraded {

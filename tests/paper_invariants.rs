@@ -1,8 +1,7 @@
 //! Cross-crate invariants lifted straight from the paper's claims, checked
 //! on real pipeline outputs (not synthetic fixtures).
 
-use hris::global::{brute_force_top_k, k_gri};
-use hris::{Hris, HrisParams};
+use hris::{Hris, HrisParams, PaperScorer, RouteScorer, ScoringCtx};
 use hris_eval::metrics::{accuracy_al, lcr_length};
 use hris_eval::scenario::{Scenario, ScenarioConfig};
 use hris_roadnet::NetworkConfig;
@@ -45,8 +44,10 @@ fn kgri_matches_brute_force_on_real_queries() {
         let n = locals.len().min(6);
         let slice = &locals[..n];
         for k in [1usize, 3] {
-            let dp = k_gri(&s.net, slice, k, params.entropy_floor);
-            let bf = brute_force_top_k(&s.net, slice, k, params.entropy_floor);
+            let scorer = PaperScorer::from_params(&params);
+            let sctx = ScoringCtx::new(&s.net, slice, k);
+            let dp = scorer.top_k(&sctx);
+            let bf = scorer.top_k_brute_force(&sctx);
             assert_eq!(dp.len(), bf.len());
             for (d, b) in dp.iter().zip(bf.iter()) {
                 assert!(

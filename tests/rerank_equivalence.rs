@@ -1,0 +1,232 @@
+//! Learned re-ranking across the sharding seam.
+//!
+//! The router's scatter-gather splice scores stitched cross-shard results
+//! itself, so it must use *exactly* the scorer its shard engines were
+//! configured with. These tests pin that: with the same rerank config, an
+//! N-shard deployment is byte-identical to a single engine; with a
+//! mismatched config the outputs detectably diverge (the divergence is what
+//! a silent scorer drift would look like — it must be loud, not subtle).
+
+use hris::{EngineConfig, EngineHandle, HrisParams, QueryResult, RerankModel};
+use hris_geo::{BBox, Point};
+use hris_roadnet::{generator, NetworkConfig, RoadNetwork};
+use hris_router::{ShardPlan, ShardedEngine};
+use hris_traj::{GpsPoint, SimConfig, Simulator, TrajId, Trajectory, TrajectoryArchive};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn net() -> Arc<RoadNetwork> {
+    Arc::new(generator::generate(&NetworkConfig {
+        blocks_x: 20,
+        blocks_y: 20,
+        block_m: 300.0,
+        seed: 19,
+        ..NetworkConfig::default()
+    }))
+}
+
+fn sim_archive(net: &RoadNetwork, trips: usize, seed: u64) -> TrajectoryArchive {
+    let mut sim = Simulator::new(
+        net,
+        SimConfig {
+            num_trips: trips,
+            num_od_patterns: 7,
+            min_trip_dist_m: 400.0,
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    sim.generate_archive().0
+}
+
+fn query_in_cell(cell: &BBox, seed: u64, n_pts: usize) -> Trajectory {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inset_x = 0.05 * cell.width();
+    let inset_y = 0.05 * cell.height();
+    let (lo_x, hi_x) = (cell.min.x + inset_x, cell.max.x - inset_x);
+    let (lo_y, hi_y) = (cell.min.y + inset_y, cell.max.y - inset_y);
+    let mut x = rng.gen_range(lo_x..hi_x);
+    let mut y = rng.gen_range(lo_y..hi_y);
+    let mut t = rng.gen_range(0.0..3_600.0);
+    let pts = (0..n_pts)
+        .map(|_| {
+            let p = GpsPoint::new(Point::new(x, y), t);
+            x += rng.gen_range(-600.0..600.0);
+            y += rng.gen_range(-600.0..600.0);
+            x = x.clamp(lo_x, hi_x);
+            y = y.clamp(lo_y, hi_y);
+            t += rng.gen_range(60.0..180.0);
+            p
+        })
+        .collect();
+    Trajectory::new(TrajId(9_000_000 + seed as u32), pts)
+}
+
+/// An inversion model: a negative weight on the paper's own `ln s(R)`.
+/// Small enough that the sigmoid never saturates for realistic scores
+/// (|ln s| up to ~1800 keeps |z| < 36), so any top-K with distinct paper
+/// scores reorders and a config mismatch cannot hide.
+fn inversion_model() -> RerankModel {
+    let mut weights = vec![0.0; hris::scoring::NUM_FEATURES];
+    *weights.last_mut().unwrap() = -0.02;
+    RerankModel::from_weights(weights, 0.0)
+}
+
+fn rerank_cfg() -> EngineConfig {
+    EngineConfig::builder()
+        .rerank(inversion_model())
+        .build()
+        .unwrap()
+}
+
+fn assert_identical(a: &QueryResult, b: &QueryResult, ctx: &str) {
+    assert_eq!(a.globals.len(), b.globals.len(), "{ctx}: top-K length");
+    for (i, (ga, gb)) in a.globals.iter().zip(&b.globals).enumerate() {
+        assert_eq!(ga.route, gb.route, "{ctx}: route {i}");
+        assert_eq!(
+            ga.log_score.to_bits(),
+            gb.log_score.to_bits(),
+            "{ctx}: score bits of route {i}"
+        );
+        assert_eq!(ga.local_indices, gb.local_indices, "{ctx}: assignment {i}");
+    }
+    assert_eq!(a.outcome, b.outcome, "{ctx}: outcome");
+}
+
+fn ranking_differs(a: &QueryResult, b: &QueryResult) -> bool {
+    a.globals.len() != b.globals.len()
+        || a.globals
+            .iter()
+            .zip(&b.globals)
+            .any(|(x, y)| x.route != y.route)
+}
+
+/// With the same rerank model everywhere, sharded in-core queries are
+/// byte-identical to a single rerank-enabled engine for N ∈ {1, 2, 4, 9}.
+#[test]
+fn sharded_rerank_matches_single_engine_in_core() {
+    let net = net();
+    let archive = sim_archive(&net, 90, 11);
+    let params = HrisParams::default();
+    let cfg = rerank_cfg();
+    let single = EngineHandle::with_config(
+        Arc::clone(&net),
+        archive.clone(),
+        params.clone(),
+        cfg.clone(),
+    );
+
+    for (nx, ny) in [(1, 1), (2, 1), (2, 2), (3, 3)] {
+        let plan = ShardPlan::grid(&net, nx, ny, params.phi_m);
+        let sharded = ShardedEngine::build(
+            Arc::clone(&net),
+            &archive,
+            params.clone(),
+            cfg.clone(),
+            plan,
+        );
+        for s in 0..sharded.num_shards() {
+            for qi in 0..2 {
+                let q = query_in_cell(&sharded.plan().core(s), (s * 31 + qi) as u64, 4 + qi % 3);
+                let got = sharded.infer_query(&q, 3);
+                let want = single.infer_query(&q, 3);
+                assert_identical(&got, &want, &format!("{nx}x{ny} shard {s} q{qi}"));
+            }
+        }
+    }
+}
+
+/// Cross-shard scatter queries (margin slack, so every pair respects the
+/// partition) splice through the router's own scorer — with rerank on it
+/// must still match the single rerank-enabled engine byte for byte.
+#[test]
+fn scatter_splice_reranks_byte_identically() {
+    let net = net();
+    let archive = sim_archive(&net, 90, 12);
+    let params = HrisParams::default();
+    let cfg = rerank_cfg();
+    let single = EngineHandle::with_config(
+        Arc::clone(&net),
+        archive.clone(),
+        params.clone(),
+        cfg.clone(),
+    );
+
+    let plan = ShardPlan::grid(&net, 2, 1, params.phi_m + 900.0);
+    let seam_x = plan.core(0).max.x;
+    let sharded = ShardedEngine::build(
+        Arc::clone(&net),
+        &archive,
+        params.clone(),
+        cfg.clone(),
+        plan,
+    );
+
+    let y = net.bbox().center().y;
+    let mut scattered = 0;
+    for (qi, step) in [(0u32, 500.0), (1, 700.0), (2, 600.0)] {
+        let xs = [
+            seam_x - 2.0 * step,
+            seam_x - step,
+            seam_x + step,
+            seam_x + 2.0 * step,
+        ];
+        let q = Trajectory::new(
+            TrajId(8_100_000 + qi),
+            xs.iter()
+                .enumerate()
+                .map(|(i, &x)| GpsPoint::new(Point::new(x, y + i as f64 * 40.0), i as f64 * 120.0))
+                .collect(),
+        );
+        let (got, trace) = sharded.infer_query_traced(&q, 3);
+        let want = single.infer_query(&q, 3);
+        if trace.kind == hris_router::RouteKind::Scatter {
+            scattered += 1;
+        }
+        assert_identical(&got, &want, &format!("seam query {qi}"));
+    }
+    assert!(scattered > 0, "no query exercised the scatter splice");
+}
+
+/// A scorer-config mismatch between the deployment tiers must be loud:
+/// a rerank-enabled single engine and a rerank-disabled sharded deployment
+/// must disagree on at least one ranking. (If this test ever fails, the
+/// seam has started silently ignoring the rerank config — exactly the bug
+/// class the shared `configured_scorer` seam exists to prevent.)
+#[test]
+fn mismatched_rerank_configs_visibly_diverge() {
+    let net = net();
+    let archive = sim_archive(&net, 90, 11);
+    let params = HrisParams::default();
+    let reranked = EngineHandle::with_config(
+        Arc::clone(&net),
+        archive.clone(),
+        params.clone(),
+        rerank_cfg(),
+    );
+    let plan = ShardPlan::grid(&net, 2, 2, params.phi_m);
+    let sharded_plain = ShardedEngine::build(
+        Arc::clone(&net),
+        &archive,
+        params.clone(),
+        EngineConfig::default(),
+        plan,
+    );
+
+    let mut diverged = false;
+    for s in 0..sharded_plain.num_shards() {
+        for qi in 0..3 {
+            let q = query_in_cell(&sharded_plain.plan().core(s), (s * 31 + qi) as u64, 5);
+            let a = reranked.infer_query(&q, 4);
+            let b = sharded_plain.infer_query(&q, 4);
+            if ranking_differs(&a, &b) {
+                diverged = true;
+            }
+        }
+    }
+    assert!(
+        diverged,
+        "an inversion model on one tier only must change at least one ranking"
+    );
+}
