@@ -62,6 +62,54 @@ fn qps<F: FnMut() -> Vec<Vec<ScoredRoute>>>(n_queries: usize, rounds: usize, mut
     (n_queries * rounds) as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// Per-round queries/sec samples of `run` (one warm-up, then `rounds` timed
+/// rounds of `reps` workload repetitions each). The per-round spread bounds
+/// the measurement noise, which the overhead comparisons carry as a ±.
+fn qps_samples<F: FnMut() -> Vec<Vec<ScoredRoute>>>(
+    n_queries: usize,
+    rounds: usize,
+    reps: usize,
+    mut run: F,
+) -> Vec<f64> {
+    let _ = run(); // warm-up (also warms the engine caches where present)
+    (0..rounds)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                black_box(run());
+            }
+            (n_queries * reps) as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn half_range(xs: &[f64]) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if lo <= hi {
+        (hi - lo) / 2.0
+    } else {
+        0.0
+    }
+}
+
+/// Overhead `1 − mean(a)/mean(b)` with a ± bound propagated from each
+/// side's per-round half-range. An overhead whose magnitude is inside the
+/// bound is indistinguishable from zero on this host.
+fn overhead_with_noise(a: &[f64], b: &[f64]) -> (f64, f64) {
+    let (ma, mb) = (mean(a), mean(b));
+    let ratio = ma / mb;
+    let noise = ratio * (half_range(a) / ma + half_range(b) / mb);
+    (1.0 - ratio, noise)
+}
+
 /// Numbers from the ingest-while-querying run.
 struct IngestNumbers {
     trajectories_per_sec: f64,
@@ -508,9 +556,20 @@ fn bench(c: &mut Criterion) {
     let rounds = 3;
     let qps_seq = qps(queries.len(), rounds, run_seq);
     let qps_pair = qps(queries.len(), rounds, run_pair);
-    let qps_batch = qps(queries.len(), rounds, run_batch);
-    let qps_observed = qps(queries.len(), rounds, run_observed);
-    let qps_spans = qps(queries.len(), rounds, run_spans);
+    // The instrumentation overheads are far smaller than the 3-round sweep's
+    // round-to-round noise (a 4-query round is ~15 ms; the old numbers even
+    // went negative). The three compared modes get 10 rounds of 5 workload
+    // repetitions each, and every overhead carries the propagated per-round
+    // spread as a ± bound.
+    let (oh_rounds, oh_reps) = (10, 25);
+    let batch_samples = qps_samples(queries.len(), oh_rounds, oh_reps, run_batch);
+    let observed_samples = qps_samples(queries.len(), oh_rounds, oh_reps, run_observed);
+    let spans_samples = qps_samples(queries.len(), oh_rounds, oh_reps, run_spans);
+    let qps_batch = mean(&batch_samples);
+    let qps_observed = mean(&observed_samples);
+    let qps_spans = mean(&spans_samples);
+    let (obs_overhead, obs_noise) = overhead_with_noise(&observed_samples, &batch_samples);
+    let (span_overhead, span_noise) = overhead_with_noise(&spans_samples, &batch_samples);
 
     // Per-phase seconds per query, from the observed engine's histograms.
     let obs_snapshot = observed
@@ -566,7 +625,9 @@ fn bench(c: &mut Criterion) {
             "rerank must permute query {qi}'s top-K, not rescore it"
         );
     }
-    let qps_rerank_on = qps(queries.len(), rounds, run_rerank);
+    let rerank_samples = qps_samples(queries.len(), oh_rounds, oh_reps, run_rerank);
+    let qps_rerank_on = mean(&rerank_samples);
+    let (rerank_overhead, rerank_noise) = overhead_with_noise(&rerank_samples, &batch_samples);
 
     let ingest = measure_ingest(&s, &queries);
     let sharded = measure_sharded(&s, rounds);
@@ -586,6 +647,8 @@ fn bench(c: &mut Criterion) {
             "interval_s": 180.0,
             "k": K,
             "rounds": rounds,
+            "overhead_rounds": oh_rounds,
+            "overhead_reps": oh_reps,
         },
         "threads": threads,
         "queries_per_sec": {
@@ -599,8 +662,10 @@ fn bench(c: &mut Criterion) {
             "pair_parallel": qps_pair / qps_seq,
             "batch": qps_batch / qps_seq,
         },
-        "observability_overhead": 1.0 - qps_observed / qps_batch,
-        "span_overhead": 1.0 - qps_spans / qps_batch,
+        "observability_overhead": obs_overhead,
+        "observability_overhead_noise": obs_noise,
+        "span_overhead": span_overhead,
+        "span_overhead_noise": span_noise,
         "ingest_throughput": {
             "trajectories_per_sec": ingest.trajectories_per_sec,
             "points_per_sec": ingest.points_per_sec,
@@ -627,7 +692,8 @@ fn bench(c: &mut Criterion) {
             "train_pairs": rr_pairs.len(),
             "qps_off": qps_batch,
             "qps_on": qps_rerank_on,
-            "overhead": 1.0 - qps_rerank_on / qps_batch,
+            "overhead": rerank_overhead,
+            "overhead_noise": rerank_noise,
             "queries_reordered": rerank_reordered,
             "outputs_identical_when_off": true,
             "on_is_permutation_of_off": true,
@@ -684,17 +750,20 @@ fn bench(c: &mut Criterion) {
     println!(
         "e2e qps ({threads} thread(s)): sequential {qps_seq:.2}, \
          pair-parallel {qps_pair:.2}, batch {qps_batch:.2}, \
-         batch+obs {qps_observed:.2} ({:.2}% overhead), \
-         batch+spans {qps_spans:.2} ({:.2}% overhead)",
-        100.0 * (1.0 - qps_observed / qps_batch),
-        100.0 * (1.0 - qps_spans / qps_batch)
+         batch+obs {qps_observed:.2} ({:.2}% ± {:.2}% overhead), \
+         batch+spans {qps_spans:.2} ({:.2}% ± {:.2}% overhead)",
+        100.0 * obs_overhead,
+        100.0 * obs_noise,
+        100.0 * span_overhead,
+        100.0 * span_noise
     );
     println!(
-        "rerank: {:.2} qps on vs {:.2} qps off ({:.2}% overhead), \
+        "rerank: {:.2} qps on vs {:.2} qps off ({:.2}% ± {:.2}% overhead), \
          {} pairs trained, {}/{} queries reordered",
         qps_rerank_on,
         qps_batch,
-        100.0 * (1.0 - qps_rerank_on / qps_batch),
+        100.0 * rerank_overhead,
+        100.0 * rerank_noise,
         rr_pairs.len(),
         rerank_reordered,
         queries.len()

@@ -39,11 +39,12 @@ use crate::params::{EngineConfig, ExecMode, HrisParams, ObsOptions};
 use crate::pipeline::{
     degenerate_local, infer_pair, infer_pair_chain, DegenerateQuery, Hris, ScoredRoute,
 };
+use crate::audit::{QueryAudit, RouteExplanation};
 use crate::scoring::{LearnedScorer, PaperScorer, RerankModel, RouteScorer, ScoringCtx};
 use hris_obs::{
-    synthetic_tree, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, PairedCounter,
-    SlidingHistogram, Span, SpanCollector, SpanGuard, SpanSampler, TraceRecord, TraceRing,
-    DEFAULT_TIME_BOUNDS,
+    clock, synthetic_tree, AuditRing, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+    PairedCounter, SlidingHistogram, Span, SpanCollector, SpanGuard, SpanSampler, TraceRecord,
+    TraceRing, DEFAULT_TIME_BOUNDS,
 };
 use hris_roadnet::network::CandidateEdge;
 use hris_roadnet::shortest::SpCache;
@@ -54,7 +55,6 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-use std::time::Instant;
 
 /// Why the engine refused to answer a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -541,6 +541,9 @@ impl EngineObs {
     /// *slow* unsampled query gets a synthetic tree rebuilt from the phase
     /// timings already measured (zero extra clock reads), so every slow
     /// trace carries a complete causal tree.
+    /// Returns the query id it assigned when a trace record was pushed
+    /// (0 when tracing is off), so the caller can stamp the same id onto
+    /// the query's audit record.
     #[allow(clippy::too_many_arguments)]
     fn record_query(
         &self,
@@ -552,7 +555,8 @@ impl EngineObs {
         globals: &[GlobalRoute],
         tally: Option<&CacheTally>,
         capture: Option<SpanCapture>,
-    ) {
+        trace_id: u64,
+    ) -> u64 {
         self.queries.inc();
         match &capture {
             Some(cap) => {
@@ -586,7 +590,7 @@ impl EngineObs {
         } else {
             self.slo_good.inc();
         }
-        let Some(tally) = tally else { return };
+        let Some(tally) = tally else { return 0 };
         let (root_span, spans) = match capture {
             Some(cap) => (cap.root, cap.spans),
             None if slow => synthetic_tree(
@@ -601,8 +605,10 @@ impl EngineObs {
             ),
             None => (0, Vec::new()),
         };
+        let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
         let rec = TraceRecord {
-            query_id: self.next_query_id.fetch_add(1, Ordering::Relaxed),
+            trace_id,
+            query_id,
             points: query.len(),
             pairs: query.len().saturating_sub(1),
             candidates: run.candidates_total,
@@ -624,6 +630,7 @@ impl EngineObs {
         if self.traces.push(rec) {
             self.traces_dropped.inc();
         }
+        query_id
     }
 
     /// Records a non-clean [`QueryOutcome`]. Clean queries are counted by
@@ -690,6 +697,9 @@ pub(crate) struct EngineCore {
     cand_memo: Option<RwLock<HashMap<CandKey, Arc<Vec<CandidateEdge>>>>>,
     cand_lookups: PairedCounter,
     obs: Option<EngineObs>,
+    /// The explain/audit ring, present iff `cfg.explain.enabled` — the
+    /// `Option` is the zero-overhead gate for the disabled path.
+    audits: Option<AuditRing>,
 }
 
 impl EngineCore {
@@ -704,12 +714,17 @@ impl EngineCore {
                 cand_lookups.clone(),
             )
         });
+        let audits = cfg
+            .explain
+            .enabled
+            .then(|| AuditRing::new(cfg.explain.audit_capacity));
         EngineCore {
             sp_cache,
             cand_memo: cfg.candidate_memo.then(|| RwLock::new(HashMap::new())),
             cfg,
             cand_lookups,
             obs,
+            audits,
         }
     }
 
@@ -771,6 +786,97 @@ impl EngineCore {
         self.obs.as_ref()
     }
 
+    /// The explain/audit ring, when explain is enabled.
+    pub(crate) fn audits(&self) -> Option<&AuditRing> {
+        self.audits.as_ref()
+    }
+
+    /// Mints a process-unique trace id when some identity consumer —
+    /// per-query tracing or the explain layer — is switched on; 0 (the
+    /// "untraced" id) otherwise, so the fully disabled path performs not
+    /// even the atomic increment.
+    pub(crate) fn mint_trace_id(&self) -> u64 {
+        let tracing = self.obs.as_ref().is_some_and(EngineObs::tracing);
+        if tracing || self.audits.is_some() {
+            hris_obs::next_trace_id()
+        } else {
+            0
+        }
+    }
+
+    /// The identity/counts preamble of one audit document. Candidate
+    /// counts re-probe the per-position memo, so filling an audit does not
+    /// perturb the inference it explains.
+    fn base_audit(
+        &self,
+        ctx: EngineCtx<'_>,
+        query: &Trajectory,
+        trace_id: u64,
+        query_id: u64,
+        locals: &[LocalInferenceResult],
+    ) -> QueryAudit {
+        let mut audit = QueryAudit::new(trace_id, query_id);
+        audit.points = query.len();
+        audit.pairs = query.len().saturating_sub(1);
+        audit.candidates_per_point = query
+            .points
+            .iter()
+            .map(|p| self.candidates(ctx, p.pos, None).len())
+            .collect();
+        audit.local_routes_per_pair = locals.iter().map(|l| l.routes.len()).collect();
+        audit.scorer = if self.rerank_model().is_some() {
+            "learned"
+        } else {
+            "paper"
+        }
+        .to_string();
+        audit
+    }
+
+    /// Explains the top returned routes (capped at
+    /// `explain.top_k_routes`) into the audit: paper score components,
+    /// feature vector, and — when re-ranking is configured — the model's
+    /// score and per-feature attributions.
+    fn explain_routes(
+        &self,
+        ctx: EngineCtx<'_>,
+        locals: &[LocalInferenceResult],
+        k: usize,
+        globals: &[GlobalRoute],
+        audit: &mut QueryAudit,
+    ) {
+        let sctx = ScoringCtx::new(ctx.net, locals, k);
+        let rerank = self.rerank_model();
+        audit.routes = globals
+            .iter()
+            .take(self.cfg.explain.top_k_routes)
+            .enumerate()
+            .map(|(rank, g)| {
+                RouteExplanation::explain(
+                    &sctx,
+                    g,
+                    rank,
+                    ctx.params.entropy_floor,
+                    ctx.params.popularity_model,
+                    rerank,
+                )
+            })
+            .collect();
+    }
+
+    /// Audits an admission-control shed (no inference ran, so the document
+    /// is identity + the shed event).
+    pub(crate) fn record_shed_audit(&self, points: usize, trace_id: u64) {
+        let Some(ring) = &self.audits else { return };
+        let mut audit = QueryAudit::new(trace_id, 0);
+        audit.points = points;
+        audit.pairs = points.saturating_sub(1);
+        audit.outcome = "shed".to_string();
+        audit.scorer = "none".to_string();
+        audit.push_event("admission: waiting room full, query shed");
+        let _ = ring.push(audit.into_record());
+    }
+
     pub(crate) fn cache_stats(&self) -> EngineCacheStats {
         let (sp_hits, sp_misses) = self
             .sp_cache
@@ -815,7 +921,7 @@ impl EngineCore {
         let batch_timer = self.obs.as_ref().map(|obs| {
             obs.batches.inc();
             obs.queue_depth.set(queries.len() as i64);
-            Instant::now()
+            clock::now()
         });
         let run_one = |q: &Trajectory, mode: ExecMode| {
             if let Some(obs) = &self.obs {
@@ -839,7 +945,8 @@ impl EngineCore {
             queries.iter().map(|q| run_one(q, self.cfg.mode)).collect()
         };
         if let (Some(obs), Some(t0)) = (&self.obs, batch_timer) {
-            obs.batch_seconds.observe(t0.elapsed().as_secs_f64());
+            obs.batch_seconds
+                .observe(clock::now().duration_since(t0).as_secs_f64());
         }
         result
     }
@@ -856,8 +963,24 @@ impl EngineCore {
         k: usize,
         mode: ExecMode,
     ) -> QueryResult {
+        let trace_id = self.mint_trace_id();
+        self.infer_query_traced(ctx, query, k, mode, trace_id)
+    }
+
+    /// [`EngineCore::infer_query_mode`] under a caller-minted trace id —
+    /// the delegation seam of distributed tracing: a sharded router mints
+    /// one id at its routing decision and threads it here, so the shard's
+    /// trace and audit records join the router's stitched tree.
+    pub(crate) fn infer_query_traced(
+        &self,
+        ctx: EngineCtx<'_>,
+        query: &Trajectory,
+        k: usize,
+        mode: ExecMode,
+        trace_id: u64,
+    ) -> QueryResult {
         if !self.cfg.validation.enabled {
-            let (globals, stats) = self.infer_detailed_mode(ctx, query, k, mode);
+            let (globals, stats) = self.infer_detailed_mode(ctx, query, k, mode, trace_id);
             return QueryResult {
                 globals,
                 stats,
@@ -868,10 +991,10 @@ impl EngineCore {
             // Same observable behaviour as the unvalidated engine (empty
             // output), but reported as a rejection so callers can tell an
             // empty answer from an empty question.
-            return self.reject(RejectReason::EmptyQuery);
+            return self.reject(query, trace_id, RejectReason::EmptyQuery);
         }
         if self.query_is_valid(query) {
-            let (globals, stats) = self.infer_detailed_mode(ctx, query, k, mode);
+            let (globals, stats) = self.infer_detailed_mode(ctx, query, k, mode, trace_id);
             return QueryResult {
                 globals,
                 stats,
@@ -881,12 +1004,13 @@ impl EngineCore {
         let mut pts = query.points.clone();
         let repairs = sanitize_points(&mut pts, &self.cfg.validation.limits);
         if pts.is_empty() {
-            return self.reject(RejectReason::NoUsablePoints);
+            return self.reject(query, trace_id, RejectReason::NoUsablePoints);
         }
         // Sanitization guarantees finite, ordered points, so the validating
         // constructor cannot panic here.
         let repaired = Trajectory::new(query.id, pts);
-        let (globals, stats, pairs_fell_back) = self.infer_repaired(ctx, &repaired, k, mode);
+        let (globals, stats, pairs_fell_back, locals) =
+            self.infer_repaired(ctx, &repaired, k, mode);
         let outcome = if pairs_fell_back > 0 {
             QueryOutcome::Degraded {
                 repairs,
@@ -898,6 +1022,27 @@ impl EngineCore {
         if let Some(obs) = &self.obs {
             obs.record_outcome(&outcome);
         }
+        if let Some(ring) = &self.audits {
+            let mut audit = self.base_audit(ctx, &repaired, trace_id, 0, &locals);
+            audit.outcome = if pairs_fell_back > 0 {
+                "degraded"
+            } else {
+                "repaired"
+            }
+            .to_string();
+            audit.push_event(format!(
+                "repair: sanitization dropped {} of {} points",
+                repairs.points_dropped(),
+                query.len()
+            ));
+            if pairs_fell_back > 0 {
+                audit.push_event(format!(
+                    "degraded: {pairs_fell_back} pairs fell back along the repair chain"
+                ));
+            }
+            self.explain_routes(ctx, &locals, k, &globals, &mut audit);
+            let _ = ring.push(audit.into_record());
+        }
         QueryResult {
             globals,
             stats,
@@ -905,10 +1050,19 @@ impl EngineCore {
         }
     }
 
-    fn reject(&self, reason: RejectReason) -> QueryResult {
+    fn reject(&self, query: &Trajectory, trace_id: u64, reason: RejectReason) -> QueryResult {
         let outcome = QueryOutcome::Rejected { reason };
         if let Some(obs) = &self.obs {
             obs.record_outcome(&outcome);
+        }
+        if let Some(ring) = &self.audits {
+            let mut audit = QueryAudit::new(trace_id, 0);
+            audit.points = query.len();
+            audit.pairs = query.len().saturating_sub(1);
+            audit.outcome = "rejected".to_string();
+            audit.scorer = "none".to_string();
+            audit.push_event(format!("rejected: {reason:?}"));
+            let _ = ring.push(audit.into_record());
         }
         QueryResult {
             globals: Vec::new(),
@@ -946,12 +1100,19 @@ impl EngineCore {
         query: &Trajectory,
         k: usize,
         mode: ExecMode,
-    ) -> (Vec<GlobalRoute>, Vec<LocalStats>, usize) {
+    ) -> (
+        Vec<GlobalRoute>,
+        Vec<LocalStats>,
+        usize,
+        Vec<LocalInferenceResult>,
+    ) {
         let EngineCtx { net, params, .. } = ctx;
+        // Locals ride back out so the explain layer can attribute route
+        // scores without re-running inference.
         let finish = |locals: Vec<LocalInferenceResult>, fell_back: usize| {
             let stats = locals.iter().map(|l| l.stats.clone()).collect();
             let globals = self.score_globals(ctx, &locals, k);
-            (globals, stats, fell_back)
+            (globals, stats, fell_back, locals)
         };
         match degenerate_local(net, query) {
             DegenerateQuery::Empty => return finish(Vec::new(), 0),
@@ -993,6 +1154,7 @@ impl EngineCore {
         query: &Trajectory,
         k: usize,
         mode: ExecMode,
+        trace_id: u64,
     ) -> (Vec<GlobalRoute>, Vec<LocalStats>) {
         let params = ctx.params;
         let Some(obs) = &self.obs else {
@@ -1000,6 +1162,12 @@ impl EngineCore {
             let run = self.local_inference_run(ctx, query, mode, None, false, None);
             let stats = run.locals.iter().map(|l| l.stats.clone()).collect();
             let globals = self.score_globals(ctx, &run.locals, k);
+            if let Some(ring) = &self.audits {
+                let mut audit = self.base_audit(ctx, query, trace_id, 0, &run.locals);
+                audit.outcome = "served".to_string();
+                self.explain_routes(ctx, &run.locals, k, &globals, &mut audit);
+                let _ = ring.push(audit.into_record());
+            }
             return (globals, stats);
         };
 
@@ -1014,7 +1182,7 @@ impl EngineCore {
         }
         let spanctx = collector.as_ref().map(|c| (c, root_id));
 
-        let t_query = Instant::now();
+        let t_query = clock::now();
         let tally = obs.tracing().then(CacheTally::default);
         let run = self.local_inference_run(ctx, query, mode, tally.as_ref(), true, spanctx);
 
@@ -1022,9 +1190,9 @@ impl EngineCore {
         let global_span_id = global_guard.as_ref().map_or(0, SpanGuard::id);
         let paper = PaperScorer::from_params(params);
         let sctx = ScoringCtx::new(ctx.net, &run.locals, k);
-        let t_global = Instant::now();
+        let t_global = clock::now();
         let mut globals = paper.top_k(&sctx);
-        let global_s = t_global.elapsed().as_secs_f64();
+        let global_s = clock::now().duration_since(t_global).as_secs_f64();
         if let Some(g) = global_guard.as_mut() {
             g.attr("routes", globals.len());
         }
@@ -1032,13 +1200,14 @@ impl EngineCore {
 
         let mut refine_guard = spanctx.map(|(c, root)| c.child(root, "refine"));
         let refine_span_id = refine_guard.as_ref().map_or(0, SpanGuard::id);
-        let t_refine = Instant::now();
+        let t_refine = clock::now();
         // Learned re-ranking lives in the refine phase: the DP output is
         // the raw material, the model only permutes it.
         if let Some(model) = self.rerank_model() {
-            let t_rerank = Instant::now();
+            let t_rerank = clock::now();
             let outcome = LearnedScorer::new(paper, model).rerank_in_place(&sctx, &mut globals);
-            obs.rerank_seconds.observe(t_rerank.elapsed().as_secs_f64());
+            obs.rerank_seconds
+                .observe(clock::now().duration_since(t_rerank).as_secs_f64());
             obs.rerank_queries.inc();
             obs.rerank_routes.add(outcome.rescored as u64);
             if outcome.top1_changed {
@@ -1049,10 +1218,10 @@ impl EngineCore {
             }
         }
         let stats: Vec<LocalStats> = run.locals.iter().map(|l| l.stats.clone()).collect();
-        let refine_s = t_refine.elapsed().as_secs_f64();
+        let refine_s = clock::now().duration_since(t_refine).as_secs_f64();
         let _ = refine_guard.map(SpanGuard::finish);
 
-        let total_s = t_query.elapsed().as_secs_f64();
+        let total_s = clock::now().duration_since(t_query).as_secs_f64();
         let _ = root_guard.map(SpanGuard::finish);
         let capture = collector.map(|c| SpanCapture {
             root: root_id,
@@ -1062,7 +1231,7 @@ impl EngineCore {
             refine: refine_span_id,
             spans: c.into_spans(),
         });
-        obs.record_query(
+        let query_id = obs.record_query(
             query,
             &run,
             global_s,
@@ -1071,7 +1240,14 @@ impl EngineCore {
             &globals,
             tally.as_ref(),
             capture,
+            trace_id,
         );
+        if let Some(ring) = &self.audits {
+            let mut audit = self.base_audit(ctx, query, trace_id, query_id, &run.locals);
+            audit.outcome = "served".to_string();
+            self.explain_routes(ctx, &run.locals, k, &globals, &mut audit);
+            let _ = ring.push(audit.into_record());
+        }
         (globals, stats)
     }
 
@@ -1116,13 +1292,13 @@ impl EngineCore {
         // through the cross-query memo when enabled.
         let mut cand_guard = spans.map(|(c, root)| c.child(root, "candidates"));
         let candidates_span = cand_guard.as_ref().map_or(0, SpanGuard::id);
-        let t_cands = timed.then(Instant::now);
+        let t_cands = timed.then(clock::now);
         let cands: Vec<Arc<Vec<CandidateEdge>>> = query
             .points
             .iter()
             .map(|p| self.candidates(ctx, p.pos, tally))
             .collect();
-        let candidates_s = t_cands.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        let candidates_s = t_cands.map_or(0.0, |t| clock::now().duration_since(t).as_secs_f64());
         let candidates_total = cands.iter().map(|c| c.len()).sum();
         if let Some(g) = cand_guard.as_mut() {
             g.attr("edges", candidates_total);
@@ -1150,12 +1326,12 @@ impl EngineCore {
                 &|a, b| self.sp_fallback(net, a, b, tally),
             )
         };
-        let t_local = timed.then(Instant::now);
+        let t_local = timed.then(clock::now);
         let locals = match self.effective_mode(mode, pair_indices.len()) {
             ExecMode::Sequential => pair_indices.into_iter().map(work).collect(),
             ExecMode::PairParallel => pair_indices.par_iter().map(|&i| work(i)).collect(),
         };
-        let local_s = t_local.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        let local_s = t_local.map_or(0.0, |t| clock::now().duration_since(t).as_secs_f64());
         let _ = local_guard.map(SpanGuard::finish);
         LocalRun {
             locals,
@@ -1334,6 +1510,13 @@ impl<'a> QueryEngine<'a> {
     #[must_use]
     pub fn observability(&self) -> Option<&EngineObs> {
         self.core.observability()
+    }
+
+    /// The explain/audit ring, when [`ExplainOptions`](crate::params::ExplainOptions)
+    /// enabled it. The returned handle shares storage with the engine's ring.
+    #[must_use]
+    pub fn audit_ring(&self) -> Option<AuditRing> {
+        self.core.audits().cloned()
     }
 
     /// Current cache counters (cumulative since construction). Each

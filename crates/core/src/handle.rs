@@ -26,7 +26,10 @@ use crate::global::GlobalRoute;
 use crate::local::{LocalInferenceResult, LocalStats};
 use crate::params::{EngineConfig, HrisParams};
 use crate::pipeline::ScoredRoute;
-use hris_obs::{Admission, AdmissionGate, Health, MetricsRegistry, MetricsServer, ServeState};
+use hris_obs::{
+    Admission, AdmissionGate, AuditRing, Health, MetricsRegistry, MetricsServer, ServeState,
+    SpanCollector,
+};
 use hris_roadnet::RoadNetwork;
 use hris_traj::{ArchiveSnapshot, SnapshotReader, TrajectoryArchive};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -250,6 +253,14 @@ impl EngineHandle {
         self.core.observability()
     }
 
+    /// The explain/audit ring, when [`ExplainOptions`](crate::params::ExplainOptions)
+    /// enabled it. The returned handle shares storage with the engine's
+    /// ring, so a router can pull shard-side audits by trace id.
+    #[must_use]
+    pub fn audit_ring(&self) -> Option<AuditRing> {
+        self.core.audits().cloned()
+    }
+
     /// Current cache counters (cumulative across epochs — invalidation
     /// drops entries, not history).
     #[must_use]
@@ -294,13 +305,46 @@ impl EngineHandle {
     #[must_use]
     pub fn infer_query(&self, query: &hris_traj::Trajectory, k: usize) -> QueryResult {
         let _permit = match self.gate.as_ref().map(AdmissionGate::admit) {
-            Some(Admission::Shed) => return self.shed_result(1),
+            Some(Admission::Shed) => {
+                self.core
+                    .record_shed_audit(query.len(), self.core.mint_trace_id());
+                return self.shed_result(1);
+            }
             Some(Admission::Admitted(p)) => Some(p),
             None => None,
         };
         let snap = self.current_snapshot();
         self.core
             .infer_query_mode(self.ctx(&snap), query, k, self.config().mode)
+    }
+
+    /// [`EngineHandle::infer_query`] under a caller-minted trace id — the
+    /// delegation seam of distributed tracing. A sharded router mints one
+    /// trace id at its routing decision and threads it here so the shard's
+    /// [`TraceRecord`](hris_obs::TraceRecord) and [`QueryAudit`](crate::QueryAudit)
+    /// carry the router's identity instead of minting their own; the router
+    /// then stitches them into one tree. Passing `trace_id = 0` records the
+    /// query as untraced.
+    ///
+    /// An admission shed still records a `"shed"` audit under the given id.
+    #[must_use]
+    pub fn infer_query_with_trace(
+        &self,
+        query: &hris_traj::Trajectory,
+        k: usize,
+        trace_id: u64,
+    ) -> QueryResult {
+        let _permit = match self.gate.as_ref().map(AdmissionGate::admit) {
+            Some(Admission::Shed) => {
+                self.core.record_shed_audit(query.len(), trace_id);
+                return self.shed_result(1);
+            }
+            Some(Admission::Admitted(p)) => Some(p),
+            None => None,
+        };
+        let snap = self.current_snapshot();
+        self.core
+            .infer_query_traced(self.ctx(&snap), query, k, self.config().mode, trace_id)
     }
 
     /// Top-`k` routes of one query. Thin wrapper over
@@ -353,7 +397,14 @@ impl EngineHandle {
     ) -> Vec<QueryResult> {
         let _permit = match self.gate.as_ref().map(AdmissionGate::admit) {
             Some(Admission::Shed) => {
-                return queries.iter().map(|_| self.shed_result(1)).collect();
+                return queries
+                    .iter()
+                    .map(|q| {
+                        self.core
+                            .record_shed_audit(q.len(), self.core.mint_trace_id());
+                        self.shed_result(1)
+                    })
+                    .collect();
             }
             Some(Admission::Admitted(p)) => Some(p),
             None => None,
@@ -426,12 +477,28 @@ impl EngineHandle {
         &self,
         queries: &[hris_traj::Trajectory],
     ) -> (Vec<Vec<LocalInferenceResult>>, u64) {
+        self.local_inference_pinned_batch_traced(queries, None)
+    }
+
+    /// [`EngineHandle::local_inference_pinned_batch`] under a router-owned
+    /// span collector: each sub-query's `"candidates"` and `"local"` phase
+    /// spans (plus per-pair children) are recorded into the router's
+    /// collector, parented on the given span id (the router's per-shard
+    /// span), so one cross-shard query stitches into a single tree with
+    /// one clock origin. `spans = None` is byte-identical to the untraced
+    /// batch.
+    #[must_use]
+    pub fn local_inference_pinned_batch_traced(
+        &self,
+        queries: &[hris_traj::Trajectory],
+        spans: Option<(&SpanCollector, u64)>,
+    ) -> (Vec<Vec<LocalInferenceResult>>, u64) {
         let snap = self.current_snapshot();
         let locals = queries
             .iter()
             .map(|q| {
                 self.core
-                    .local_inference_run(self.ctx(&snap), q, self.config().mode, None, false, None)
+                    .local_inference_run(self.ctx(&snap), q, self.config().mode, None, false, spans)
                     .locals
             })
             .collect();

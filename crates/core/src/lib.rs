@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod freespace;
 pub mod global;
@@ -45,6 +46,7 @@ pub mod pipeline;
 pub mod reference;
 pub mod scoring;
 
+pub use audit::{QueryAudit, RouteExplanation};
 pub use engine::{
     EngineCacheStats, EngineObs, QueryEngine, QueryOutcome, QueryResult, RejectReason,
 };
@@ -55,8 +57,9 @@ pub use global::{brute_force_top_k, brute_force_top_k_with, k_gri, k_gri_with};
 pub use handle::EngineHandle;
 pub use local::{LocalInferenceResult, LocalRoute};
 pub use params::{
-    AdmissionOptions, ConfigError, EngineConfig, EngineConfigBuilder, ExecMode, HrisParams,
-    HybridPolarity, LocalAlgorithm, ObsOptions, PopularityModel, RerankOptions, ValidationOptions,
+    AdmissionOptions, ConfigError, EngineConfig, EngineConfigBuilder, ExecMode, ExplainOptions,
+    HrisParams, HybridPolarity, LocalAlgorithm, ObsOptions, PopularityModel, RerankOptions,
+    ValidationOptions,
 };
 pub use pipeline::{Hris, HrisMatcher, ScoredRoute};
 pub use reference::{search_references, RefKind, RefTrajectory, ReferenceSet};
@@ -67,7 +70,9 @@ pub use scoring::{
 
 // The telemetry-server surface of `EngineHandle::serve_metrics`, re-exported
 // so consumers need not name hris-obs directly.
-pub use hris_obs::{Health, MetricsRegistry, MetricsServer, ServeState};
+pub use hris_obs::{
+    AuditRecord, AuditRing, Health, MetricsRegistry, MetricsServer, ServeState, TraceContext,
+};
 
 /// Everything a typical consumer needs, in one `use`.
 ///

@@ -299,6 +299,43 @@ pub struct RerankOptions {
     pub model: Option<crate::scoring::RerankModel>,
 }
 
+/// Opt-in explain/audit capture for the
+/// [`QueryEngine`](crate::engine::QueryEngine) and the sharded router.
+///
+/// Off by default: the engine then performs zero extra work per query —
+/// the disabled path stays byte-identical to the pre-explain engine and
+/// keeps the zero-clock-read guarantee (both test-enforced). Enabled, each
+/// query additionally records a structured [`QueryAudit`](crate::QueryAudit)
+/// — candidate counts per point, the top-K routes with their paper score
+/// components, the rerank feature vector with per-feature attributions, and
+/// any fallback/repair/shed events — into a bounded
+/// [`AuditRing`](hris_obs::AuditRing) keyed by trace id, served from
+/// `/debug/explain/<trace_id>` and exportable via
+/// `experiments --audit-out`. Like observability, explain may never change
+/// an inferred route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplainOptions {
+    /// Master switch; off means no audits and no per-query overhead.
+    pub enabled: bool,
+    /// How many [`AuditRecord`](hris_obs::AuditRecord)s the ring retains
+    /// (oldest dropped first). Must be ≥ 1 when enabled (validated at
+    /// build time).
+    pub audit_capacity: usize,
+    /// How many of the returned routes get a full per-route explanation
+    /// (score components + rerank attributions) in each audit.
+    pub top_k_routes: usize,
+}
+
+impl Default for ExplainOptions {
+    fn default() -> Self {
+        ExplainOptions {
+            enabled: false,
+            audit_capacity: 256,
+            top_k_routes: 3,
+        }
+    }
+}
+
 /// Tuning knobs of the [`QueryEngine`](crate::engine::QueryEngine); separate
 /// from [`HrisParams`] because none of them may change any inferred route
 /// *for valid inputs* — they only trade memory and threads for throughput,
@@ -332,6 +369,9 @@ pub struct EngineConfig {
     /// Learned re-ranking of the top-K output (off by default; the paper
     /// scorer alone, byte-identical to the pre-rerank engine).
     pub rerank: RerankOptions,
+    /// Per-query explain/audit capture (off by default; zero overhead and
+    /// byte-identical outputs when off).
+    pub explain: ExplainOptions,
 }
 
 impl Default for EngineConfig {
@@ -346,6 +386,7 @@ impl Default for EngineConfig {
             validation: ValidationOptions::default(),
             admission: AdmissionOptions::default(),
             rerank: RerankOptions::default(),
+            explain: ExplainOptions::default(),
         }
     }
 }
@@ -365,6 +406,7 @@ impl EngineConfig {
             validation: ValidationOptions::default(),
             admission: AdmissionOptions::default(),
             rerank: RerankOptions::default(),
+            explain: ExplainOptions::default(),
         }
     }
 
@@ -408,6 +450,9 @@ pub enum ConfigError {
     ZeroAdmissionSlots,
     /// Re-ranking was enabled without a model to rank with.
     RerankWithoutModel,
+    /// Explain was enabled with `audit_capacity == 0` — a ring that keeps
+    /// nothing would silently drop every audit.
+    ZeroAuditCapacity,
     /// The supplied re-ranking model is structurally invalid: wrong
     /// dimensions, non-finite parameters, or non-positive scales.
     InvalidRerankModel,
@@ -431,6 +476,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::RerankWithoutModel => {
                 f.write_str("re-ranking needs a model (pass one to rerank())")
+            }
+            ConfigError::ZeroAuditCapacity => {
+                f.write_str("explain needs audit_capacity >= 1 to retain any audit")
             }
             ConfigError::InvalidRerankModel => f.write_str(
                 "re-ranking model is invalid: expect NUM_FEATURES weights/means/scales, \
@@ -618,6 +666,31 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables per-query explain/audit capture. `audit_capacity` must be
+    /// ≥ 1 (validated at build time).
+    #[must_use]
+    pub fn explain(mut self, audit_capacity: usize) -> Self {
+        self.cfg.explain.enabled = true;
+        self.cfg.explain.audit_capacity = audit_capacity;
+        self
+    }
+
+    /// How many returned routes get a full per-route explanation in each
+    /// audit.
+    #[must_use]
+    pub fn explain_top_k(mut self, routes: usize) -> Self {
+        self.cfg.explain.top_k_routes = routes;
+        self
+    }
+
+    /// Disables explain/audit capture (the default: no audits, zero
+    /// per-query overhead).
+    #[must_use]
+    pub fn without_explain(mut self) -> Self {
+        self.cfg.explain.enabled = false;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -645,6 +718,9 @@ impl EngineConfigBuilder {
                 Some(model) if !model.is_valid() => return Err(ConfigError::InvalidRerankModel),
                 Some(_) => {}
             }
+        }
+        if self.cfg.explain.enabled && self.cfg.explain.audit_capacity == 0 {
+            return Err(ConfigError::ZeroAuditCapacity);
         }
         Ok(self.cfg)
     }
@@ -782,6 +858,29 @@ mod tests {
             .build()
             .expect("disabled re-ranking skips model validation");
         assert!(!cfg.rerank.enabled);
+    }
+
+    #[test]
+    fn builder_validates_explain_options() {
+        let cfg = EngineConfig::builder()
+            .explain(64)
+            .explain_top_k(5)
+            .build()
+            .expect("valid explain configuration");
+        assert!(cfg.explain.enabled);
+        assert_eq!(cfg.explain.audit_capacity, 64);
+        assert_eq!(cfg.explain.top_k_routes, 5);
+        assert_eq!(
+            EngineConfig::builder().explain(0).build().unwrap_err(),
+            ConfigError::ZeroAuditCapacity
+        );
+        assert!(!ConfigError::ZeroAuditCapacity.to_string().is_empty());
+        let cfg = EngineConfig::builder()
+            .explain(0)
+            .without_explain()
+            .build()
+            .expect("disabled explain skips capacity validation");
+        assert!(!cfg.explain.enabled);
     }
 
     #[test]

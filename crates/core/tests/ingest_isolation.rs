@@ -271,7 +271,7 @@ fn columnar_export_under_concurrent_ingest_is_never_torn() {
         // Writer-side export must also see its own just-published epoch.
         let col = ColumnarSnapshot::open(writer.export_columnar()).unwrap();
         assert_eq!(col.epoch(), snap.epoch());
-        assert_eq!(col.num_points() as usize, snap.num_points());
+        assert_eq!(col.num_points(), snap.num_points());
         thread::yield_now();
     }
     done.store(true, Ordering::Release);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [FIGURE ...] [--full] [--seed N] [--out DIR] [--metrics-out FILE]
+//!             [--audit-out FILE]
 //!
 //! FIGURE: table2 fig8a fig8b fig9a fig9b fig10a fig10b fig11a fig11b
 //!         fig12a fig12b fig13a fig13b fig14a fig14b ablation temporal
@@ -12,6 +13,10 @@
 //! --metrics-out : run an instrumented pass of the base workload, print the
 //!          phase/cache summary, and write the full metrics + trace JSON
 //!          (registry snapshot and per-query TraceRecords) to FILE.
+//! --audit-out : run an explain-enabled pass of the base workload and write
+//!          every query's audit document (candidate counts, top-K routes
+//!          with score components and rerank attributions, events) to FILE
+//!          as one JSON array.
 //! ```
 //!
 //! Run with `cargo run --release -p hris-eval --bin experiments -- all`.
@@ -27,6 +32,7 @@ struct Args {
     seed: u64,
     out: Option<String>,
     metrics_out: Option<String>,
+    audit_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +41,7 @@ fn parse_args() -> Args {
     let mut seed = 42u64;
     let mut out = None;
     let mut metrics_out = None;
+    let mut audit_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -48,6 +55,9 @@ fn parse_args() -> Args {
             "--out" => out = Some(it.next().expect("--out needs a directory")),
             "--metrics-out" => {
                 metrics_out = Some(it.next().expect("--metrics-out needs a file path"));
+            }
+            "--audit-out" => {
+                audit_out = Some(it.next().expect("--audit-out needs a file path"));
             }
             other => {
                 figures.insert(other.to_string());
@@ -63,6 +73,7 @@ fn parse_args() -> Args {
         seed,
         out,
         metrics_out,
+        audit_out,
     }
 }
 
@@ -97,7 +108,8 @@ fn main() {
     ]
     .iter()
     .any(|f| want(f))
-        || args.metrics_out.is_some();
+        || args.metrics_out.is_some()
+        || args.audit_out.is_some();
 
     let base: Option<Scenario> = if needs_base {
         let cfg = if args.full {
@@ -240,6 +252,21 @@ fn main() {
         );
         std::fs::write(path, combined).expect("write metrics json");
         eprintln!("wrote {path}");
+    }
+
+    // Explain pass: same base workload through an explain-enabled engine;
+    // every query's audit document lands in FILE as one JSON array.
+    if let Some(path) = &args.audit_out {
+        let s = base.as_ref().expect("audit pass builds the base scenario");
+        eprintln!("running explain-enabled audit pass ...");
+        let records = hris_eval::audit_hris(s, &hris::HrisParams::default(), 180.0, 3);
+        let body = records
+            .iter()
+            .map(|r| r.json.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        std::fs::write(path, format!("[{body}]")).expect("write audit json");
+        eprintln!("wrote {path} ({} audit records)", records.len());
     }
 
     if let Some(dir) = &args.out {

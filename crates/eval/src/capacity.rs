@@ -438,7 +438,7 @@ mod tests {
             },
             |_| {
                 // Every third query sheds, the rest answer.
-                if n.fetch_add(1, Ordering::Relaxed) % 3 == 0 {
+                if n.fetch_add(1, Ordering::Relaxed).is_multiple_of(3) {
                     QueryOutcome::Rejected {
                         reason: RejectReason::Overloaded,
                     }

@@ -285,6 +285,36 @@ pub fn evaluate_hris_observed(
     (aggregate(&results), report)
 }
 
+/// Runs the base workload on an explain-enabled engine and returns the
+/// drained audit records — one JSON document per query, keyed by trace id
+/// (the `experiments --audit-out` pass).
+///
+/// The ring is sized to the workload so no audit is evicted, and the engine
+/// runs sequentially so record order matches query order.
+#[must_use]
+pub fn audit_hris(
+    scenario: &Scenario,
+    params: &HrisParams,
+    interval_s: f64,
+    top_k_routes: usize,
+) -> Vec<hris::AuditRecord> {
+    let hris = Hris::new(&scenario.net, scenario.archive.clone(), params.clone());
+    let cfg = EngineConfig::builder()
+        .mode(ExecMode::Sequential)
+        .batch_parallel(false)
+        .explain(scenario.queries.len().max(1))
+        .explain_top_k(top_k_routes)
+        .build()
+        .expect("static engine configuration");
+    let engine = QueryEngine::with_config(&hris, cfg);
+    let queries = resampled(scenario, interval_s);
+    let _ = engine.infer_batch_detailed(&queries, params.k3.max(1));
+    engine
+        .audit_ring()
+        .expect("explain-enabled engine")
+        .drain()
+}
+
 /// Per-query top-k accuracies for Figure 14a: returns `(avg, max)` accuracy
 /// over each query's top-`k` routes, averaged across queries.
 #[must_use]

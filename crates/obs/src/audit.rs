@@ -1,0 +1,183 @@
+//! Per-query explain/audit records and their bounded ring buffer.
+//!
+//! "Why did this route win?" is unanswerable from aggregate metrics, and
+//! re-running the query only works if the archive has not moved. The audit
+//! layer answers it after the fact: an engine or router with explain
+//! enabled records one structured JSON document per query — candidate
+//! counts, the top-K routes with their score components, the rerank feature
+//! vector with per-feature weight·feature attributions, and any
+//! fallback/repair/shed events — keyed by the query's trace id.
+//!
+//! The ring deliberately stores the document as an opaque pre-rendered
+//! JSON string: `hris-obs` stays engine-agnostic (it never learns what a
+//! route or a feature is), and serving `/debug/explain/<trace_id>` is a
+//! lookup plus a write, no serialization on the read path.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One query's audit document: the trace/query identity plus the
+/// pre-rendered JSON explain record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// The trace id the document belongs to (key of `/debug/explain/<id>`).
+    pub trace_id: u64,
+    /// Engine- or router-assigned sequence number.
+    pub query_id: u64,
+    /// The structured explain document, already rendered as one JSON
+    /// object (see `hris::QueryAudit` for the schema).
+    pub json: String,
+}
+
+/// A bounded ring of the most recent [`AuditRecord`]s: pushing past the
+/// capacity drops the oldest record and counts it. Clones share storage,
+/// so the engine that writes audits and the telemetry server that serves
+/// them hold handles to the same ring.
+#[derive(Debug, Clone)]
+pub struct AuditRing {
+    capacity: usize,
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    buf: VecDeque<AuditRecord>,
+    dropped: u64,
+}
+
+impl AuditRing {
+    /// A ring keeping at most `capacity` records (0 keeps none: every push
+    /// is counted as dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        AuditRing {
+            capacity,
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    /// Two handles push into the same storage iff they are clones of one
+    /// ring.
+    #[must_use]
+    pub fn same_storage(&self, other: &AuditRing) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a record; returns `true` when an old record (or, at zero
+    /// capacity, this record) was dropped to make room.
+    pub fn push(&self, rec: AuditRecord) -> bool {
+        let mut inner = self.inner.lock().expect("audit ring");
+        if self.capacity == 0 {
+            inner.dropped += 1;
+            return true;
+        }
+        let evict = inner.buf.len() == self.capacity;
+        if evict {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(rec);
+        evict
+    }
+
+    /// The most recent retained record for this trace id, if any.
+    #[must_use]
+    pub fn find(&self, trace_id: u64) -> Option<AuditRecord> {
+        self.inner
+            .lock()
+            .expect("audit ring")
+            .buf
+            .iter()
+            .rev()
+            .find(|r| r.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Copies out the retained records, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<AuditRecord> {
+        self.inner
+            .lock()
+            .expect("audit ring")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the retained records, oldest first.
+    #[must_use]
+    pub fn drain(&self) -> Vec<AuditRecord> {
+        self.inner
+            .lock()
+            .expect("audit ring")
+            .buf
+            .drain(..)
+            .collect()
+    }
+
+    /// How many records have been dropped since construction.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("audit ring").dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace_id: u64) -> AuditRecord {
+        AuditRecord {
+            trace_id,
+            query_id: trace_id,
+            json: format!("{{\"trace_id\":{trace_id}}}"),
+        }
+    }
+
+    #[test]
+    fn bounded_eviction_and_lookup() {
+        let ring = AuditRing::new(2);
+        assert!(!ring.push(rec(1)));
+        assert!(!ring.push(rec(2)));
+        assert!(ring.push(rec(3)));
+        assert_eq!(ring.dropped(), 1);
+        assert!(ring.find(1).is_none(), "oldest evicted");
+        assert_eq!(ring.find(3).expect("kept").json, "{\"trace_id\":3}");
+        let ids: Vec<u64> = ring.snapshot().iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn find_returns_most_recent_for_duplicate_ids() {
+        let ring = AuditRing::new(4);
+        let _ = ring.push(rec(5));
+        let _ = ring.push(AuditRecord {
+            trace_id: 5,
+            query_id: 99,
+            json: "{}".to_string(),
+        });
+        assert_eq!(ring.find(5).expect("found").query_id, 99);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything_and_clones_share() {
+        let ring = AuditRing::new(0);
+        assert!(ring.push(rec(1)));
+        assert!(ring.snapshot().is_empty());
+        let shared = AuditRing::new(3);
+        let other = shared.clone();
+        let _ = other.push(rec(2));
+        assert_eq!(shared.snapshot().len(), 1);
+        assert!(shared.same_storage(&other));
+        assert!(!shared.same_storage(&AuditRing::new(3)));
+        assert_eq!(shared.drain().len(), 1);
+        assert!(shared.snapshot().is_empty());
+    }
+}

@@ -420,7 +420,7 @@ mod federation_tests {
         r.histogram_with_labels("lat_seconds", "L.", &[1.0], &[("phase", "a")])
             .observe(0.5);
         let s = r.snapshot().with_labels(&[("shard", "3")]);
-        assert_eq!(s.get("queries_total", &[("shard", "3")]).is_some(), true);
+        assert!(s.get("queries_total", &[("shard", "3")]).is_some());
         // Existing labels are preserved and the combined set is sorted.
         let e = s
             .get("lat_seconds", &[("phase", "a"), ("shard", "3")])

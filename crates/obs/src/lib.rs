@@ -24,7 +24,19 @@
 //! * [`SlidingHistogram`] — a ring of fixed-bucket time epochs merged on
 //!   read, for rolling-window quantiles and rates.
 //! * [`serve`] — a zero-dependency blocking HTTP server exposing
-//!   `/metrics`, `/healthz`, `/varz` and `/debug/traces` + `/debug/slow`.
+//!   `/metrics`, `/healthz`, `/varz` and `/debug/traces` + `/debug/slow`,
+//!   plus mountable prefix handlers for router-level debug endpoints
+//!   (`/debug/shards`, `/debug/explain/<trace_id>`).
+//! * [`TraceContext`] / [`TraceAssembler`] — distributed-trace propagation:
+//!   a router mints a process-unique trace id at its routing decision,
+//!   threads it through delegation and scatter batches, and stitches every
+//!   stage's spans into one validated tree.
+//! * [`AuditRecord`] / [`AuditRing`] — opt-in per-query explain documents
+//!   (pre-rendered JSON, engine-defined schema) in a bounded ring keyed by
+//!   trace id.
+//! * [`clock`] — the counted monotonic clock every instrumented code path
+//!   reads through, making the zero-clock-read disabled-path contract
+//!   test-enforceable.
 //!
 //! # Consistency model
 //!
@@ -55,6 +67,9 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+mod assemble;
+mod audit;
+pub mod clock;
 pub mod export;
 mod histogram;
 mod registry;
@@ -65,13 +80,16 @@ mod timer;
 mod trace;
 
 pub use admission::{Admission, AdmissionGate, AdmissionPermit};
+pub use assemble::{AssembleError, TraceAssembler};
+pub use audit::{AuditRecord, AuditRing};
 pub use export::MetricsSnapshot;
 pub use histogram::{Histogram, HistogramSnapshot, DEFAULT_TIME_BOUNDS, FINE_TIME_BOUNDS};
 pub use registry::{Counter, Gauge, MetricsRegistry, PairedCounter, SnapshotEntry, SnapshotValue};
 pub use serve::{Health, MetricsServer, ServeState};
 pub use sliding::SlidingHistogram;
 pub use span::{
-    next_span_id, synthetic_tree, AttrValue, Span, SpanCollector, SpanGuard, SpanSampler,
+    next_span_id, next_trace_id, synthetic_tree, AttrValue, Span, SpanCollector, SpanGuard,
+    SpanSampler, TraceContext,
 };
 pub use timer::PhaseTimer;
 pub use trace::{TraceRecord, TraceRing};

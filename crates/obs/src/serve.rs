@@ -23,7 +23,7 @@
 //! and extra `/varz` sections. That keeps `hris-obs` dependency-free and
 //! lets any binary — engine, ingest worker, test — expose telemetry.
 
-use crate::export::prometheus_text;
+use crate::export::{prometheus_text, MetricsSnapshot};
 use crate::registry::MetricsRegistry;
 use crate::trace::TraceRing;
 use std::io::{self, Read, Write};
@@ -45,6 +45,8 @@ pub enum Health {
 type CheckFn = Box<dyn Fn() -> Health + Send + Sync>;
 type HookFn = Box<dyn Fn() + Send + Sync>;
 type VarzFn = Box<dyn Fn() -> String + Send + Sync>;
+type SnapshotFn = Box<dyn Fn() -> MetricsSnapshot + Send + Sync>;
+type DebugFn = Box<dyn Fn(&str) -> Option<String> + Send + Sync>;
 
 /// Everything a telemetry server serves: built once, then handed to
 /// [`ServeState::serve`].
@@ -54,6 +56,8 @@ pub struct ServeState {
     checks: Vec<(String, CheckFn)>,
     pre_scrape: Vec<HookFn>,
     varz: Vec<(String, VarzFn)>,
+    snapshot: Option<SnapshotFn>,
+    debug: Vec<(String, DebugFn)>,
 }
 
 impl ServeState {
@@ -66,6 +70,8 @@ impl ServeState {
             checks: Vec::new(),
             pre_scrape: Vec::new(),
             varz: Vec::new(),
+            snapshot: None,
+            debug: Vec::new(),
         }
     }
 
@@ -107,6 +113,35 @@ impl ServeState {
         section: impl Fn() -> String + Send + Sync + 'static,
     ) -> Self {
         self.varz.push((name.to_string(), Box::new(section)));
+        self
+    }
+
+    /// Replaces the snapshot behind `/metrics` and `/varz` with a
+    /// caller-provided one — e.g. a sharded router's federated snapshot
+    /// merging every shard's registry under a `shard` label — instead of
+    /// the constructor registry's own.
+    #[must_use]
+    pub fn snapshot_provider(
+        mut self,
+        provider: impl Fn() -> MetricsSnapshot + Send + Sync + 'static,
+    ) -> Self {
+        self.snapshot = Some(Box::new(provider));
+        self
+    }
+
+    /// Mounts a JSON debug handler under a path prefix (e.g.
+    /// `/debug/explain`). The handler receives the remainder of the
+    /// request path with any leading `/` removed — `""` for the bare
+    /// prefix, `"42"` for `/debug/explain/42` — and returns the JSON body,
+    /// or `None` for a 404. Built-in paths win over prefixes; prefixes are
+    /// tried in registration order.
+    #[must_use]
+    pub fn debug_handler(
+        mut self,
+        prefix: &str,
+        handler: impl Fn(&str) -> Option<String> + Send + Sync + 'static,
+    ) -> Self {
+        self.debug.push((prefix.to_string(), Box::new(handler)));
         self
     }
 
@@ -177,7 +212,7 @@ impl ServeState {
         match path {
             "/metrics" => {
                 self.run_pre_scrape();
-                let body = prometheus_text(&self.registry.snapshot());
+                let body = prometheus_text(&self.scrape_snapshot());
                 (200, "text/plain; version=0.0.4; charset=utf-8", body)
             }
             "/healthz" => {
@@ -209,7 +244,7 @@ impl ServeState {
                 let mut body = format!(
                     "{{\"uptime_seconds\":{},\"metrics\":{}",
                     crate::export::fmt_f64(started.elapsed().as_secs_f64()),
-                    self.registry.snapshot().to_json()
+                    self.scrape_snapshot().to_json()
                 );
                 for (name, section) in &self.varz {
                     body.push_str(&format!(
@@ -223,17 +258,39 @@ impl ServeState {
             }
             "/debug/traces" => (200, "application/json", self.traces_json(false)),
             "/debug/slow" => (200, "application/json", self.traces_json(true)),
-            _ => (
-                404,
-                "application/json",
-                "{\"error\":\"not found\"}".to_string(),
-            ),
+            other => {
+                for (prefix, handler) in &self.debug {
+                    let Some(rest) = other.strip_prefix(prefix.as_str()) else {
+                        continue;
+                    };
+                    if !rest.is_empty() && !rest.starts_with('/') {
+                        continue; // /debug/explainer must not match /debug/explain
+                    }
+                    if let Some(body) = handler(rest.strip_prefix('/').unwrap_or(rest)) {
+                        return (200, "application/json", body);
+                    }
+                }
+                (
+                    404,
+                    "application/json",
+                    "{\"error\":\"not found\"}".to_string(),
+                )
+            }
         }
     }
 
     fn run_pre_scrape(&self) {
         for hook in &self.pre_scrape {
             hook();
+        }
+    }
+
+    /// The scrape-time snapshot: the provider's when one is configured,
+    /// otherwise the constructor registry's.
+    fn scrape_snapshot(&self) -> MetricsSnapshot {
+        match &self.snapshot {
+            Some(provider) => provider(),
+            None => self.registry.snapshot(),
         }
     }
 
@@ -427,6 +484,45 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         assert!(response.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn snapshot_provider_overrides_metrics_and_varz() {
+        let federated = MetricsRegistry::new();
+        federated.counter("shard_req_total", "Per-shard requests.").add(9);
+        let snap = federated.snapshot().with_labels(&[("shard", "3")]);
+        let server = ServeState::new(demo_registry())
+            .snapshot_provider(move || snap.clone())
+            .serve("127.0.0.1:0")
+            .expect("bind");
+        let (_, body) = http_get(server.addr(), "/metrics");
+        assert!(body.contains("shard_req_total{shard=\"3\"} 9"));
+        assert!(!body.contains("req_total 3"), "constructor registry replaced");
+        let (_, varz) = http_get(server.addr(), "/varz");
+        assert!(varz.contains("\"name\":\"shard_req_total\""));
+    }
+
+    #[test]
+    fn debug_handlers_route_by_prefix() {
+        let server = ServeState::new(demo_registry())
+            .debug_handler("/debug/shards", |rest| {
+                rest.is_empty().then(|| "{\"shards\":2}".to_string())
+            })
+            .debug_handler("/debug/explain", |id| {
+                (id == "42").then(|| "{\"trace_id\":42}".to_string())
+            })
+            .serve("127.0.0.1:0")
+            .expect("bind");
+        let (status, body) = http_get(server.addr(), "/debug/shards");
+        assert_eq!((status, body.as_str()), (200, "{\"shards\":2}"));
+        let (status, body) = http_get(server.addr(), "/debug/explain/42");
+        assert_eq!((status, body.as_str()), (200, "{\"trace_id\":42}"));
+        let (status, _) = http_get(server.addr(), "/debug/explain/7");
+        assert_eq!(status, 404, "handler None is a 404");
+        let (status, _) = http_get(server.addr(), "/debug/explainer");
+        assert_eq!(status, 404, "prefix must end at a path boundary");
+        let (status, _) = http_get(server.addr(), "/debug/traces");
+        assert_eq!(status, 200, "built-in paths still served");
     }
 
     #[test]

@@ -95,7 +95,7 @@ impl SlidingHistogram {
         SlidingHistogram {
             bounds: bounds.to_vec(),
             epoch_len_s,
-            origin: Instant::now(),
+            origin: crate::clock::now(),
             inner: Mutex::new(Ring {
                 head: 0,
                 epochs: (0..num_epochs as u64)
@@ -129,7 +129,9 @@ impl SlidingHistogram {
     /// `*_at` methods are expressed in.
     #[must_use]
     pub fn now_s(&self) -> f64 {
-        self.origin.elapsed().as_secs_f64()
+        crate::clock::now()
+            .duration_since(self.origin)
+            .as_secs_f64()
     }
 
     /// Records one observation at the current time.

@@ -32,6 +32,56 @@ pub fn next_span_id() -> u64 {
     NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Process-wide trace id allocator. Ids start at 1; 0 means "untraced".
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh process-unique trace id (never 0). One relaxed
+/// `fetch_add`, no clock reads — minting a trace id is as cheap as minting
+/// a span id, and the single shared counter makes collisions across
+/// concurrent batches impossible by construction (pinned by the router's
+/// trace-propagation proptests).
+#[must_use]
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The propagated identity of one distributed query: which trace the work
+/// belongs to and which span fathered it.
+///
+/// The sharded router mints one context per query at the routing decision
+/// ([`TraceContext::mint`]) and threads it through delegation, pinned
+/// scatter batches and the router-side splice; each stage derives its
+/// children with [`TraceContext::child`], so every span of a cross-shard
+/// query lands in one stitched tree under one trace id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The query-unique trace id (never 0 for a minted context).
+    pub trace_id: u64,
+    /// The span id the next stage should parent under (0 = tree root).
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// Mints a fresh root context: a new trace id, parented at the root.
+    #[must_use]
+    pub fn mint() -> Self {
+        TraceContext {
+            trace_id: next_trace_id(),
+            parent_span: 0,
+        }
+    }
+
+    /// The same trace, re-parented under `span` — hand this to the next
+    /// stage (a shard, the splice) so its spans nest correctly.
+    #[must_use]
+    pub fn child(self, span: u64) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span: span,
+        }
+    }
+}
+
 /// One attribute value on a span.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
@@ -157,7 +207,7 @@ impl SpanCollector {
     #[must_use]
     pub fn new() -> Self {
         SpanCollector {
-            origin: Instant::now(),
+            origin: crate::clock::now(),
             spans: Mutex::new(Vec::new()),
         }
     }
@@ -173,7 +223,7 @@ impl SpanCollector {
     }
 
     fn guard(&self, name: &str, parent: u64) -> SpanGuard<'_> {
-        let start = Instant::now();
+        let start = crate::clock::now();
         SpanGuard {
             collector: self,
             id: next_span_id(),
@@ -189,6 +239,26 @@ impl SpanCollector {
     /// Appends an externally built span (used for synthetic trees).
     pub fn record(&self, span: Span) {
         self.spans.lock().expect("span collector").push(span);
+    }
+
+    /// Records a zero-duration marker span — a **span event** — under
+    /// `parent`: shard health flips, reroutes, degraded/rejected outcomes.
+    /// One clock read (the event's position on the trace timeline); returns
+    /// the event's span id.
+    pub fn event(&self, parent: u64, name: &str, attrs: Vec<(String, AttrValue)>) -> u64 {
+        let id = next_span_id();
+        let start_s = crate::clock::now()
+            .duration_since(self.origin)
+            .as_secs_f64();
+        self.record(Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start_s,
+            duration_s: 0.0,
+            attrs,
+        });
+        id
     }
 
     /// Number of finished spans collected so far.
@@ -251,7 +321,9 @@ impl SpanGuard<'_> {
     }
 
     fn close(&mut self) -> f64 {
-        let duration_s = self.start.elapsed().as_secs_f64();
+        let duration_s = crate::clock::now()
+            .duration_since(self.start)
+            .as_secs_f64();
         self.armed = false;
         self.collector.record(Span {
             id: self.id,
@@ -357,6 +429,36 @@ mod tests {
         let a = next_span_id();
         let b = next_span_id();
         assert!(a != 0 && b != 0 && a != b);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_contexts_reparent() {
+        let a = TraceContext::mint();
+        let b = TraceContext::mint();
+        assert!(a.trace_id != 0 && b.trace_id != 0 && a.trace_id != b.trace_id);
+        assert_eq!(a.parent_span, 0);
+        let c = a.child(17);
+        assert_eq!(c.trace_id, a.trace_id);
+        assert_eq!(c.parent_span, 17);
+    }
+
+    #[test]
+    fn events_are_zero_duration_marker_spans() {
+        let c = SpanCollector::new();
+        let root = c.root("query");
+        let root_id = root.id();
+        let ev = c.event(
+            root_id,
+            "reroute",
+            vec![("from".to_string(), AttrValue::Int(2))],
+        );
+        let _ = root.finish();
+        let spans = c.into_spans();
+        let event = spans.iter().find(|s| s.id == ev).expect("event recorded");
+        assert_eq!(event.parent, root_id);
+        assert_eq!(event.duration_s, 0.0);
+        assert_eq!(event.name, "reroute");
+        assert_eq!(event.attrs[0].0, "from");
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::time::Instant;
 
 /// Times one phase: started by [`Histogram::start_timer`], it records the
 /// elapsed wall time (seconds) into the histogram when dropped — so a phase
-/// is timed correctly even on early return. Costs exactly two clock reads.
+/// is timed correctly even on early return. Costs exactly two clock reads,
+/// both taken through [`crate::clock`] so the zero-clock tests see them.
 #[must_use = "a dropped-immediately timer records ~0s"]
 #[derive(Debug)]
 pub struct PhaseTimer<'h> {
@@ -19,7 +20,7 @@ impl Histogram {
     pub fn start_timer(&self) -> PhaseTimer<'_> {
         PhaseTimer {
             hist: self,
-            start: Instant::now(),
+            start: crate::clock::now(),
             armed: true,
         }
     }
@@ -29,7 +30,7 @@ impl PhaseTimer<'_> {
     /// Stops the timer now, records the observation, and returns the
     /// elapsed seconds (instead of waiting for the drop).
     pub fn stop(mut self) -> f64 {
-        let dt = self.start.elapsed().as_secs_f64();
+        let dt = crate::clock::now().duration_since(self.start).as_secs_f64();
         self.armed = false;
         self.hist.observe(dt);
         dt
@@ -44,7 +45,8 @@ impl PhaseTimer<'_> {
 impl Drop for PhaseTimer<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.hist.observe(self.start.elapsed().as_secs_f64());
+            let dt = crate::clock::now().duration_since(self.start);
+            self.hist.observe(dt.as_secs_f64());
         }
     }
 }

@@ -13,6 +13,9 @@ use std::sync::{Arc, Mutex};
 /// scoring), `refine` (result assembly / instrumentation collection).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceRecord {
+    /// Process-unique trace id tying this record to its distributed span
+    /// tree and audit record (0 = untraced / pre-tracing record).
+    pub trace_id: u64,
     /// Engine-assigned sequence number (monotonic per engine).
     pub query_id: u64,
     /// Query points.
@@ -68,13 +71,14 @@ impl TraceRecord {
             .join(",");
         format!(
             concat!(
-                "{{\"query_id\":{},\"points\":{},\"pairs\":{},\"candidates\":{},",
+                "{{\"trace_id\":{},\"query_id\":{},\"points\":{},\"pairs\":{},\"candidates\":{},",
                 "\"routes\":{},\"top_log_score\":{},",
                 "\"candidates_s\":{},\"local_s\":{},\"global_s\":{},\"refine_s\":{},",
                 "\"total_s\":{},\"sp_hits\":{},\"sp_misses\":{},",
                 "\"cand_hits\":{},\"cand_misses\":{},\"slow\":{},",
                 "\"root_span\":{},\"spans\":[{}]}}"
             ),
+            self.trace_id,
             self.query_id,
             self.points,
             self.pairs,
@@ -167,6 +171,19 @@ impl TraceRing {
             .iter()
             .cloned()
             .collect()
+    }
+
+    /// The most recent retained record carrying this trace id, if any.
+    #[must_use]
+    pub fn find(&self, trace_id: u64) -> Option<TraceRecord> {
+        self.inner
+            .lock()
+            .expect("trace ring")
+            .buf
+            .iter()
+            .rev()
+            .find(|r| r.trace_id == trace_id)
+            .cloned()
     }
 
     /// Removes and returns the retained records, oldest first.

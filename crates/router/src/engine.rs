@@ -44,18 +44,28 @@
 
 use crate::plan::ShardPlan;
 use hris::{
-    configured_scorer, EngineConfig, EngineHandle, HrisParams, LocalInferenceResult, QueryOutcome,
-    QueryResult, RejectReason, RouteScorer, ScoringCtx,
+    configured_scorer, ConfiguredScorer, EngineConfig, EngineHandle, HrisParams,
+    LocalInferenceResult, PaperScorer, QueryAudit, QueryOutcome, QueryResult, RejectReason,
+    RouteExplanation, RouteScorer, ScoringCtx,
 };
 use hris_geo::BBox;
-use hris_obs::{Admission, AdmissionGate, Counter, MetricsRegistry, MetricsSnapshot};
+use hris_obs::{
+    next_trace_id, Admission, AdmissionGate, AttrValue, AuditRecord, AuditRing, Counter, Health,
+    MetricsRegistry, MetricsServer, MetricsSnapshot, ServeState, SpanCollector, SpanGuard,
+    TraceAssembler, TraceRecord, TraceRing,
+};
 use hris_roadnet::RoadNetwork;
 use hris_traj::{
     partition_archive, sanitize_points, ArchiveSnapshot, PointRepairs, SnapshotReader, TrajId,
     Trajectory, TrajectoryArchive,
 };
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+
+/// The span handle the router threads through one traced query: the
+/// query-owned collector (one clock origin for the whole stitched tree)
+/// plus the span id the next stage should parent under.
+type SpanCtx<'c> = Option<(&'c SpanCollector, u64)>;
 
 /// Router-side health of one shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,13 +242,27 @@ pub struct ShardedEngine {
     /// below their `infer_query` entrypoints, so this gate is the
     /// admission point for routed traffic.
     gate: Option<AdmissionGate>,
+    /// Stitched cross-shard trace ring (`cfg.obs.enabled` with a nonzero
+    /// `trace_capacity`); `None` is the zero-overhead gate: no collector,
+    /// no clock reads, not even a trace-id increment.
+    traces: Option<TraceRing>,
+    /// Router-side explain/audit ring (`cfg.explain.enabled`); holds the
+    /// audits of scatter-gathered queries (delegated queries audit on
+    /// their shard, under the router's trace id).
+    audits: Option<AuditRing>,
+    /// Router-assigned query sequence for stitched trace records.
+    next_query_id: AtomicU64,
 }
 
 impl ShardedEngine {
     /// Partitions `archive` over `plan` and builds the per-shard engines.
     ///
-    /// Every shard gets `params` and `cfg` verbatim (observability is
-    /// forced on so the per-shard registries are populated). The plan's
+    /// Every shard gets `params` and `cfg` verbatim. With
+    /// `cfg.obs.enabled` the shards instrument themselves onto per-shard
+    /// registries that [`ShardedEngine::metrics_snapshot`] federates under
+    /// a `shard` label; with it disabled the shards run the uninstrumented
+    /// fast path — zero clock reads per query, test-enforced — and the
+    /// federated snapshot carries the router's own series only. The plan's
     /// margin should be ≥ `params.phi_m` for single-shard routing to apply
     /// to every in-core query; see [`ShardPlan::grid`].
     #[must_use]
@@ -255,13 +279,18 @@ impl ShardedEngine {
         let mut shard_registries = Vec::with_capacity(plan.num_shards());
         for shard_archive in part.shards {
             let reg = Arc::new(MetricsRegistry::new());
-            shards.push(EngineHandle::from_snapshot_with_registry(
-                Arc::clone(&net),
-                Arc::new(ArchiveSnapshot::new(0, shard_archive)),
-                params.clone(),
-                cfg.clone(),
-                Arc::clone(&reg),
-            ));
+            let snap = Arc::new(ArchiveSnapshot::new(0, shard_archive));
+            shards.push(if cfg.obs.enabled {
+                EngineHandle::from_snapshot_with_registry(
+                    Arc::clone(&net),
+                    snap,
+                    params.clone(),
+                    cfg.clone(),
+                    Arc::clone(&reg),
+                )
+            } else {
+                EngineHandle::from_snapshot(Arc::clone(&net), snap, params.clone(), cfg.clone())
+            });
             shard_registries.push(reg);
         }
         Self::assemble(
@@ -309,13 +338,17 @@ impl ShardedEngine {
         let mut shard_registries = Vec::with_capacity(plan.num_shards());
         for reader in readers {
             let reg = Arc::new(MetricsRegistry::new());
-            shards.push(EngineHandle::live_with_registry(
-                Arc::clone(&net),
-                reader,
-                params.clone(),
-                cfg.clone(),
-                Arc::clone(&reg),
-            ));
+            shards.push(if cfg.obs.enabled {
+                EngineHandle::live_with_registry(
+                    Arc::clone(&net),
+                    reader,
+                    params.clone(),
+                    cfg.clone(),
+                    Arc::clone(&reg),
+                )
+            } else {
+                EngineHandle::live(Arc::clone(&net), reader, params.clone(), cfg.clone())
+            });
             shard_registries.push(reg);
         }
         Self::assemble(net, params, cfg, plan, shards, None, 1.0, shard_registries)
@@ -339,6 +372,12 @@ impl ShardedEngine {
             .admission
             .enabled
             .then(|| AdmissionGate::new(cfg.admission.max_inflight, cfg.admission.max_queued));
+        let traces = (cfg.obs.enabled && cfg.obs.trace_capacity > 0)
+            .then(|| TraceRing::new(cfg.obs.trace_capacity));
+        let audits = cfg
+            .explain
+            .enabled
+            .then(|| AuditRing::new(cfg.explain.audit_capacity));
         ShardedEngine {
             net,
             params,
@@ -352,6 +391,9 @@ impl ShardedEngine {
             router_registry,
             m,
             gate,
+            traces,
+            audits,
+            next_query_id: AtomicU64::new(0),
         }
     }
 
@@ -434,6 +476,106 @@ impl ShardedEngine {
         )
     }
 
+    /// The router's stitched-trace ring, when tracing is enabled
+    /// (`cfg.obs.enabled` with a nonzero `trace_capacity`). The returned
+    /// handle shares storage with the router's ring.
+    #[must_use]
+    pub fn trace_ring(&self) -> Option<TraceRing> {
+        self.traces.clone()
+    }
+
+    /// The router's explain/audit ring, when
+    /// [`ExplainOptions`](hris::ExplainOptions) enabled it. Holds the
+    /// audits of scatter-gathered, shed and router-rejected queries;
+    /// delegated queries audit on their shard (see
+    /// [`ShardedEngine::find_audit`]).
+    #[must_use]
+    pub fn audit_ring(&self) -> Option<AuditRing> {
+        self.audits.clone()
+    }
+
+    /// The audit document of one trace id, searching the router's ring
+    /// first and then every shard's (a whole-query delegation audits on
+    /// the shard that served it, under the router's trace id).
+    #[must_use]
+    pub fn find_audit(&self, trace_id: u64) -> Option<AuditRecord> {
+        if let Some(rec) = self.audits.as_ref().and_then(|r| r.find(trace_id)) {
+            return Some(rec);
+        }
+        self.shards
+            .iter()
+            .find_map(|s| s.audit_ring().and_then(|r| r.find(trace_id)))
+    }
+
+    /// Per-shard status as one JSON array: id, administrative health,
+    /// whether the router would currently hand it work, source kind and
+    /// the epoch it last served.
+    #[must_use]
+    pub fn shards_json(&self) -> String {
+        let body = (0..self.num_shards())
+            .map(|s| {
+                format!(
+                    "{{\"shard\":{s},\"health\":\"{}\",\"servable\":{},\"live\":{},\"epoch\":{}}}",
+                    match self.shard_health(s) {
+                        ShardHealth::Healthy => "healthy",
+                        ShardHealth::Unhealthy => "unhealthy",
+                    },
+                    self.shard_is_servable(s),
+                    self.shards[s].is_live(),
+                    self.shards[s].epoch(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("[{body}]")
+    }
+
+    /// Starts the router-level telemetry server on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// `/metrics` and `/varz` serve the **federated** snapshot
+    /// ([`ShardedEngine::metrics_snapshot`]: router series plus every
+    /// shard's, `shard`-labelled). `/debug/shards` reports per-shard
+    /// health/servability/epoch. With tracing enabled, `/debug/traces`
+    /// serves the stitched cross-shard span trees; with explain enabled,
+    /// `/debug/explain/<trace_id>` serves the audit document of that query
+    /// from the router's ring or any shard's. Every shard also contributes
+    /// a named health check to `/healthz` (unhealthy when not servable).
+    ///
+    /// # Errors
+    /// Whatever binding the listener returns.
+    pub fn serve_metrics(
+        self: &Arc<Self>,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<MetricsServer> {
+        let on_snapshot = Arc::clone(self);
+        let mut state = ServeState::new(Arc::clone(&self.router_registry))
+            .snapshot_provider(move || on_snapshot.metrics_snapshot());
+        if let Some(ring) = &self.traces {
+            state = state.with_traces(ring.clone());
+        }
+        let on_shards = Arc::clone(self);
+        state = state.debug_handler("/debug/shards", move |rest| {
+            rest.is_empty().then(|| on_shards.shards_json())
+        });
+        let on_explain = Arc::clone(self);
+        state = state.debug_handler("/debug/explain", move |rest| {
+            let trace_id: u64 = rest.parse().ok()?;
+            on_explain.find_audit(trace_id).map(|rec| rec.json)
+        });
+        for s in 0..self.num_shards() {
+            let on_health = Arc::clone(self);
+            state = state.health_check(&format!("shard_{s}"), move || {
+                if on_health.shard_is_servable(s) {
+                    Health::Ok
+                } else {
+                    Health::Unhealthy(format!("shard {s} is not servable"))
+                }
+            });
+        }
+        state.serve(addr)
+    }
+
     /// Routes and answers one query. **Canonical entrypoint** — same
     /// contract as [`EngineHandle::infer_query`], byte-identical to it for
     /// partition-respecting queries (see the module docs).
@@ -445,9 +587,28 @@ impl ShardedEngine {
     /// [`ShardedEngine::infer_query`] plus the [`RouteTrace`] describing
     /// how the query was dispatched (which shards, which epochs, which
     /// splice points).
+    ///
+    /// With tracing enabled (`cfg.obs.enabled` and a nonzero
+    /// `trace_capacity`) the query additionally records one **stitched span
+    /// tree** — routing → per-shard local inference → gather → splice →
+    /// rerank, with health flips, reroutes and degraded/rejected outcomes
+    /// as span events — into the router's trace ring, validated by a
+    /// [`TraceAssembler`] (exactly one root, every parent resolvable).
+    /// With explain enabled (`cfg.explain`) it records a
+    /// [`QueryAudit`] under the same trace id. With both disabled this
+    /// path is byte-identical to an untraced router and performs zero
+    /// clock reads (test-enforced).
     #[must_use]
     pub fn infer_query_traced(&self, query: &Trajectory, k: usize) -> (QueryResult, RouteTrace) {
         self.m.queries.inc();
+        // Identity is minted only when a consumer — the stitched trace
+        // ring or the audit ring — is switched on; the disabled path skips
+        // even the atomic increment.
+        let trace_id = if self.traces.is_some() || self.audits.is_some() {
+            next_trace_id()
+        } else {
+            0
+        };
 
         // Stage 0 — admission. Shedding here costs a mutex lock and
         // nothing else: no validation, no shard is touched.
@@ -455,6 +616,12 @@ impl ShardedEngine {
             Some(Admission::Shed) => {
                 self.m.rejected.inc();
                 self.m.shed.inc();
+                self.push_event_audit(
+                    trace_id,
+                    query,
+                    "shed",
+                    "admission: waiting room full, query shed",
+                );
                 return (
                     QueryResult {
                         globals: Vec::new(),
@@ -470,12 +637,64 @@ impl ShardedEngine {
             None => None,
         };
 
+        // One collector per traced query: every stage — routing, shard
+        // batches, gather, splice — records into it, so the whole stitched
+        // tree shares one clock origin and needs no cross-shard alignment.
+        let collector = self.traces.as_ref().map(|_| SpanCollector::new());
+        let root_guard = collector.as_ref().map(|c| c.root("query"));
+        let root_id = root_guard.as_ref().map_or(0, SpanGuard::id);
+        let spans = collector.as_ref().map(|c| (c, root_id));
+
+        let (result, route) = self.dispatch(query, k, trace_id, spans);
+
+        drop(root_guard);
+        if let (Some(ring), Some(c)) = (&self.traces, collector) {
+            let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed) + 1;
+            let rec = TraceRecord {
+                trace_id,
+                query_id,
+                points: query.points.len(),
+                pairs: query.points.len().saturating_sub(1),
+                routes: result.globals.len(),
+                top_log_score: result.globals.first().map(|g| g.log_score),
+                ..TraceRecord::default()
+            };
+            let mut asm = TraceAssembler::new(trace_id);
+            asm.add_spans(c.into_spans());
+            match asm.finish(rec) {
+                Ok(rec) => {
+                    let _ = ring.push(rec);
+                }
+                Err(e) => debug_assert!(false, "router span tree must stitch: {e}"),
+            }
+        }
+        (result, route)
+    }
+
+    /// Validation + spatial dispatch, inside the `routing` span of a traced
+    /// query. The `spans` context is `(collector, root span id)`.
+    fn dispatch(
+        &self,
+        query: &Trajectory,
+        k: usize,
+        trace_id: u64,
+        spans: SpanCtx<'_>,
+    ) -> (QueryResult, RouteTrace) {
         // Stage 1 — mirror the engine's validation ladder so routing sees
         // the same points the shard engines will serve.
+        let mut routing = spans.map(|(c, root)| c.child(root, "routing"));
         let routable = match self.screen(query) {
             Ok(r) => r,
             Err(reason) => {
                 self.m.rejected.inc();
+                if let (Some((c, _)), Some(rg)) = (spans, routing.as_ref()) {
+                    let _ = c.event(
+                        rg.id(),
+                        "rejected",
+                        vec![("reason".to_string(), AttrValue::Text(format!("{reason:?}")))],
+                    );
+                }
+                self.push_event_audit(trace_id, query, "rejected", &format!("rejected: {reason:?}"));
                 return (
                     QueryResult {
                         globals: Vec::new(),
@@ -498,11 +717,36 @@ impl ShardedEngine {
             let qb = BBox::covering(pts.iter().map(|p| p.pos)).inflated(self.params.phi_m);
             self.plan.home_shard(&qb)
         };
+        if let Some(g) = routing.as_mut() {
+            g.attr("points", pts.len());
+            g.attr(
+                "kind",
+                if single_home.is_some() {
+                    "single"
+                } else {
+                    "scatter"
+                },
+            );
+        }
+        drop(routing);
 
         match single_home {
-            Some(s) => self.run_single(query, k, s),
-            None => self.run_scatter(&routable, k),
+            Some(s) => self.run_single(query, k, s, trace_id, spans),
+            None => self.run_scatter(&routable, k, trace_id, spans),
         }
+    }
+
+    /// Pushes a routes-free audit document (shed / router-side rejection)
+    /// when the explain layer is on.
+    fn push_event_audit(&self, trace_id: u64, query: &Trajectory, outcome: &str, event: &str) {
+        let Some(ring) = &self.audits else { return };
+        let mut audit = QueryAudit::new(trace_id, 0);
+        audit.points = query.points.len();
+        audit.pairs = query.points.len().saturating_sub(1);
+        audit.outcome = outcome.to_string();
+        audit.scorer = "none".to_string();
+        audit.push_event(event);
+        let _ = ring.push(audit.into_record());
     }
 
     /// The engine's validation screen, reproduced router-side: the router
@@ -540,15 +784,43 @@ impl ShardedEngine {
     /// Whole-query delegation to shard `s` — byte-identical path. If `s`
     /// is not servable the query moves whole to the nearest servable shard
     /// and the outcome is demoted to `Degraded`.
-    fn run_single(&self, query: &Trajectory, k: usize, s: usize) -> (QueryResult, RouteTrace) {
+    ///
+    /// The delegated shard serves under the router's trace id
+    /// ([`EngineHandle::infer_query_with_trace`]), so its own trace record
+    /// and audit are joinable with the router's `shard` span.
+    fn run_single(
+        &self,
+        query: &Trajectory,
+        k: usize,
+        s: usize,
+        trace_id: u64,
+        spans: SpanCtx<'_>,
+    ) -> (QueryResult, RouteTrace) {
         let n_pairs = query.points.len().saturating_sub(1);
         let (target, rerouted) = if self.shard_is_servable(s) {
             (s, 0)
         } else {
+            if let Some((c, root)) = spans {
+                let _ = c.event(
+                    root,
+                    "shard_unhealthy",
+                    vec![("shard".to_string(), AttrValue::Int(s as i64))],
+                );
+            }
             let Some(t) = self.nearest_servable(BBox::covering(query.points.iter().map(|p| p.pos)))
             else {
-                return self.reject_unavailable();
+                return self.reject_no_shard(query, trace_id, spans);
             };
+            if let Some((c, root)) = spans {
+                let _ = c.event(
+                    root,
+                    "reroute",
+                    vec![
+                        ("from".to_string(), AttrValue::Int(s as i64)),
+                        ("to".to_string(), AttrValue::Int(t as i64)),
+                    ],
+                );
+            }
             (t, n_pairs.max(1))
         };
 
@@ -557,10 +829,23 @@ impl ShardedEngine {
         self.m.shard_pairs[target].add(n_pairs as u64);
         // The shard engine re-runs the same validation ladder on the
         // original query, so repairs/outcomes match the global engine.
-        let mut result = self.shards[target].infer_query(query, k);
+        let mut shard_guard = spans.map(|(c, root)| c.child(root, "shard"));
+        if let Some(g) = shard_guard.as_mut() {
+            g.attr("shard", target);
+            g.attr("pairs", n_pairs);
+        }
+        let mut result = self.shards[target].infer_query_with_trace(query, k, trace_id);
+        drop(shard_guard);
         if rerouted > 0 {
             self.m.rerouted.add(rerouted as u64);
             result.outcome = demote_to_degraded(result.outcome, rerouted);
+            if let Some((c, root)) = spans {
+                let _ = c.event(
+                    root,
+                    "degraded",
+                    vec![("pairs_fell_back".to_string(), AttrValue::Int(rerouted as i64))],
+                );
+            }
         }
         let trace = RouteTrace {
             kind: RouteKind::Single(target),
@@ -575,7 +860,18 @@ impl ShardedEngine {
     /// Scatter-gather: assign each pair to a shard, run maximal same-shard
     /// runs as sub-queries (one pinned epoch per shard), remap trajectory
     /// ids to the global namespace, and run K-GRI over the gathered locals.
-    fn run_scatter(&self, routable: &Routable<'_>, k: usize) -> (QueryResult, RouteTrace) {
+    ///
+    /// On a traced query, each touched shard's pinned batch records its
+    /// phase spans under a router-side `shard` span, and the router-side
+    /// K-GRI splice and (when configured) rerank get their own spans —
+    /// together with `routing` and `gather` they form the stitched tree.
+    fn run_scatter(
+        &self,
+        routable: &Routable<'_>,
+        k: usize,
+        trace_id: u64,
+        spans: SpanCtx<'_>,
+    ) -> (QueryResult, RouteTrace) {
         let q = routable.query();
         let phi = self.params.phi_m;
         let n_pairs = q.points.len() - 1;
@@ -597,8 +893,19 @@ impl ShardedEngine {
             if !self.shard_is_servable(*s) {
                 let pb = BBox::covering([q.points[i].pos, q.points[i + 1].pos]);
                 let Some(t) = self.nearest_servable(pb) else {
-                    return self.reject_unavailable();
+                    return self.reject_no_shard(q, trace_id, spans);
                 };
+                if let Some((c, root)) = spans {
+                    let _ = c.event(
+                        root,
+                        "reroute",
+                        vec![
+                            ("pair".to_string(), AttrValue::Int(i as i64)),
+                            ("from".to_string(), AttrValue::Int(*s as i64)),
+                            ("to".to_string(), AttrValue::Int(t as i64)),
+                        ],
+                    );
+                }
                 *s = t;
                 rerouted += 1;
             }
@@ -642,7 +949,21 @@ impl ShardedEngine {
                 .collect();
             self.m.shard_queries[*s].inc();
             self.m.shard_pairs[*s].add(subs.iter().map(|t| t.points.len() as u64 - 1).sum());
-            let (locals, epoch) = self.shards[*s].local_inference_pinned_batch(&subs);
+            // The shard's candidates/local/pair spans land in the router's
+            // collector, parented under this shard span — the stitch.
+            let mut shard_guard = spans.map(|(c, root)| c.child(root, "shard"));
+            if let Some(g) = shard_guard.as_mut() {
+                g.attr("shard", *s);
+                g.attr("sub_queries", subs.len());
+            }
+            let shard_spans = spans
+                .zip(shard_guard.as_ref())
+                .map(|((c, _), g)| (c, g.id()));
+            let (locals, epoch) = self.shards[*s].local_inference_pinned_batch_traced(&subs, shard_spans);
+            if let Some(g) = shard_guard.as_mut() {
+                g.attr("epoch", epoch as i64);
+            }
+            drop(shard_guard);
             epochs.push((*s, epoch));
             for (&ri, mut locals) in run_idxs.iter().zip(locals) {
                 self.remap_sources(*s, &mut locals);
@@ -652,16 +973,44 @@ impl ShardedEngine {
 
         // Gather: concatenate locals in pair order, then phase 3 exactly as
         // the engine runs it.
+        let gather_guard = spans.map(|(c, root)| c.child(root, "gather"));
         let locals: Vec<LocalInferenceResult> = run_locals.into_iter().flatten().collect();
         debug_assert_eq!(locals.len(), n_pairs, "one local inference per pair");
+        let stats = locals.iter().map(|l| l.stats.clone()).collect();
+        drop(gather_guard);
         // The seam splice scores through the exact scorer the shard engines
         // were configured with — same `HrisParams`, same `RerankOptions` —
         // so a sharded deployment can never diverge from a single engine
         // under the same configuration.
         let scorer = configured_scorer(&self.params, &self.cfg.rerank);
-        let globals = scorer.top_k(&ScoringCtx::new(&self.net, &locals, k));
-        let stats = locals.iter().map(|l| l.stats.clone()).collect();
+        let sctx = ScoringCtx::new(&self.net, &locals, k);
+        let globals = match spans {
+            None => scorer.top_k(&sctx),
+            // Traced: split the configured scorer into its two phases so
+            // splice (the paper's K-GRI over the gathered locals) and
+            // rerank get their own spans. `LearnedScorer::top_k` is
+            // exactly `paper.top_k` + `rerank_in_place`, so the split is
+            // byte-identical to the untraced call.
+            Some((c, root)) => {
+                let splice_guard = c.child(root, "splice");
+                let mut globals = PaperScorer::from_params(&self.params).top_k(&sctx);
+                drop(splice_guard);
+                if let ConfiguredScorer::Learned(learned) = &scorer {
+                    let mut rerank_guard = c.child(root, "rerank");
+                    rerank_guard.attr("routes", globals.len());
+                    let _ = learned.rerank_in_place(&sctx, &mut globals);
+                }
+                globals
+            }
+        };
         let outcome = if rerouted > 0 {
+            if let Some((c, root)) = spans {
+                let _ = c.event(
+                    root,
+                    "degraded",
+                    vec![("pairs_fell_back".to_string(), AttrValue::Int(rerouted as i64))],
+                );
+            }
             QueryOutcome::Degraded {
                 repairs: routable.repairs().unwrap_or_default(),
                 pairs_fell_back: rerouted,
@@ -671,6 +1020,51 @@ impl ShardedEngine {
         } else {
             QueryOutcome::Ok
         };
+
+        // Router-side audit: the shards only ran phases 1–2, so the
+        // explain document of a scattered query is the router's to write.
+        if let Some(ring) = &self.audits {
+            let mut audit = QueryAudit::new(trace_id, 0);
+            audit.points = q.points.len();
+            audit.pairs = n_pairs;
+            audit.outcome = match &outcome {
+                QueryOutcome::Ok => "served".to_string(),
+                QueryOutcome::Repaired { .. } => "repaired".to_string(),
+                QueryOutcome::Degraded { .. } => "degraded".to_string(),
+                QueryOutcome::Rejected { .. } => "rejected".to_string(),
+            };
+            audit.local_routes_per_pair = locals.iter().map(|l| l.routes.len()).collect();
+            audit.scorer = scorer.name().to_string();
+            for (i, s) in pair_shards.iter().enumerate() {
+                audit.push_event(format!("scatter: pair {i} served by shard {s}"));
+            }
+            if rerouted > 0 {
+                audit.push_event(format!(
+                    "degraded: {rerouted} pairs rerouted away from unhealthy shards"
+                ));
+            }
+            let rerank = match &scorer {
+                ConfiguredScorer::Learned(_) => self.cfg.rerank.model.as_ref(),
+                ConfiguredScorer::Paper(_) => None,
+            };
+            audit.routes = globals
+                .iter()
+                .take(self.cfg.explain.top_k_routes)
+                .enumerate()
+                .map(|(rank, g)| {
+                    RouteExplanation::explain(
+                        &sctx,
+                        g,
+                        rank,
+                        self.params.entropy_floor,
+                        self.params.popularity_model,
+                        rerank,
+                    )
+                })
+                .collect();
+            let _ = ring.push(audit.into_record());
+        }
+
         (
             QueryResult {
                 globals,
@@ -685,6 +1079,28 @@ impl ShardedEngine {
                 rerouted_pairs: rerouted,
             },
         )
+    }
+
+    /// Rejection because no servable shard remains: span event + audit +
+    /// the counted rejection result.
+    fn reject_no_shard(
+        &self,
+        query: &Trajectory,
+        trace_id: u64,
+        spans: SpanCtx<'_>,
+    ) -> (QueryResult, RouteTrace) {
+        if let Some((c, root)) = spans {
+            let _ = c.event(
+                root,
+                "rejected",
+                vec![(
+                    "reason".to_string(),
+                    AttrValue::Text("ShardUnavailable".to_string()),
+                )],
+            );
+        }
+        self.push_event_audit(trace_id, query, "rejected", "rejected: ShardUnavailable");
+        self.reject_unavailable()
     }
 
     /// Shard-local → global trajectory ids, in place, on every reference's

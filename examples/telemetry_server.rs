@@ -1,7 +1,9 @@
 //! Live telemetry serving: an owned [`EngineHandle`] follows a streaming
 //! archive while its zero-dependency HTTP server exposes `/metrics`,
 //! `/healthz`, `/varz` and `/debug/slow` — then the example scrapes its own
-//! endpoints so the run is self-contained and self-terminating.
+//! endpoints so the run is self-contained and self-terminating. A final
+//! sharded section runs one cross-shard query and prints its stitched
+//! span tree plus the audit document served from `/debug/explain/<id>`.
 //!
 //! ```text
 //! cargo run --release --example telemetry_server
@@ -18,8 +20,10 @@
 
 use hris::prelude::*;
 use hris::MetricsRegistry;
+use hris_geo::Point;
 use hris_roadnet::{generator, NetworkConfig};
-use hris_traj::{resample_to_interval, simulator, SimConfig, Simulator, TrajId, Trajectory};
+use hris_router::{ShardPlan, ShardedEngine};
+use hris_traj::{resample_to_interval, simulator, GpsPoint, SimConfig, Simulator, TrajId, Trajectory};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -132,4 +136,99 @@ fn main() {
     // 6. Clean shutdown: the server thread joins before main exits.
     server.shutdown();
     println!("telemetry server stopped");
+
+    // 7. Sharded deployment: one cross-shard query, one stitched span
+    //    tree, one audit document — fetched end-to-end through the
+    //    router's own debug endpoints.
+    let params = HrisParams::default();
+    let plan = ShardPlan::grid(&net, 2, 1, params.phi_m + 900.0);
+    let seam_x = plan.core(0).max.x;
+    let sharded = Arc::new(ShardedEngine::build(
+        Arc::clone(&net),
+        &archive,
+        params,
+        EngineConfig::builder()
+            .observability(true) // span trees into the router trace ring
+            .explain(64) // audit documents into the audit ring
+            .build()
+            .expect("valid config"),
+        plan,
+    ));
+    let router_srv = sharded.serve_metrics("127.0.0.1:0").expect("bind router server");
+    println!("\nrouter telemetry on http://{}", router_srv.addr());
+
+    // A query straddling the shard seam, so routing scatters it across
+    // both shards and the gather splices the halves back together.
+    let y = net.bbox().center().y;
+    let seam_query = Trajectory::new(
+        TrajId(7_000),
+        [-1_400.0, -700.0, 700.0, 1_400.0]
+            .iter()
+            .enumerate()
+            .map(|(i, dx)| {
+                GpsPoint::new(Point::new(seam_x + dx, y + i as f64 * 40.0), i as f64 * 120.0)
+            })
+            .collect(),
+    );
+    let (result, route) = sharded.infer_query_traced(&seam_query, 2);
+    let rec = sharded
+        .trace_ring()
+        .expect("tracing is on")
+        .snapshot()
+        .pop()
+        .expect("the query left one trace record");
+    println!(
+        "query {:?} via shards {:?} → {} routes, trace id {}",
+        route.kind,
+        route.pair_shards,
+        result.globals.len(),
+        rec.trace_id
+    );
+
+    // The stitched span tree: one root, every touched shard's local
+    // inference, then the router-side gather and splice.
+    println!("stitched span tree ({} spans):", rec.spans.len());
+    let mut stack = vec![(rec.root_span, 0usize)];
+    while let Some((id, depth)) = stack.pop() {
+        let span = rec.spans.iter().find(|s| s.id == id).expect("span in tree");
+        let attrs = span
+            .attrs
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.to_json()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "  {:indent$}{} ({:.2} ms) {attrs}",
+            "",
+            span.name,
+            span.duration_s * 1e3,
+            indent = depth * 2
+        );
+        let mut kids: Vec<u64> = rec
+            .spans
+            .iter()
+            .filter(|s| s.parent == id)
+            .map(|s| s.id)
+            .collect();
+        kids.reverse(); // stack pops last-first; keep start order
+        for kid in kids {
+            stack.push((kid, depth + 1));
+        }
+    }
+
+    // The audit record, exactly as an operator would read it.
+    let shards = curl(router_srv.addr(), "/debug/shards");
+    println!("\n/debug/shards → {}", shards.lines().last().unwrap_or_default());
+    let explain = curl(
+        router_srv.addr(),
+        &format!("/debug/explain/{}", rec.trace_id),
+    );
+    println!(
+        "/debug/explain/{} → {}",
+        rec.trace_id,
+        explain.lines().last().unwrap_or_default()
+    );
+
+    router_srv.shutdown();
+    println!("router telemetry server stopped");
 }
